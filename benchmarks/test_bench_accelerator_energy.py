@@ -1,0 +1,49 @@
+"""Benchmark of the §V outlook: energy of an FP32 vs posit training accelerator.
+
+The paper's closing argument is that the posit MAC "will benefit future
+low-power DNN training accelerators".  This benchmark combines the Table V
+per-MAC energies with the per-layer MAC counts of the Cifar ResNet and the
+memory-traffic model to estimate the training-step energy of a PE-array
+accelerator in FP32 and under the paper's posit policies.
+"""
+
+import numpy as np
+
+from repro.core import QuantizationPolicy
+from repro.hardware import AcceleratorConfig, accelerator_comparison, count_training_macs
+from repro.models import cifar_resnet8
+
+
+def test_bench_accelerator_energy_comparison(benchmark, save_result):
+    """FP32 vs posit accelerator energy for one training step of a Cifar ResNet."""
+    model = cifar_resnet8(base_width=16, rng=np.random.default_rng(0))
+    accelerator = AcceleratorConfig(num_pes=256)
+
+    def build_report():
+        results = {}
+        for name, policy in (("cifar_policy", QuantizationPolicy.cifar_paper()),
+                             ("imagenet_policy", QuantizationPolicy.imagenet_paper()),
+                             ("uniform_8bit", QuantizationPolicy.uniform(8))):
+            results[name] = accelerator_comparison(model, policy, batch_size=32,
+                                                   input_hw=(32, 32),
+                                                   accelerator=accelerator)
+        return results
+
+    results = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    save_result("section5_accelerator_energy", results)
+
+    for name, comparison in results.items():
+        # Every posit configuration must reduce both compute and memory energy.
+        assert comparison["compute_energy_ratio"] > 1.2, name
+        assert comparison["memory_energy_ratio"] >= 1.9, name
+    # The 8-bit policies save more total energy than the 16-bit policy.
+    assert (results["uniform_8bit"]["total_energy_ratio"]
+            > results["imagenet_policy"]["total_energy_ratio"])
+
+
+def test_bench_workload_counting(benchmark):
+    """Cost of the per-layer MAC analysis itself (used inside design sweeps)."""
+    model = cifar_resnet8(base_width=16, rng=np.random.default_rng(0))
+    workloads = benchmark(count_training_macs, model, (32, 32))
+    total = sum(w.total_macs for w in workloads)
+    assert total > 1e7

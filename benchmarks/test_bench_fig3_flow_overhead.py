@@ -1,0 +1,84 @@
+"""Benchmark of the Fig. 3 computation flow: cost of inserting P(.) in training.
+
+Fig. 3 inserts the posit transformation at four points of every layer's
+forward/backward/update path.  In the paper this is free (the hardware MAC
+operates on posit natively); in a software simulation it is the dominant
+overhead.  This benchmark measures a full training step (forward + backward +
+update) of the same model with and without the Cifar quantization policy, and
+records the simulation overhead factor so that users of the library know what
+to expect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PositTrainer, QuantizationPolicy, WarmupSchedule
+from repro.data import ArrayDataLoader
+from repro.models import ResNet
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+
+
+def make_trainer(policy, seed=0):
+    model = ResNet(stage_blocks=(1, 1), num_classes=10, base_width=8, stem="cifar",
+                   rng=np.random.default_rng(seed))
+    optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    return PositTrainer(model, optimizer, CrossEntropyLoss(), policy=policy,
+                        warmup=WarmupSchedule(0))
+
+
+def make_batch_loader(seed=0, batch_size=32):
+    rng = np.random.default_rng(seed)
+    images = rng.standard_normal((batch_size, 3, 32, 32))
+    labels = rng.integers(0, 10, batch_size)
+    return ArrayDataLoader(images, labels, batch_size=batch_size, shuffle=False)
+
+
+def test_bench_fp32_training_step(benchmark):
+    """Baseline: one FP32 training step (forward + backward + SGD update)."""
+    trainer = make_trainer(None)
+    loader = make_batch_loader()
+    loss, _ = benchmark(trainer.train_epoch, loader, 0)
+    assert np.isfinite(loss)
+
+
+def test_bench_posit_training_step(benchmark, save_result):
+    """One training step with the Fig. 3 posit insertion (Cifar policy)."""
+    trainer = make_trainer(QuantizationPolicy.cifar_paper())
+    loader = make_batch_loader()
+    loss, _ = benchmark(trainer.train_epoch, loader, 0)
+    assert np.isfinite(loss)
+    save_result("fig3_flow_quantized_step", {
+        "quantized_layers": len(trainer.contexts),
+        "note": "compare the two *_training_step benchmarks for the simulation overhead",
+    })
+
+
+def test_bench_posit_inference_step(benchmark):
+    """Forward-only cost under quantization (the deployment path)."""
+    trainer = make_trainer(QuantizationPolicy.cifar_paper())
+    loader = make_batch_loader()
+    loss, accuracy = benchmark(trainer.evaluate, loader)
+    assert np.isfinite(loss)
+    assert 0.0 <= accuracy <= 1.0
+
+
+@pytest.mark.slow
+def test_bench_fig3_insertion_points_complete(benchmark, save_result):
+    """Every Fig. 3 tensor role is exercised during one quantized step."""
+    trainer = make_trainer(QuantizationPolicy.cifar_paper())
+    loader = make_batch_loader()
+
+    benchmark.pedantic(trainer.train_epoch, args=(loader, 0), rounds=1, iterations=1)
+
+    role_calls = {"weight": 0, "activation": 0, "error": 0, "weight_grad": 0}
+    for context in trainer.contexts.values():
+        for role in role_calls:
+            role_calls[role] += context.stats[role].calls
+    save_result("fig3_insertion_point_calls", role_calls)
+    # Weights, activations and weight gradients are quantized in every layer;
+    # errors are quantized in every layer that propagates a gradient backwards.
+    assert role_calls["weight"] > 0
+    assert role_calls["activation"] > 0
+    assert role_calls["error"] > 0
+    assert role_calls["weight_grad"] > 0

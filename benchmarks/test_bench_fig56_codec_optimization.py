@@ -1,0 +1,86 @@
+"""Benchmark / regeneration of the Fig. 4-6 claims about the codec critical path.
+
+The paper motivates its decoder/encoder redesign with the observation that in
+the original posit MAC of [6] "the summation of the encoder delay and decoder
+delay consumes about 40% time of the total posit MAC delay", and that the
+optimization removes the +1 adder from both critical paths (Figs. 5-6) at the
+cost of a duplicated shifter.
+"""
+
+from repro.hardware import PositDecoder, PositEncoder, PositMAC, codec_optimization_report
+from repro.posit import PositConfig
+
+FORMATS = [PositConfig(8, 1), PositConfig(8, 2), PositConfig(16, 1), PositConfig(16, 2)]
+
+
+def test_bench_fig4_codec_fraction(benchmark, save_result):
+    """The codec share of the original MAC delay sits near the paper's ~40 %."""
+    rows = benchmark.pedantic(codec_optimization_report, rounds=3, iterations=1)
+    save_result("fig4_codec_fraction", rows)
+    for row in rows:
+        assert 0.30 <= row["original_codec_fraction"] <= 0.55, row
+        assert row["optimized_codec_fraction"] < row["original_codec_fraction"], row
+        assert row["optimized_mac_delay_ns"] < row["original_mac_delay_ns"], row
+
+
+def test_bench_fig5_decoder_optimization(benchmark, save_result):
+    """Fig. 5: the optimized decoder is faster but larger (duplicated shifter)."""
+    def build_rows():
+        rows = []
+        for config in FORMATS:
+            original = PositDecoder(config, optimized=False).cost()
+            optimized = PositDecoder(config, optimized=True).cost()
+            rows.append({
+                "format": str(config),
+                "original_delay_levels": original.delay_levels,
+                "optimized_delay_levels": optimized.delay_levels,
+                "original_area_ge": original.area_ge,
+                "optimized_area_ge": optimized.area_ge,
+            })
+        return rows
+
+    rows = benchmark(build_rows)
+    save_result("fig5_decoder_optimization", rows)
+    for row in rows:
+        assert row["optimized_delay_levels"] < row["original_delay_levels"]
+        assert row["optimized_area_ge"] > row["original_area_ge"]
+
+
+def test_bench_fig6_encoder_optimization(benchmark, save_result):
+    """Fig. 6: the optimized encoder mirrors the decoder optimization."""
+    def build_rows():
+        rows = []
+        for config in FORMATS:
+            original = PositEncoder(config, optimized=False).cost()
+            optimized = PositEncoder(config, optimized=True).cost()
+            rows.append({
+                "format": str(config),
+                "original_delay_levels": original.delay_levels,
+                "optimized_delay_levels": optimized.delay_levels,
+                "original_area_ge": original.area_ge,
+                "optimized_area_ge": optimized.area_ge,
+            })
+        return rows
+
+    rows = benchmark(build_rows)
+    save_result("fig6_encoder_optimization", rows)
+    for row in rows:
+        assert row["optimized_delay_levels"] < row["original_delay_levels"]
+        assert row["optimized_area_ge"] > row["original_area_ge"]
+
+
+def test_bench_functional_equivalence_of_optimization(benchmark, bench_rng):
+    """The optimized codec must not change a single MAC result (pure structure)."""
+    cfg = PositConfig(8, 2)
+    original = PositMAC(cfg, optimized_codec=False)
+    optimized = PositMAC(cfg, optimized_codec=True)
+    codes = bench_rng.integers(0, cfg.code_count, size=(100, 3))
+
+    def compare_all():
+        mismatches = 0
+        for a, b, c in codes:
+            if original.mac(int(a), int(b), int(c)) != optimized.mac(int(a), int(b), int(c)):
+                mismatches += 1
+        return mismatches
+
+    assert benchmark(compare_all) == 0

@@ -1,0 +1,75 @@
+"""Benchmark / regeneration of the §IV/§V memory and communication claims.
+
+The paper: "By using 8 bits or 16 bits posit number for training, the model
+size can be reduced to 25% or 50%", and "the overhead caused by data
+communications can be saved by 2-4x".  This benchmark evaluates both claims
+for the actual ResNet-18 models of Table III under the paper's two policies.
+"""
+
+import numpy as np
+
+from repro.core import QuantizationPolicy
+from repro.hardware import communication_saving, model_size_bytes
+from repro.models import cifar_resnet18, resnet18
+
+
+def test_bench_model_size_reduction(benchmark, save_result):
+    """Model size: 8-bit posit -> 25 %, 16-bit posit -> 50 % of FP32."""
+    model = cifar_resnet18(base_width=16, rng=np.random.default_rng(0))
+
+    def build_report():
+        fp32 = model_size_bytes(model, None)
+        rows = []
+        for name, policy in (("posit-8bit", QuantizationPolicy.uniform(8)),
+                             ("posit-16bit", QuantizationPolicy.imagenet_paper()),
+                             ("cifar-mixed", QuantizationPolicy.cifar_paper())):
+            quantized = model_size_bytes(model, policy)
+            rows.append({
+                "policy": name,
+                "fp32_bytes": fp32.parameter_bytes,
+                "quantized_bytes": quantized.parameter_bytes,
+                "fraction_of_fp32": quantized.parameter_bytes / fp32.parameter_bytes,
+            })
+        return rows
+
+    rows = benchmark(build_report)
+    save_result("section5_model_size", rows)
+    by_policy = {row["policy"]: row for row in rows}
+    assert abs(by_policy["posit-8bit"]["fraction_of_fp32"] - 0.25) < 0.02
+    assert abs(by_policy["posit-16bit"]["fraction_of_fp32"] - 0.50) < 0.02
+    # The mixed Cifar policy lands between the two pure settings.
+    assert 0.25 < by_policy["cifar-mixed"]["fraction_of_fp32"] < 0.50
+
+
+def test_bench_communication_saving(benchmark, save_result):
+    """Per-training-step traffic saved by 2-4x under the paper's policies."""
+    model = cifar_resnet18(base_width=16, rng=np.random.default_rng(0))
+
+    def build_report():
+        results = {}
+        for name, policy in (("cifar_policy", QuantizationPolicy.cifar_paper()),
+                             ("imagenet_policy", QuantizationPolicy.imagenet_paper()),
+                             ("uniform_8bit", QuantizationPolicy.uniform(8))):
+            results[name] = communication_saving(model, policy, batch_size=32)
+        return results
+
+    results = benchmark.pedantic(build_report, rounds=2, iterations=1)
+    save_result("section5_communication_saving", results)
+    for name, saving in results.items():
+        assert 2.0 <= saving["traffic_ratio"] <= 4.2, (name, saving["traffic_ratio"])
+        assert 2.0 <= saving["model_size_ratio"] <= 4.2, name
+
+
+def test_bench_imagenet_resnet18_footprint(benchmark, save_result):
+    """Absolute footprint of the ImageNet ResNet-18 (the paper's other model)."""
+    model = resnet18(base_width=32, rng=np.random.default_rng(0))
+
+    def report():
+        fp32 = model_size_bytes(model, None).parameter_bytes
+        posit16 = model_size_bytes(model, QuantizationPolicy.imagenet_paper()).parameter_bytes
+        return {"fp32_mbytes": fp32 / 1e6, "posit16_mbytes": posit16 / 1e6,
+                "ratio": fp32 / posit16}
+
+    result = benchmark(report)
+    save_result("section5_resnet18_footprint", result)
+    assert abs(result["ratio"] - 2.0) < 0.05

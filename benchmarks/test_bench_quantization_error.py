@@ -1,0 +1,70 @@
+"""Benchmark of quantization fidelity across number formats (the §II motivation).
+
+Not a numbered table in the paper, but the quantitative background for its
+related-work argument: posit's tapered precision fits DNN tensor
+distributions better than fixed point at the same bit width, and the
+distribution-based shifting closes most of the remaining gap to wider floats.
+Reported as SQNR on weight-like and gradient-like tensors.
+"""
+
+import numpy as np
+
+from repro.analysis import compare_formats, shifting_benefit
+from repro.baselines import FixedPointFormat, FixedPointQuantizer
+from repro.posit import FP8_E4M3, FP16, FloatQuantizer, PositConfig, PositQuantizer
+
+
+def make_tensors(rng):
+    return {
+        "conv_weights": rng.standard_normal(30000) * 0.02,
+        "activations": np.abs(rng.standard_normal(30000)) * 1.2,
+        "gradients": rng.standard_normal(30000) * 3e-5,
+    }
+
+
+def test_bench_format_comparison(benchmark, save_result, bench_rng):
+    """SQNR of posit / float / fixed-point formats on the three tensor kinds."""
+    tensors = make_tensors(bench_rng)
+    quantizers = {
+        "posit(8,1)": PositQuantizer(PositConfig(8, 1), rounding="nearest"),
+        "posit(8,2)": PositQuantizer(PositConfig(8, 2), rounding="nearest"),
+        "posit(16,1)": PositQuantizer(PositConfig(16, 1), rounding="nearest"),
+        "FP16": FloatQuantizer(FP16),
+        "FP8-E4M3": FloatQuantizer(FP8_E4M3),
+        "fixed Q2.5 (8b)": FixedPointQuantizer(FixedPointFormat(2, 5)),
+        "fixed Q2.13 (16b)": FixedPointQuantizer(FixedPointFormat(2, 13)),
+    }
+
+    def run_comparison():
+        return {name: compare_formats(tensor, quantizers)
+                for name, tensor in tensors.items()}
+
+    report = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    save_result("quantization_error_by_format", report)
+
+    def sqnr(tensor_name, label):
+        return next(r["sqnr_db"] for r in report[tensor_name] if r["label"] == label)
+
+    # 8-bit posit beats 8-bit fixed point on small-magnitude tensors (weights,
+    # gradients) — the paper's core numerical argument.
+    assert sqnr("conv_weights", "posit(8,1)") > sqnr("conv_weights", "fixed Q2.5 (8b)")
+    assert sqnr("gradients", "posit(8,2)") > sqnr("gradients", "fixed Q2.5 (8b)")
+    # 16-bit posit is comparable to or better than FP16 on these tensors.
+    assert sqnr("conv_weights", "posit(16,1)") > sqnr("conv_weights", "FP16") - 3.0
+
+
+def test_bench_shifting_gain_by_format(benchmark, save_result, bench_rng):
+    """How much SQNR the Eq. (2)/(3) shifting recovers, per posit format."""
+    gradients = bench_rng.standard_normal(30000) * 3e-5
+
+    def run_study():
+        return [shifting_benefit(gradients, config)
+                for config in (PositConfig(8, 0), PositConfig(8, 1),
+                               PositConfig(8, 2), PositConfig(16, 1))]
+
+    rows = benchmark(run_study)
+    save_result("shifting_gain_by_format", rows)
+    # Shifting helps most where the dynamic range is scarcest (small es).
+    gains = {row["format"]: row["sqnr_gain_db"] for row in rows}
+    assert gains["posit(8,0)"] >= gains["posit(8,2)"] - 1e-6
+    assert all(gain > -1e-9 for gain in gains.values())

@@ -1,0 +1,52 @@
+"""Benchmark / regeneration of Table I: the (5,1) posit value table.
+
+Also benchmarks the throughput of the vectorized transformation operator
+P(n,es)(x) (Algorithm 1), which is the kernel every quantized training step
+pays for.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.posit import PositConfig, positive_value_table, quantize
+
+#: The positive values of Table I, used as the acceptance criterion.
+TABLE_I_VALUES = [Fraction(0), Fraction(1, 64), Fraction(1, 16), Fraction(1, 8),
+                  Fraction(1, 4), Fraction(3, 8), Fraction(1, 2), Fraction(3, 4),
+                  Fraction(1), Fraction(3, 2), Fraction(2), Fraction(3), Fraction(4),
+                  Fraction(8), Fraction(16), Fraction(64)]
+
+
+def test_bench_table1_value_table(benchmark, save_result):
+    """Regenerate Table I and check it is exactly the paper's table."""
+    config = PositConfig(5, 1)
+    rows = benchmark(positive_value_table, config)
+    assert [row.value for row in rows] == TABLE_I_VALUES
+    save_result("table1_posit_5_1_values", [
+        {"binary": row.binary, "regime": row.regime, "exponent": row.exponent,
+         "mantissa": str(row.mantissa), "value": str(row.value)}
+        for row in rows
+    ])
+
+
+def test_bench_quantize_throughput_8bit(benchmark, bench_rng):
+    """Throughput of P(8,1) over a conv-activation-sized tensor."""
+    values = bench_rng.standard_normal(1 << 18)
+    result = benchmark(quantize, values, PositConfig(8, 1))
+    assert result.shape == values.shape
+
+
+def test_bench_quantize_throughput_16bit(benchmark, bench_rng):
+    """Throughput of P(16,2) (the ImageNet backward format)."""
+    values = bench_rng.standard_normal(1 << 18)
+    result = benchmark(quantize, values, PositConfig(16, 2))
+    assert result.shape == values.shape
+
+
+def test_bench_quantize_stochastic_rounding(benchmark, bench_rng):
+    """Stochastic rounding costs roughly one extra random draw per element."""
+    values = bench_rng.standard_normal(1 << 16)
+    rng = np.random.default_rng(0)
+    result = benchmark(quantize, values, PositConfig(8, 1), "stochastic", rng)
+    assert result.shape == values.shape

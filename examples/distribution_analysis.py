@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Distribution and quantization analysis: Fig. 2 and the motivation for §III-B.
+
+Three studies, all printable on a terminal (no plotting dependency):
+
+1. **Fig. 2 reproduction** — track the weight distributions of the first CONV
+   layer and the first BN layer while a small ResNet trains, and show that
+   the BN distribution shifts sharply in the first epochs while the CONV
+   distribution stays put (the reason for FP32 warm-up).
+2. **Code-space coverage** — measure how much of the posit code space a
+   typical weight tensor exercises with and without the Eq. (2)/(3) scaling
+   factor (the reason for distribution-based shifting).
+3. **Dynamic-range / es selection** — measure the log2-domain ranges of
+   weights, activations, and errors during training and report the es each
+   would need (the reason for es=1 forward / es=2 backward).
+
+Run with:  python examples/distribution_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    DistributionRecorder,
+    bn_shift_magnitude,
+    shifting_coverage_gain,
+)
+from repro.core import (
+    PositTrainer,
+    QuantizationPolicy,
+    RangeTracker,
+    WarmupSchedule,
+    recommend_es,
+)
+from repro.data import cifar_like, train_loader
+from repro.data.loaders import test_loader as make_test_loader
+from repro.models import cifar_resnet8
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.posit import PositConfig
+from repro.tensor import Tensor
+
+
+def ascii_histogram(values: np.ndarray, bins: int = 25, width: int = 40) -> str:
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(width * count / peak)
+        lines.append(f"  {lo:+8.3f} .. {hi:+8.3f} | {bar}")
+    return "\n".join(lines)
+
+
+def study_1_fig2_distributions() -> None:
+    print("=" * 72)
+    print("Study 1 — Fig. 2: CONV vs BN weight distributions during training")
+    print("=" * 72)
+
+    dataset = cifar_like(num_train=256, num_test=64, noise_std=0.5, seed=1)
+    train = train_loader(dataset, batch_size=32, seed=0)
+    model = cifar_resnet8(base_width=8, rng=np.random.default_rng(0))
+    recorder = DistributionRecorder()
+    trainer = PositTrainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9),
+                           CrossEntropyLoss(), epoch_callbacks=[recorder])
+    recorder.record_model(model, epoch=-1)  # initialization snapshot
+    trainer.fit(train, epochs=3)
+
+    for name, snapshot in recorder.snapshots.items():
+        kind = "BN " if "bn" in name else "CONV"
+        print(f"\n{kind} parameter {name}: std per epoch "
+              f"{[round(s, 3) for s in snapshot.stds]}")
+        print(ascii_histogram(dict(model.named_parameters())[name].data.ravel()))
+    shifts = bn_shift_magnitude(recorder)
+    print("\nDistribution shift (|Δmean| + |Δstd|, normalized):")
+    for name, shift in shifts.items():
+        print(f"  {name:<22} {shift:.3f}")
+    print("-> the BN weights move far more than the CONV weights early in training,")
+    print("   which is why the paper keeps the first epochs in FP32 (warm-up).")
+
+
+def study_2_code_space_coverage() -> None:
+    print("\n" + "=" * 72)
+    print("Study 2 — posit code-space coverage with and without shifting")
+    print("=" * 72)
+
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal(20000) * 0.004  # conv-weight-like scale
+    for config in (PositConfig(8, 0), PositConfig(8, 1), PositConfig(16, 1)):
+        gain = shifting_coverage_gain(weights, config)
+        direct, shifted = gain["direct"], gain["shifted"]
+        print(f"{config}: codes used {direct['distinct_codes']:>5} -> "
+              f"{shifted['distinct_codes']:>5} with Sf={gain['scale_factor']:.2e}  "
+              f"(entropy {direct['entropy_bits']:.2f} -> {shifted['entropy_bits']:.2f} bits)")
+
+
+def study_3_dynamic_ranges_and_es() -> None:
+    print("\n" + "=" * 72)
+    print("Study 3 — per-role dynamic ranges and the es-selection criterion")
+    print("=" * 72)
+
+    dataset = cifar_like(num_train=128, num_test=32, noise_std=0.5, seed=2)
+    train = train_loader(dataset, batch_size=32, seed=0)
+    model = cifar_resnet8(base_width=8, rng=np.random.default_rng(0))
+    trainer = PositTrainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9),
+                           CrossEntropyLoss())
+    trainer.fit(train, epochs=1)
+
+    tracker = RangeTracker(n_bits=8)
+    tracker.record_model_weights(model)
+    # Capture error/gradient ranges from one more backward pass.
+    images, labels = next(iter(train))
+    logits = model(Tensor(images))
+    loss = CrossEntropyLoss()(logits, labels)
+    model.zero_grad()
+    loss.backward()
+    for name, param in model.named_parameters():
+        if param.grad is not None:
+            tracker.record(name, "weight_grad", param.grad)
+
+    per_role: dict[str, list[float]] = {}
+    for row in tracker.report():
+        per_role.setdefault(row["role"], []).append(row["overall_log2_range"])
+    print(f"{'role':<14} {'mean log2 range':>16} {'max log2 range':>16} {'es needed @8b':>14}")
+    for role, ranges in per_role.items():
+        mean_range, max_range = float(np.mean(ranges)), float(np.max(ranges))
+        print(f"{role:<14} {mean_range:>16.1f} {max_range:>16.1f} "
+              f"{recommend_es(max_range, n=8):>14}")
+    print("-> gradients span a wider range than weights, matching the paper's choice")
+    print("   of es = 2 for the backward tensors and es = 1 for the forward tensors.")
+
+
+if __name__ == "__main__":
+    study_1_fig2_distributions()
+    study_2_code_space_coverage()
+    study_3_dynamic_ranges_and_es()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Precision study: posit vs FP16/FP8/fixed-point on the same training recipe.
+
+Trains the same small model, on the same data, with the same optimizer, under
+five number systems and prints a comparison table:
+
+* FP32 (the baseline),
+* posit(8,1)/(8,2) with the paper's warm-up + shifting,
+* posit(16,1)/(16,2),
+* FP16 mixed precision with loss scaling (Micikevicius et al. [9]),
+* FP8 (E4M3 forward / E5M2 backward) with FP16 updates (Wang et al. [10]),
+* 16-bit fixed point Q2.13 with stochastic rounding (Gupta et al. [7]).
+
+This is the comparison the paper makes qualitatively in its related-work
+discussion: posit at 8 bits retains accuracy where aggressive fixed-point
+formats fall behind.
+
+Run with:  python examples/precision_study.py [--epochs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.baselines import fixed_point_policy, fp8_policy, fp16_policy
+from repro.core import PositTrainer, QuantizationPolicy, WarmupSchedule
+from repro.data import cifar_like, train_loader
+from repro.data.loaders import test_loader as make_test_loader
+from repro.models import tiny_resnet
+from repro.nn import CrossEntropyLoss, LossScaler
+from repro.optim import SGD
+
+
+def run_one(label: str, policy, warmup: int, args, loss_scaler=None) -> dict:
+    dataset = cifar_like(num_train=args.train_size, num_test=args.test_size,
+                         noise_std=0.5, seed=args.data_seed)
+    train = train_loader(dataset, batch_size=args.batch_size, seed=0)
+    val = make_test_loader(dataset, batch_size=256)
+    model = tiny_resnet(num_classes=10, base_width=8, rng=np.random.default_rng(0))
+    optimizer = SGD(model.parameters(), lr=args.lr, momentum=0.9)
+    trainer = PositTrainer(model, optimizer, CrossEntropyLoss(), policy=policy,
+                           warmup=WarmupSchedule(warmup), loss_scaler=loss_scaler)
+    start = time.time()
+    history = trainer.fit(train, val, epochs=args.epochs)
+    return {
+        "scheme": label,
+        "val_accuracy": history.final_val_accuracy,
+        "best_accuracy": history.best_val_accuracy,
+        "train_loss": history.final_train_loss,
+        "seconds": time.time() - start,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--train-size", type=int, default=384)
+    parser.add_argument("--test-size", type=int, default=192)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--lr", type=float, default=0.05)
+    parser.add_argument("--data-seed", type=int, default=1)
+    args = parser.parse_args()
+
+    schemes = [
+        ("FP32", None, 0, None),
+        ("posit(8,1)/(8,2) + warm-up + shift", QuantizationPolicy.cifar_paper(), 1, None),
+        ("posit(16,1)/(16,2) + warm-up", QuantizationPolicy.imagenet_paper(), 1, None),
+        ("FP16 mixed precision + loss scaling", fp16_policy(), 0, LossScaler(1024.0, dynamic=True)),
+        ("FP8 E4M3/E5M2", fp8_policy(), 1, LossScaler(1024.0, dynamic=True)),
+        ("fixed point Q2.13 (stochastic)", fixed_point_policy(), 0, None),
+    ]
+
+    results = []
+    for label, policy, warmup, scaler in schemes:
+        print(f"training: {label} ...")
+        results.append(run_one(label, policy, warmup, args, loss_scaler=scaler))
+
+    print(f"\n{'scheme':<40} {'val acc':>8} {'best':>8} {'loss':>8} {'time(s)':>8}")
+    for row in results:
+        print(f"{row['scheme']:<40} {row['val_accuracy']:>8.3f} {row['best_accuracy']:>8.3f} "
+              f"{row['train_loss']:>8.3f} {row['seconds']:>8.0f}")
+    baseline = results[0]["val_accuracy"]
+    print("\nAccuracy gap to FP32 (negative = worse than baseline):")
+    for row in results[1:]:
+        print(f"  {row['scheme']:<40} {row['val_accuracy'] - baseline:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

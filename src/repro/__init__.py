@@ -1,0 +1,55 @@
+"""repro — reproduction of "Training Deep Neural Networks Using Posit Number System".
+
+Lu et al., SOCC 2019 (arXiv:1909.03831).
+
+The package is organised as the paper's contribution (:mod:`repro.core`) on
+top of self-contained substrates:
+
+* :mod:`repro.posit` — the posit number system (bit-exact scalars, fast
+  vectorized quantization, quire, value tables) plus low-bit float formats.
+* :mod:`repro.tensor` / :mod:`repro.nn` / :mod:`repro.optim` — a NumPy
+  autograd engine, layers, and optimizers replacing PyTorch.
+* :mod:`repro.models` — ResNet-18 variants (Cifar and ImageNet stems).
+* :mod:`repro.data` — synthetic Cifar-like / ImageNet-like datasets.
+* :mod:`repro.core` — the posit training methodology: Fig. 3 quantization
+  insertion, warm-up training, distribution-based shifting (Eq. 2/3),
+  per-layer es policies (Table III), and the trainer.
+* :mod:`repro.hardware` — functional + cost models of the posit MAC,
+  decoder, and encoder architectures (Figs. 4-6, Tables IV-V).
+* :mod:`repro.baselines` — fixed-point and low-bit float training baselines.
+* :mod:`repro.analysis` — distribution and quantization-error analysis
+  (Fig. 2 and the motivation studies).
+"""
+
+from .core import (
+    PositTrainer,
+    QuantizationPolicy,
+    RoleFormats,
+    ScaleEstimator,
+    WarmupSchedule,
+    compute_scale_factor,
+)
+from .posit import (
+    PositConfig,
+    PositQuantizer,
+    PositScalar,
+    quantize,
+    quantize_to_bits,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "PositConfig",
+    "PositScalar",
+    "PositQuantizer",
+    "quantize",
+    "quantize_to_bits",
+    "PositTrainer",
+    "QuantizationPolicy",
+    "RoleFormats",
+    "WarmupSchedule",
+    "ScaleEstimator",
+    "compute_scale_factor",
+]

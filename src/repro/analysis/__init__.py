@@ -1,0 +1,35 @@
+"""Analysis tooling: weight distributions (Fig. 2), quantization error, code coverage."""
+
+from .coverage import code_usage, coverage_report, shifting_coverage_gain
+from .distributions import (
+    DistributionRecorder,
+    ParameterSnapshot,
+    bn_shift_magnitude,
+    default_tracked_parameters,
+    histogram_summary,
+)
+from .quant_error import (
+    compare_formats,
+    max_relative_error,
+    mean_absolute_error,
+    quantization_report,
+    shifting_benefit,
+    sqnr_db,
+)
+
+__all__ = [
+    "DistributionRecorder",
+    "ParameterSnapshot",
+    "histogram_summary",
+    "bn_shift_magnitude",
+    "default_tracked_parameters",
+    "sqnr_db",
+    "max_relative_error",
+    "mean_absolute_error",
+    "quantization_report",
+    "compare_formats",
+    "shifting_benefit",
+    "code_usage",
+    "coverage_report",
+    "shifting_coverage_gain",
+]

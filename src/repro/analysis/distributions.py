@@ -1,0 +1,170 @@
+"""Weight-distribution tracking during training (reproduces Fig. 2).
+
+Fig. 2 of the paper shows histograms and per-epoch distributions of a CONV
+layer weight (stable across training) and a BN layer weight (shifting sharply
+in the first epochs because of the all-ones initialization).  That
+observation is what motivates the FP32 warm-up phase.
+
+:class:`DistributionRecorder` is an epoch callback for
+:class:`~repro.core.trainer.PositTrainer` that snapshots selected parameters
+every epoch and summarizes them (histogram, mean/std, log2-domain center and
+range).  :func:`bn_shift_magnitude` condenses the Fig. 2 observation into one
+number per layer — how far the distribution moved between the initial epochs —
+so the benchmark can assert the qualitative claim (BN layers shift much more
+than conv layers early in training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..nn import BatchNorm2d, Conv2d, Module
+
+__all__ = [
+    "ParameterSnapshot",
+    "DistributionRecorder",
+    "histogram_summary",
+    "bn_shift_magnitude",
+    "default_tracked_parameters",
+]
+
+
+def histogram_summary(values: np.ndarray, bins: int = 50) -> dict:
+    """Histogram plus scalar summaries of a weight tensor.
+
+    Returns the bin edges/counts together with mean, standard deviation, and
+    the log2-domain center used by the scaling factor of Eq. (2).
+    """
+    flat = np.asarray(values, dtype=np.float64).ravel()
+    finite = flat[np.isfinite(flat)]
+    counts, edges = np.histogram(finite, bins=bins)
+    nonzero = np.abs(finite[finite != 0])
+    log_center = float(np.mean(np.log2(nonzero))) if nonzero.size else 0.0
+    return {
+        "counts": counts,
+        "edges": edges,
+        "mean": float(finite.mean()) if finite.size else 0.0,
+        "std": float(finite.std()) if finite.size else 0.0,
+        "min": float(finite.min()) if finite.size else 0.0,
+        "max": float(finite.max()) if finite.size else 0.0,
+        "log2_center": log_center,
+    }
+
+
+@dataclass
+class ParameterSnapshot:
+    """Per-epoch summaries of one tracked parameter."""
+
+    name: str
+    epochs: list[int] = field(default_factory=list)
+    means: list[float] = field(default_factory=list)
+    stds: list[float] = field(default_factory=list)
+    log2_centers: list[float] = field(default_factory=list)
+    histograms: list[dict] = field(default_factory=list)
+
+    def record(self, epoch: int, values: np.ndarray, keep_histogram: bool = True,
+               bins: int = 50) -> None:
+        """Append one epoch's summary of ``values``."""
+        summary = histogram_summary(values, bins=bins)
+        self.epochs.append(epoch)
+        self.means.append(summary["mean"])
+        self.stds.append(summary["std"])
+        self.log2_centers.append(summary["log2_center"])
+        if keep_histogram:
+            self.histograms.append(summary)
+
+    @property
+    def std_trajectory(self) -> np.ndarray:
+        """Standard deviation per recorded epoch."""
+        return np.array(self.stds)
+
+    @property
+    def mean_trajectory(self) -> np.ndarray:
+        """Mean per recorded epoch."""
+        return np.array(self.means)
+
+    def total_shift(self) -> float:
+        """How far the distribution moved over training.
+
+        Measured as the change in (mean, std) between the first and last
+        recorded epoch, normalized by the final std — the quantity that is
+        visibly large for BN layers and small for CONV layers in Fig. 2.
+        """
+        if len(self.means) < 2:
+            return 0.0
+        scale = abs(self.stds[-1]) + 1e-12
+        return (abs(self.means[-1] - self.means[0]) + abs(self.stds[-1] - self.stds[0])) / scale
+
+
+def default_tracked_parameters(model: Module) -> list[str]:
+    """Pick the Fig. 2 style parameters to track: first conv and first BN weight."""
+    first_conv = None
+    first_bn = None
+    for name, module in model.named_modules():
+        if first_conv is None and isinstance(module, Conv2d):
+            first_conv = f"{name}.weight" if name else "weight"
+        if first_bn is None and isinstance(module, BatchNorm2d):
+            first_bn = f"{name}.weight" if name else "weight"
+        if first_conv and first_bn:
+            break
+    return [p for p in (first_conv, first_bn) if p is not None]
+
+
+class DistributionRecorder:
+    """Epoch callback recording weight distributions of selected parameters.
+
+    Parameters
+    ----------
+    parameter_names:
+        Qualified parameter names to track (as produced by
+        ``model.named_parameters()``).  Defaults to the first conv weight and
+        the first BN weight, the two panels of Fig. 2.
+    keep_histograms:
+        Whether to keep full histograms (True) or only scalar summaries.
+    bins:
+        Histogram bin count.
+    """
+
+    def __init__(self, parameter_names: Optional[list[str]] = None,
+                 keep_histograms: bool = True, bins: int = 50):
+        self.parameter_names = parameter_names
+        self.keep_histograms = keep_histograms
+        self.bins = bins
+        self.snapshots: dict[str, ParameterSnapshot] = {}
+
+    def __call__(self, trainer, epoch: int, record) -> None:
+        """Record the tracked parameters of ``trainer.model`` for this epoch."""
+        self.record_model(trainer.model, epoch)
+
+    def record_model(self, model: Module, epoch: int) -> None:
+        """Snapshot the tracked parameters of ``model`` at ``epoch``."""
+        names = self.parameter_names or default_tracked_parameters(model)
+        params = dict(model.named_parameters())
+        for name in names:
+            if name not in params:
+                raise KeyError(f"parameter {name!r} not found in model")
+            snapshot = self.snapshots.setdefault(name, ParameterSnapshot(name))
+            snapshot.record(epoch, params[name].data,
+                            keep_histogram=self.keep_histograms, bins=self.bins)
+
+    def report(self) -> list[dict]:
+        """One row per tracked parameter with its shift magnitude."""
+        return [
+            {
+                "parameter": name,
+                "epochs_recorded": len(snapshot.epochs),
+                "initial_std": snapshot.stds[0] if snapshot.stds else 0.0,
+                "final_std": snapshot.stds[-1] if snapshot.stds else 0.0,
+                "total_shift": snapshot.total_shift(),
+                "final_log2_center": snapshot.log2_centers[-1] if snapshot.log2_centers else 0.0,
+            }
+            for name, snapshot in self.snapshots.items()
+        ]
+
+
+def bn_shift_magnitude(recorder: DistributionRecorder) -> dict[str, float]:
+    """Shift magnitude per tracked parameter (the Fig. 2 qualitative claim)."""
+    return {name: snap.total_shift() for name, snap in recorder.snapshots.items()}

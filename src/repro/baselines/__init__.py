@@ -1,0 +1,14 @@
+"""Baseline quantized-training schemes the paper positions posit against."""
+
+from .fixedpoint import FixedPointFormat, FixedPointQuantizer, fixed_point_quantize
+from .lowbit_float import fixed_point_policy, fp8_policy, fp16_policy, make_loss_scaler
+
+__all__ = [
+    "FixedPointFormat",
+    "FixedPointQuantizer",
+    "fixed_point_quantize",
+    "fp16_policy",
+    "fp8_policy",
+    "fixed_point_policy",
+    "make_loss_scaler",
+]

@@ -1,0 +1,82 @@
+"""Reduced-precision floating-point training baselines ([9], [10]).
+
+Builds the quantization policies corresponding to the mixed-precision float
+recipes the paper compares against conceptually:
+
+* **FP16 mixed precision** (Micikevicius et al. [9]): FP16 for forward and
+  backward tensors, FP32 master weights/updates, optional loss scaling.
+* **FP8 training** (Wang et al. [10]): FP8 for the computation tensors and
+  FP16 for the backward/update path.
+
+These are expressed as :class:`~repro.core.policy.QuantizationPolicy`
+instances so that the exact same trainer runs them, and a convenience
+builder pairs them with a :class:`~repro.nn.loss.LossScaler`.
+"""
+
+from __future__ import annotations
+
+from ..core.policy import QuantizationPolicy, RoleFormats
+from ..nn import LossScaler
+from ..posit import FP8_E4M3, FP8_E5M2, FP16, FloatFormat
+from .fixedpoint import FixedPointFormat
+
+__all__ = [
+    "fp16_policy",
+    "fp8_policy",
+    "fixed_point_policy",
+    "make_loss_scaler",
+]
+
+
+def fp16_policy(keep_master_weights: bool = True, **overrides) -> QuantizationPolicy:
+    """FP16 mixed-precision policy in the style of [9].
+
+    With ``keep_master_weights=True`` the stored weights and the weight
+    gradients stay in FP32 (quantization only applies to the forward
+    activations and the backward errors), which is the master-copy scheme of
+    the original mixed-precision recipe.
+    """
+    if keep_master_weights:
+        formats = RoleFormats(weight=FP16, activation=FP16, error=FP16, weight_grad=None)
+    else:
+        formats = RoleFormats(weight=FP16, activation=FP16, error=FP16, weight_grad=FP16)
+    overrides.setdefault("use_scaling", False)
+    return QuantizationPolicy(conv_formats=formats, bn_formats=formats,
+                              linear_formats=formats, **overrides)
+
+
+def fp8_policy(forward_format: FloatFormat = FP8_E4M3,
+               backward_format: FloatFormat = FP8_E5M2, **overrides) -> QuantizationPolicy:
+    """FP8 training policy in the style of [10]: FP8 compute, FP16 update path."""
+    formats = RoleFormats(
+        weight=forward_format,
+        activation=forward_format,
+        error=backward_format,
+        weight_grad=FP16,
+    )
+    overrides.setdefault("use_scaling", False)
+    return QuantizationPolicy(conv_formats=formats, bn_formats=formats,
+                              linear_formats=formats, **overrides)
+
+
+def fixed_point_policy(integer_bits: int = 2, fraction_bits: int = 13,
+                       **overrides) -> QuantizationPolicy:
+    """Fixed-point policy in the style of [7] (default Q2.13, a 16-bit word)."""
+    fmt = FixedPointFormat(integer_bits, fraction_bits)
+    formats = RoleFormats(weight=fmt, activation=fmt, error=fmt, weight_grad=fmt)
+    overrides.setdefault("use_scaling", False)
+    overrides.setdefault("rounding", "stochastic")
+    return QuantizationPolicy(conv_formats=formats, bn_formats=formats,
+                              linear_formats=formats, **overrides)
+
+
+def make_loss_scaler(policy: QuantizationPolicy, scale: float = 1024.0,
+                     dynamic: bool = True) -> LossScaler:
+    """Build the loss scaler that the float baselines train with.
+
+    Posit policies do not need one (the tapered-precision format covers the
+    gradient range), so callers typically pass the result only to baseline
+    trainer constructions.
+    """
+    del policy  # the scaler is format-independent; parameter kept for symmetry
+    return LossScaler(scale=scale, dynamic=dynamic)

@@ -1,0 +1,290 @@
+"""Quantization policies: which format goes where (§III-B "Adjust Dynamic Range").
+
+A :class:`QuantizationPolicy` decides, for every layer and every tensor role
+(weights, activations, errors, weight gradients), which number format to use
+and whether distribution-based shifting is applied.  The paper's concrete
+choices are provided as factory methods:
+
+* :meth:`QuantizationPolicy.cifar_paper` — Table III footnote 1:
+  posit(8,1) for CONV forward/update, posit(8,2) for CONV backward,
+  posit(16,1)/(16,2) for BN layers.
+* :meth:`QuantizationPolicy.imagenet_paper` — Table III footnote 2:
+  posit(16,1) for forward/update and posit(16,2) for backward, everywhere.
+* :meth:`QuantizationPolicy.uniform` — the same ``(n, es_forward)`` /
+  ``(n, es_backward)`` pair for every layer, used by the es-selection and
+  word-size sweeps.
+* :meth:`QuantizationPolicy.float_baseline` — FP16/FP8 fake quantization for
+  the mixed-precision float baselines ([9], [10]).
+
+The paper's qualitative criterion for choosing ``es`` — gradients/errors have
+wider dynamic range than weights/activations, so they get ``es = 2`` while
+the forward tensors get ``es = 1`` — is what the default policies encode;
+:mod:`repro.core.range_analysis` measures the ranges that justify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..nn import BatchNorm2d, Conv2d, Linear, Module
+from ..posit import FloatFormat, FloatQuantizer, PositConfig, PositQuantizer
+from .scaling import ScaleEstimator
+from .transform import LayerQuantContext, Quantizer
+
+__all__ = ["Format", "RoleFormats", "QuantizationPolicy"]
+
+#: A tensor format: a posit configuration, a float format, or ``None`` (FP32).
+Format = Union[PositConfig, FloatFormat, None]
+
+
+@dataclass(frozen=True)
+class RoleFormats:
+    """Number formats for the four tensor roles of one layer."""
+
+    weight: Format = None
+    activation: Format = None
+    error: Format = None
+    weight_grad: Format = None
+
+    @classmethod
+    def posit(cls, forward: PositConfig, backward: PositConfig) -> "RoleFormats":
+        """Forward roles (weights/activations/ΔW-update) vs backward roles (errors/ΔW).
+
+        Following Fig. 3 and the Table III footnotes, the *weight gradient* is
+        produced by the backward pass and therefore uses the backward format,
+        while the stored weights and activations use the forward format.
+        """
+        return cls(weight=forward, activation=forward, error=backward, weight_grad=backward)
+
+    @classmethod
+    def full_precision(cls) -> "RoleFormats":
+        """All roles stay in FP32."""
+        return cls()
+
+    def as_dict(self) -> dict:
+        """Role-to-format mapping with human-readable format names."""
+        def _name(fmt: Format) -> str:
+            return "fp32" if fmt is None else str(fmt)
+
+        return {
+            "weight": _name(self.weight),
+            "activation": _name(self.activation),
+            "error": _name(self.error),
+            "weight_grad": _name(self.weight_grad),
+        }
+
+
+def _make_quantizer(fmt: Format, rounding: str,
+                    rng: Optional[np.random.Generator]) -> Optional[Quantizer]:
+    """Instantiate the appropriate quantizer for a format descriptor."""
+    if fmt is None:
+        return None
+    if isinstance(fmt, PositConfig):
+        return PositQuantizer(fmt, rounding=rounding, rng=rng)
+    if isinstance(fmt, FloatFormat):
+        float_rounding = "stochastic" if rounding == "stochastic" else "nearest"
+        return FloatQuantizer(fmt, rounding=float_rounding, rng=rng)
+    if hasattr(fmt, "make_quantizer"):
+        # Extension hook for baseline formats (e.g. fixed point).
+        return fmt.make_quantizer(rounding=rounding, rng=rng)
+    raise TypeError(f"unsupported format descriptor: {fmt!r}")
+
+
+class QuantizationPolicy:
+    """Maps model layers to per-layer quantization contexts.
+
+    Parameters
+    ----------
+    conv_formats, bn_formats, linear_formats:
+        Role formats for convolution, batch-norm, and fully-connected layers.
+        ``linear_formats`` defaults to ``conv_formats`` (the paper does not
+        single out the classifier head).
+    rounding:
+        Rounding mode for the posit transformation; the paper uses
+        round-to-zero (``"zero"``) for hardware friendliness.
+    use_scaling:
+        Whether distribution-based shifting (Eq. (2)/(3)) is applied.
+    sigma:
+        The σ constant of Eq. (2).
+    scale_mode:
+        ``"dynamic"`` or ``"calibrated"`` (see :class:`~repro.core.scaling.ScaleEstimator`).
+    first_layer_full_precision, last_layer_full_precision:
+        Common quantized-training practice keeps the first conv and the final
+        classifier in full precision; both default to False because the paper
+        quantizes everything, but the ablation benchmarks exercise them.
+    seed:
+        Seed for stochastic rounding, if selected.
+    """
+
+    def __init__(
+        self,
+        conv_formats: RoleFormats,
+        bn_formats: Optional[RoleFormats] = None,
+        linear_formats: Optional[RoleFormats] = None,
+        rounding: str = "zero",
+        use_scaling: bool = True,
+        sigma: int = 2,
+        scale_mode: str = "dynamic",
+        first_layer_full_precision: bool = False,
+        last_layer_full_precision: bool = False,
+        seed: Optional[int] = None,
+    ):
+        self.conv_formats = conv_formats
+        self.bn_formats = bn_formats if bn_formats is not None else conv_formats
+        self.linear_formats = linear_formats if linear_formats is not None else conv_formats
+        self.rounding = rounding
+        self.use_scaling = use_scaling
+        self.sigma = sigma
+        self.scale_mode = scale_mode
+        self.first_layer_full_precision = first_layer_full_precision
+        self.last_layer_full_precision = last_layer_full_precision
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Paper presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def cifar_paper(cls, **overrides) -> "QuantizationPolicy":
+        """Table III footnote 1: 8-bit posit for CONV, 16-bit posit for BN."""
+        return cls(
+            conv_formats=RoleFormats.posit(PositConfig(8, 1), PositConfig(8, 2)),
+            bn_formats=RoleFormats.posit(PositConfig(16, 1), PositConfig(16, 2)),
+            linear_formats=RoleFormats.posit(PositConfig(8, 1), PositConfig(8, 2)),
+            **overrides,
+        )
+
+    @classmethod
+    def imagenet_paper(cls, **overrides) -> "QuantizationPolicy":
+        """Table III footnote 2: posit(16,1) forward/update, posit(16,2) backward."""
+        formats = RoleFormats.posit(PositConfig(16, 1), PositConfig(16, 2))
+        return cls(conv_formats=formats, bn_formats=formats, linear_formats=formats, **overrides)
+
+    @classmethod
+    def uniform(cls, n: int, es_forward: int = 1, es_backward: int = 2,
+                **overrides) -> "QuantizationPolicy":
+        """The same ``(n, es)`` assignment for every layer type."""
+        formats = RoleFormats.posit(PositConfig(n, es_forward), PositConfig(n, es_backward))
+        return cls(conv_formats=formats, bn_formats=formats, linear_formats=formats, **overrides)
+
+    @classmethod
+    def float_baseline(cls, forward_format: FloatFormat, backward_format: FloatFormat,
+                       **overrides) -> "QuantizationPolicy":
+        """Reduced-precision float baseline (FP16/FP8 mixed precision)."""
+        formats = RoleFormats(
+            weight=forward_format,
+            activation=forward_format,
+            error=backward_format,
+            weight_grad=backward_format,
+        )
+        return cls(conv_formats=formats, bn_formats=formats, linear_formats=formats, **overrides)
+
+    @classmethod
+    def full_precision(cls, **overrides) -> "QuantizationPolicy":
+        """No quantization anywhere (FP32 baseline expressed as a policy)."""
+        return cls(conv_formats=RoleFormats.full_precision(), **overrides)
+
+    # ------------------------------------------------------------------ #
+    def formats_for(self, module: Module) -> Optional[RoleFormats]:
+        """Return the role formats for ``module``, or None for unhandled types."""
+        if isinstance(module, Conv2d):
+            return self.conv_formats
+        if isinstance(module, BatchNorm2d):
+            return self.bn_formats
+        if isinstance(module, Linear):
+            return self.linear_formats
+        return None
+
+    def _make_scaler(self) -> Optional[ScaleEstimator]:
+        if not self.use_scaling:
+            return None
+        return ScaleEstimator(sigma=self.sigma, mode=self.scale_mode)
+
+    def build_context(self, name: str, module: Module,
+                      formats: RoleFormats) -> LayerQuantContext:
+        """Build a :class:`LayerQuantContext` for one layer."""
+        rng = np.random.default_rng(self.seed) if self.seed is not None else None
+        return LayerQuantContext(
+            name=name,
+            weight_quantizer=_make_quantizer(formats.weight, self.rounding, rng),
+            activation_quantizer=_make_quantizer(formats.activation, self.rounding, rng),
+            error_quantizer=_make_quantizer(formats.error, self.rounding, rng),
+            weight_grad_quantizer=_make_quantizer(formats.weight_grad, self.rounding, rng),
+            weight_scaler=self._make_scaler() if formats.weight is not None else None,
+            activation_scaler=self._make_scaler() if formats.activation is not None else None,
+            error_scaler=self._make_scaler() if formats.error is not None else None,
+            weight_grad_scaler=self._make_scaler() if formats.weight_grad is not None else None,
+        )
+
+    def attach(self, model: Module) -> dict[str, LayerQuantContext]:
+        """Attach quantization contexts to every supported layer of ``model``.
+
+        Returns the mapping from qualified layer name to context.  Layers the
+        policy does not cover keep ``module.quant = None`` and therefore run
+        in full precision.
+        """
+        quantizable = [
+            (name, module)
+            for name, module in model.named_modules()
+            if self.formats_for(module) is not None
+        ]
+        contexts: dict[str, LayerQuantContext] = {}
+        for index, (name, module) in enumerate(quantizable):
+            formats = self.formats_for(module)
+            if self.first_layer_full_precision and index == 0:
+                formats = RoleFormats.full_precision()
+            if self.last_layer_full_precision and index == len(quantizable) - 1:
+                formats = RoleFormats.full_precision()
+            context = self.build_context(name, module, formats)
+            module.quant = context
+            contexts[name] = context
+        return contexts
+
+    @staticmethod
+    def detach(model: Module) -> None:
+        """Remove all quantization contexts from ``model`` (back to FP32)."""
+        for _, module in model.named_modules():
+            module.quant = None
+
+    @staticmethod
+    def set_enabled(model: Module, enabled: bool) -> None:
+        """Enable or disable all attached contexts without removing them."""
+        for _, module in model.named_modules():
+            if module.quant is not None:
+                module.quant.enabled = enabled
+
+    def describe(self) -> dict:
+        """Summarize the policy's format assignments and options."""
+        return {
+            "conv": self.conv_formats.as_dict(),
+            "bn": self.bn_formats.as_dict(),
+            "linear": self.linear_formats.as_dict(),
+            "rounding": self.rounding,
+            "use_scaling": self.use_scaling,
+            "sigma": self.sigma,
+            "scale_mode": self.scale_mode,
+            "first_layer_full_precision": self.first_layer_full_precision,
+            "last_layer_full_precision": self.last_layer_full_precision,
+        }
+
+    def with_overrides(self, **changes) -> "QuantizationPolicy":
+        """Return a copy of the policy with the given attributes replaced."""
+        current = {
+            "conv_formats": self.conv_formats,
+            "bn_formats": self.bn_formats,
+            "linear_formats": self.linear_formats,
+            "rounding": self.rounding,
+            "use_scaling": self.use_scaling,
+            "sigma": self.sigma,
+            "scale_mode": self.scale_mode,
+            "first_layer_full_precision": self.first_layer_full_precision,
+            "last_layer_full_precision": self.last_layer_full_precision,
+            "seed": self.seed,
+        }
+        current.update(changes)
+        return QuantizationPolicy(**current)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuantizationPolicy(conv={self.conv_formats.as_dict()}, bn={self.bn_formats.as_dict()})"

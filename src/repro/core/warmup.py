@@ -1,0 +1,54 @@
+"""Warm-up training controller (§III-B "Warm-up Training").
+
+The paper observes (Fig. 2) that BatchNorm weight distributions shift sharply
+during the first epochs because of their all-ones initialization, making the
+model highly sensitive to precision early in training.  The fix is to run the
+first 1-5 epochs entirely in FP32 ("warm-up"), then switch the quantization
+contexts on and, optionally, calibrate the layer-wise scale factors from the
+warm-up model before the posit phase starts.
+
+:class:`WarmupSchedule` is a tiny state machine the trainer consults at every
+epoch boundary; it reports whether quantization should be active and whether
+this is the transition epoch at which calibration should run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WarmupSchedule"]
+
+
+@dataclass
+class WarmupSchedule:
+    """Decides, per epoch, whether the model trains in FP32 or in posit.
+
+    Parameters
+    ----------
+    warmup_epochs:
+        Number of initial epochs trained in full precision.  The paper uses 1
+        for Cifar-10 and 5 for ImageNet; 0 disables the warm-up entirely (the
+        ablation case).
+    """
+
+    warmup_epochs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warmup_epochs < 0:
+            raise ValueError(f"warmup_epochs must be non-negative, got {self.warmup_epochs}")
+
+    def in_warmup(self, epoch: int) -> bool:
+        """Whether ``epoch`` (0-based) is still part of the FP32 warm-up phase."""
+        return epoch < self.warmup_epochs
+
+    def quantization_enabled(self, epoch: int) -> bool:
+        """Whether quantization contexts should be active during ``epoch``."""
+        return not self.in_warmup(epoch)
+
+    def is_transition(self, epoch: int) -> bool:
+        """Whether ``epoch`` is the first quantized epoch (calibration point)."""
+        return epoch == self.warmup_epochs
+
+    def describe(self) -> dict:
+        """Return the schedule parameters as a dictionary."""
+        return {"warmup_epochs": self.warmup_epochs}

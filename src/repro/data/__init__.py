@@ -1,0 +1,22 @@
+"""Synthetic datasets and mini-batch loaders (offline stand-ins for Cifar-10/ImageNet)."""
+
+from .loaders import ArrayDataLoader, normalize_images, test_loader, train_loader
+from .synthetic import (
+    SyntheticImageDataset,
+    cifar_like,
+    imagenet_like,
+    make_blobs,
+    make_spirals,
+)
+
+__all__ = [
+    "SyntheticImageDataset",
+    "cifar_like",
+    "imagenet_like",
+    "make_spirals",
+    "make_blobs",
+    "ArrayDataLoader",
+    "train_loader",
+    "test_loader",
+    "normalize_images",
+]

@@ -1,0 +1,116 @@
+"""Mini-batch iteration over in-memory datasets.
+
+A small ``DataLoader`` replacement: shuffles indices each epoch with its own
+random generator (so results are reproducible given a seed), yields
+``(images, labels)`` NumPy batches, and optionally applies a normalization
+transform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from .synthetic import SyntheticImageDataset
+
+__all__ = ["ArrayDataLoader", "train_loader", "test_loader", "normalize_images"]
+
+BatchTransform = Callable[[np.ndarray], np.ndarray]
+
+
+def normalize_images(images: np.ndarray) -> np.ndarray:
+    """Standardize a batch of images to zero mean and unit variance per channel."""
+    mean = images.mean(axis=(0, 2, 3), keepdims=True)
+    std = images.std(axis=(0, 2, 3), keepdims=True)
+    return (images - mean) / (std + 1e-8)
+
+
+class ArrayDataLoader:
+    """Iterate over ``(inputs, labels)`` arrays in shuffled mini-batches.
+
+    Parameters
+    ----------
+    inputs, labels:
+        Full dataset arrays; the first dimension is the sample dimension.
+    batch_size:
+        Mini-batch size.  The last batch may be smaller unless
+        ``drop_last=True``.
+    shuffle:
+        Whether to reshuffle at the start of each epoch.
+    seed:
+        Seed for the loader's private generator.
+    transform:
+        Optional function applied to each input batch (e.g. normalization).
+    drop_last:
+        Whether to drop a trailing partial batch.
+    """
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray, batch_size: int = 64,
+                 shuffle: bool = True, seed: int = 0,
+                 transform: Optional[BatchTransform] = None,
+                 drop_last: bool = False):
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if len(inputs) != len(labels):
+            raise ValueError(
+                f"inputs and labels disagree on sample count: {len(inputs)} vs {len(labels)}"
+            )
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.inputs = inputs
+        self.labels = labels
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.inputs), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    @property
+    def num_samples(self) -> int:
+        """Total number of samples in the underlying arrays."""
+        return len(self.inputs)
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.inputs))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            index = order[start:start + self.batch_size]
+            if self.drop_last and len(index) < self.batch_size:
+                break
+            batch = self.inputs[index]
+            if self.transform is not None:
+                batch = self.transform(batch)
+            yield batch, self.labels[index]
+
+
+def train_loader(dataset: SyntheticImageDataset, batch_size: int = 64, seed: int = 0,
+                 normalize: bool = True) -> ArrayDataLoader:
+    """Build a shuffled loader over the training split of a synthetic dataset."""
+    return ArrayDataLoader(
+        dataset.train_images,
+        dataset.train_labels,
+        batch_size=batch_size,
+        shuffle=True,
+        seed=seed,
+        transform=normalize_images if normalize else None,
+    )
+
+
+def test_loader(dataset: SyntheticImageDataset, batch_size: int = 128,
+                normalize: bool = True) -> ArrayDataLoader:
+    """Build a non-shuffled loader over the test split of a synthetic dataset."""
+    return ArrayDataLoader(
+        dataset.test_images,
+        dataset.test_labels,
+        batch_size=batch_size,
+        shuffle=False,
+        transform=normalize_images if normalize else None,
+    )

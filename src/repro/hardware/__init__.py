@@ -1,0 +1,101 @@
+"""Hardware architecture models: posit codecs, MAC units, synthesis, energy.
+
+Functional + gate-level cost models of the designs in §IV of the paper
+(Figs. 4-6), the analytical synthesis used to regenerate Tables IV and V, and
+the system-level memory/energy accounting behind the §V communication-saving
+claim.
+"""
+
+from .accelerator import (
+    AcceleratorConfig,
+    LayerWorkload,
+    accelerator_comparison,
+    count_training_macs,
+    training_step_report,
+)
+from .components import (
+    ComponentCost,
+    absolute_value,
+    adder,
+    barrel_shifter,
+    comparator,
+    incrementer,
+    inverter_row,
+    lod,
+    lzd,
+    multiplier,
+    mux2,
+    register,
+    subtractor,
+    wire,
+    xor_row,
+)
+from .decoder import DecodedPosit, PositDecoder
+from .encoder import PositEncoder
+from .energy import (
+    MemoryCosts,
+    TrafficReport,
+    communication_saving,
+    format_bits,
+    model_size_bytes,
+    training_step_traffic,
+)
+from .fpmac import FP32_SPEC, FPFormatSpec, FPMac, internal_format_for_posit
+from .gates import GENERIC_28NM, GateLibrary
+from .mac import FP32MAC, PositMAC
+from .synthesis import (
+    Calibration,
+    SynthesisResult,
+    calibrate_to_reference,
+    codec_optimization_report,
+    synthesize,
+    table4_report,
+    table5_report,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "LayerWorkload",
+    "count_training_macs",
+    "training_step_report",
+    "accelerator_comparison",
+    "GateLibrary",
+    "GENERIC_28NM",
+    "ComponentCost",
+    "lzd",
+    "lod",
+    "barrel_shifter",
+    "adder",
+    "incrementer",
+    "subtractor",
+    "absolute_value",
+    "comparator",
+    "multiplier",
+    "mux2",
+    "register",
+    "wire",
+    "xor_row",
+    "inverter_row",
+    "PositDecoder",
+    "DecodedPosit",
+    "PositEncoder",
+    "FPMac",
+    "FPFormatSpec",
+    "FP32_SPEC",
+    "internal_format_for_posit",
+    "PositMAC",
+    "FP32MAC",
+    "Calibration",
+    "SynthesisResult",
+    "synthesize",
+    "calibrate_to_reference",
+    "table4_report",
+    "table5_report",
+    "codec_optimization_report",
+    "MemoryCosts",
+    "TrafficReport",
+    "model_size_bytes",
+    "training_step_traffic",
+    "communication_saving",
+    "format_bits",
+]

@@ -1,0 +1,193 @@
+"""Structural hardware primitives and their gate-level cost estimates.
+
+Each function returns a :class:`ComponentCost` describing one primitive in
+technology-independent units (gate equivalents for area, logic levels for
+delay).  Costs compose with :meth:`ComponentCost.serial` (delays add, areas
+add) and :meth:`ComponentCost.parallel` (delays max, areas add), which is how
+the decoder/encoder/MAC models in the sibling modules describe their
+datapaths.
+
+The estimates follow standard textbook structures:
+
+* a leading-zero/one detector over ``w`` bits is a binary reduction tree —
+  area linear in ``w``, delay logarithmic;
+* a barrel shifter is ``log2(w)`` mux stages over the full width;
+* adders are modelled as fast (Kogge-Stone-like) structures with
+  logarithmic depth;
+* multipliers are partial-product arrays with a Wallace-style reduction
+  (area quadratic in operand width, delay logarithmic).
+
+Absolute numbers are approximations; the comparisons the paper makes
+(original vs optimized codec, posit MAC vs FP32 MAC) depend on the relative
+structure, which these estimates capture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "ComponentCost",
+    "wire",
+    "inverter_row",
+    "mux2",
+    "lzd",
+    "lod",
+    "barrel_shifter",
+    "adder",
+    "incrementer",
+    "subtractor",
+    "absolute_value",
+    "comparator",
+    "multiplier",
+    "register",
+    "xor_row",
+]
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Cost of one hardware component.
+
+    Attributes
+    ----------
+    name:
+        Label used in synthesis reports.
+    area_ge:
+        Area in NAND2 gate equivalents.
+    delay_levels:
+        Critical-path depth in NAND2-equivalent logic levels.
+    """
+
+    name: str
+    area_ge: float
+    delay_levels: float
+
+    def serial(self, other: "ComponentCost", name: str | None = None) -> "ComponentCost":
+        """Compose two components in series: areas add, delays add."""
+        return ComponentCost(
+            name=name or f"{self.name}+{other.name}",
+            area_ge=self.area_ge + other.area_ge,
+            delay_levels=self.delay_levels + other.delay_levels,
+        )
+
+    def parallel(self, other: "ComponentCost", name: str | None = None) -> "ComponentCost":
+        """Compose two components in parallel: areas add, delay is the maximum."""
+        return ComponentCost(
+            name=name or f"{self.name}|{other.name}",
+            area_ge=self.area_ge + other.area_ge,
+            delay_levels=max(self.delay_levels, other.delay_levels),
+        )
+
+    def scaled(self, area_factor: float = 1.0, delay_factor: float = 1.0,
+               name: str | None = None) -> "ComponentCost":
+        """Return a copy with area and/or delay scaled."""
+        return ComponentCost(
+            name=name or self.name,
+            area_ge=self.area_ge * area_factor,
+            delay_levels=self.delay_levels * delay_factor,
+        )
+
+    @staticmethod
+    def zero(name: str = "zero") -> "ComponentCost":
+        """A free component (used as the identity for folds)."""
+        return ComponentCost(name=name, area_ge=0.0, delay_levels=0.0)
+
+
+def _log2ceil(value: int) -> int:
+    return max(1, math.ceil(math.log2(max(value, 2))))
+
+
+def wire(name: str = "wire") -> ComponentCost:
+    """Pure wiring / constant shift: no gates, no delay."""
+    return ComponentCost(name, 0.0, 0.0)
+
+
+def inverter_row(width: int) -> ComponentCost:
+    """A row of inverters over ``width`` bits."""
+    return ComponentCost(f"inv[{width}]", 0.6 * width, 0.5)
+
+
+def xor_row(width: int) -> ComponentCost:
+    """A row of 2-input XOR gates over ``width`` bits."""
+    return ComponentCost(f"xor[{width}]", 2.0 * width, 1.5)
+
+
+def mux2(width: int) -> ComponentCost:
+    """A 2:1 multiplexer over ``width`` bits."""
+    return ComponentCost(f"mux2[{width}]", 1.8 * width, 1.4)
+
+
+def lzd(width: int) -> ComponentCost:
+    """Leading-zero detector over ``width`` bits (binary reduction tree)."""
+    levels = _log2ceil(width)
+    return ComponentCost(f"lzd[{width}]", 1.6 * width, 1.6 * levels)
+
+
+def lod(width: int) -> ComponentCost:
+    """Leading-one detector over ``width`` bits (same structure as the LZD)."""
+    cost = lzd(width)
+    return ComponentCost(f"lod[{width}]", cost.area_ge, cost.delay_levels)
+
+
+def barrel_shifter(width: int, max_shift: int | None = None) -> ComponentCost:
+    """Logarithmic barrel shifter over ``width`` bits.
+
+    ``max_shift`` bounds the number of mux stages (defaults to a full shift
+    by up to ``width - 1``).
+    """
+    if max_shift is None:
+        max_shift = width - 1
+    stages = _log2ceil(max_shift + 1)
+    return ComponentCost(f"shift[{width}x{stages}]", 1.8 * width * stages, 1.4 * stages)
+
+
+def adder(width: int) -> ComponentCost:
+    """Fast (parallel-prefix) adder over ``width`` bits."""
+    levels = _log2ceil(width)
+    return ComponentCost(f"add[{width}]", 7.0 * width, 2.0 * levels + 2.0)
+
+
+def incrementer(width: int) -> ComponentCost:
+    """Add-one circuit over ``width`` bits (half-adder chain with fast carry)."""
+    levels = _log2ceil(width)
+    return ComponentCost(f"inc[{width}]", 2.5 * width, 1.5 * levels + 1.0)
+
+
+def subtractor(width: int) -> ComponentCost:
+    """Subtractor (adder plus an inverter row)."""
+    return adder(width).serial(inverter_row(width), name=f"sub[{width}]")
+
+
+def absolute_value(width: int) -> ComponentCost:
+    """Two's-complement absolute value: conditional invert + increment + mux."""
+    return (
+        inverter_row(width)
+        .serial(incrementer(width))
+        .serial(mux2(width))
+        .scaled(name=f"abs[{width}]")
+    )
+
+
+def comparator(width: int) -> ComponentCost:
+    """Magnitude comparator over ``width`` bits."""
+    levels = _log2ceil(width)
+    return ComponentCost(f"cmp[{width}]", 3.0 * width, 1.5 * levels + 1.0)
+
+
+def multiplier(width_a: int, width_b: int) -> ComponentCost:
+    """Array multiplier with Wallace-style reduction (``width_a`` x ``width_b``)."""
+    partial_products = width_a * width_b
+    reduction_levels = 1.5 * _log2ceil(min(width_a, width_b)) * 2.0
+    final_add = adder(width_a + width_b)
+    return ComponentCost(
+        f"mul[{width_a}x{width_b}]",
+        5.5 * partial_products + final_add.area_ge,
+        reduction_levels + final_add.delay_levels,
+    )
+
+
+def register(width: int) -> ComponentCost:
+    """Edge-triggered register over ``width`` bits (adds area, no combinational delay)."""
+    return ComponentCost(f"reg[{width}]", 4.5 * width, 0.0)

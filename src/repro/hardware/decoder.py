@@ -1,0 +1,155 @@
+"""Posit decoder architectures (Fig. 5): original and optimized.
+
+The decoder extracts the sign, the *effective exponent* (regime value
+combined with the exponent field), and the mantissa from a posit word so
+that the downstream FP MAC can operate on a float-like representation.
+
+Structure (Fig. 5a, the original design from Zhang et al. [6]):
+
+1. an LOD (negative regime) and an LZD (positive regime) run in parallel on
+   the word body to find the regime run length;
+2. the word is left-shifted by the regime width, which is ``r`` or ``r + 1``
+   depending on the regime sign — the ``+ 1`` *adder* sits before the left
+   shifter and is on the critical path;
+3. the regime value and the exponent field are packed into the effective
+   exponent.
+
+The optimization (Fig. 5b) removes the adder from the critical path by
+duplicating the left shifter: one copy shifts by ``r``, the other by ``r``
+followed by a constant ``<< 1``, and a mux selects between them.  The
+functional behaviour is identical; only the structural cost changes (a little
+more area, meaningfully less delay).
+
+Both variants share the same functional model (:meth:`PositDecoder.decode`),
+which is validated against the bit-exact reference in
+:mod:`repro.posit.scalar`; the difference is captured by :meth:`cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..posit import PositConfig
+from ..posit.scalar import decode_fields
+from .components import (
+    ComponentCost,
+    barrel_shifter,
+    incrementer,
+    lod,
+    lzd,
+    mux2,
+    wire,
+    xor_row,
+)
+
+__all__ = ["DecodedPosit", "PositDecoder"]
+
+
+@dataclass(frozen=True)
+class DecodedPosit:
+    """Output of the posit decoder: a sign/exponent/mantissa triple.
+
+    ``effective_exponent`` is ``k * 2**es + e`` (the paper's
+    ``effective_exp``); ``mantissa`` is the fraction in ``[0, 1)`` and
+    ``mantissa_bits`` the number of physical fraction bits it was read from.
+    ``is_zero`` / ``is_nar`` flag the two special patterns.
+    """
+
+    sign: int
+    effective_exponent: int
+    mantissa: float
+    mantissa_bits: int
+    is_zero: bool = False
+    is_nar: bool = False
+
+    @property
+    def value(self) -> float:
+        """Real value represented by the decoded fields."""
+        if self.is_zero:
+            return 0.0
+        if self.is_nar:
+            return float("nan")
+        magnitude = (2.0**self.effective_exponent) * (1.0 + self.mantissa)
+        return -magnitude if self.sign else magnitude
+
+
+class PositDecoder:
+    """Posit-to-float decoder with a structural cost model.
+
+    Parameters
+    ----------
+    config:
+        The posit format being decoded.
+    optimized:
+        ``False`` models the original architecture of [6] (Fig. 5a);
+        ``True`` models the paper's optimized architecture (Fig. 5b).
+    """
+
+    def __init__(self, config: PositConfig, optimized: bool = True):
+        self.config = config
+        self.optimized = optimized
+
+    # ------------------------------------------------------------------ #
+    # Functional model (identical for both variants)
+    # ------------------------------------------------------------------ #
+    def decode(self, bits: int) -> DecodedPosit:
+        """Decode a posit bit pattern into sign / effective exponent / mantissa."""
+        fields = decode_fields(bits, self.config)
+        if fields.is_zero:
+            return DecodedPosit(0, 0, 0.0, 0, is_zero=True)
+        if fields.is_nar:
+            return DecodedPosit(1, 0, 0.0, 0, is_nar=True)
+        effective = fields.regime * (1 << self.config.es) + fields.exponent
+        return DecodedPosit(
+            sign=fields.sign,
+            effective_exponent=effective,
+            mantissa=fields.fraction,
+            mantissa_bits=fields.fraction_width,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Structural cost model
+    # ------------------------------------------------------------------ #
+    def cost(self) -> ComponentCost:
+        """Gate-level cost of this decoder variant."""
+        n = self.config.n
+        body = n - 1
+
+        # Two's-complement of negative inputs before field extraction.
+        sign_handling = xor_row(body).serial(incrementer(body), name="2s-complement")
+
+        # Regime detection: LOD and LZD run in parallel, a mux picks one.
+        regime_detect = lod(body).parallel(lzd(body)).serial(mux2(self._regime_width_bits()))
+
+        shifter = barrel_shifter(body, max_shift=body)
+        if self.optimized:
+            # Fig. 5b: two shifters in parallel (shift by r and by r with a
+            # constant <<1 appended), mux afterwards.  The +1 incrementer is
+            # gone from the critical path.
+            shift_path = shifter.parallel(shifter.serial(wire("<<1"))).serial(mux2(body))
+        else:
+            # Fig. 5a: +1 adder feeds the single shifter.
+            shift_path = incrementer(self._regime_width_bits()).serial(shifter).serial(mux2(body))
+
+        # Packing regime and exponent field into the effective exponent.
+        packing = ComponentCost("exp-pack", area_ge=4.0 * self._exponent_width_bits(), delay_levels=2.0)
+
+        total = sign_handling.serial(regime_detect).serial(shift_path).serial(packing)
+        variant = "opt" if self.optimized else "orig"
+        return ComponentCost(f"posit-decoder-{variant}({self.config})", total.area_ge, total.delay_levels)
+
+    def _regime_width_bits(self) -> int:
+        """Bits needed to represent the regime run length."""
+        import math
+
+        return max(2, math.ceil(math.log2(self.config.n)) + 1)
+
+    def _exponent_width_bits(self) -> int:
+        """Bits of the effective exponent (regime scale + exponent field + sign)."""
+        import math
+
+        return self.config.es + max(1, math.ceil(math.log2(self.config.n))) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        variant = "optimized" if self.optimized else "original"
+        return f"PositDecoder({self.config}, {variant})"

@@ -1,0 +1,120 @@
+"""Posit encoder architectures (Fig. 6): original and optimized.
+
+The encoder converts a float-like triple (sign, effective exponent, mantissa)
+produced by the FP MAC back into a posit word.  Structure (Fig. 6a, from
+Zhang et al. [6]):
+
+1. take the absolute value of the effective exponent and split it into the
+   regime value ``r`` and the ``es`` low-order exponent bits;
+2. build a ``2n``-bit word REM from the regime sequence, the exponent bits,
+   and the mantissa;
+3. right-shift REM by the regime width (``r`` or ``r + 1``) — as in the
+   decoder, the ``+ 1`` adder sits on the critical path before the shifter.
+
+The optimization (Fig. 6b) mirrors the decoder's: the right shifter is
+duplicated (one copy followed by a constant ``>> 1``), the adder disappears
+from the critical path, and a mux selects the correct result.
+
+Functional behaviour is identical between the variants and is validated
+against the bit-exact reference encoder in :mod:`repro.posit.scalar`.
+"""
+
+from __future__ import annotations
+
+from ..posit import PositConfig
+from ..posit.scalar import encode as scalar_encode
+from .components import (
+    ComponentCost,
+    absolute_value,
+    barrel_shifter,
+    incrementer,
+    mux2,
+    wire,
+)
+from .decoder import DecodedPosit
+
+__all__ = ["PositEncoder"]
+
+
+class PositEncoder:
+    """Float-to-posit encoder with a structural cost model.
+
+    Parameters
+    ----------
+    config:
+        The posit format being produced.
+    optimized:
+        ``False`` models the original architecture of [6] (Fig. 6a);
+        ``True`` models the paper's optimized architecture (Fig. 6b).
+    """
+
+    def __init__(self, config: PositConfig, optimized: bool = True):
+        self.config = config
+        self.optimized = optimized
+
+    # ------------------------------------------------------------------ #
+    # Functional model (identical for both variants)
+    # ------------------------------------------------------------------ #
+    def encode(self, decoded: DecodedPosit, rounding: str = "zero") -> int:
+        """Encode a sign/exponent/mantissa triple into a posit bit pattern.
+
+        The encoder hardware receives a value that is already representable
+        in the internal float format; re-encoding truncates whatever does not
+        fit the posit word (round-to-zero), matching Algorithm 1.
+        """
+        if decoded.is_zero:
+            return 0
+        if decoded.is_nar:
+            return self.config.nar_pattern
+        return scalar_encode(decoded.value, self.config, rounding=rounding)
+
+    def encode_value(self, value: float, rounding: str = "zero") -> int:
+        """Encode a real value directly (convenience wrapper)."""
+        return scalar_encode(value, self.config, rounding=rounding)
+
+    # ------------------------------------------------------------------ #
+    # Structural cost model
+    # ------------------------------------------------------------------ #
+    def cost(self) -> ComponentCost:
+        """Gate-level cost of this encoder variant."""
+        n = self.config.n
+        rem_width = 2 * n  # the 2n-bit REM variable of the paper
+
+        exponent_width = self._exponent_width_bits()
+        # Absolute value of the effective exponent plus regime/exponent split.
+        exp_handling = absolute_value(exponent_width).serial(mux2(self.config.es or 1))
+
+        # REM construction is wiring plus a small amount of select logic.
+        rem_build = ComponentCost("rem-build", area_ge=2.0 * n, delay_levels=1.0)
+
+        shifter = barrel_shifter(rem_width, max_shift=n)
+        if self.optimized:
+            # Fig. 6b: duplicated right shifter, constant >>1 on one copy,
+            # mux afterwards; the +1 adder leaves the critical path.
+            shift_path = shifter.parallel(shifter.serial(wire(">>1"))).serial(mux2(n - 1))
+        else:
+            # Fig. 6a: +1 adder feeds the single right shifter.
+            shift_path = (
+                incrementer(self._regime_width_bits()).serial(shifter).serial(mux2(n - 1))
+            )
+
+        # Final sign handling / two's complement of the output word.
+        output_stage = ComponentCost("sign-out", area_ge=2.5 * n, delay_levels=1.5)
+
+        total = exp_handling.serial(rem_build).serial(shift_path).serial(output_stage)
+        variant = "opt" if self.optimized else "orig"
+        return ComponentCost(f"posit-encoder-{variant}({self.config})", total.area_ge, total.delay_levels)
+
+    def _regime_width_bits(self) -> int:
+        import math
+
+        return max(2, math.ceil(math.log2(self.config.n)) + 1)
+
+    def _exponent_width_bits(self) -> int:
+        import math
+
+        return self.config.es + max(1, math.ceil(math.log2(self.config.n))) + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        variant = "optimized" if self.optimized else "original"
+        return f"PositEncoder({self.config}, {variant})"

@@ -1,0 +1,143 @@
+"""Internal floating-point MAC unit model (the core of Fig. 4).
+
+The posit MAC of the paper (following Zhang et al. [6]) converts its posit
+operands to an internal float representation, performs a conventional
+floating-point multiply-accumulate, and converts the result back to posit.
+This module models that internal FP MAC — both functionally and structurally
+— for an arbitrary (exponent bits, mantissa bits) internal format, and
+provides the format sizing rule for a given posit configuration.
+
+The FP32 MAC baseline of Table V is the same structure instantiated with the
+IEEE single-precision field widths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..posit import PositConfig
+from .components import (
+    ComponentCost,
+    adder,
+    barrel_shifter,
+    lzd,
+    multiplier,
+    mux2,
+    xor_row,
+)
+
+__all__ = ["FPFormatSpec", "internal_format_for_posit", "FP32_SPEC", "FPMac"]
+
+
+@dataclass(frozen=True)
+class FPFormatSpec:
+    """Field widths of a floating-point datapath.
+
+    Attributes
+    ----------
+    exponent_bits:
+        Width of the exponent datapath.
+    mantissa_bits:
+        Width of the stored mantissa (excluding the hidden bit).
+    name:
+        Label used in reports.
+    """
+
+    exponent_bits: int
+    mantissa_bits: int
+    name: str = ""
+
+    @property
+    def significand_bits(self) -> int:
+        """Mantissa width including the hidden bit."""
+        return self.mantissa_bits + 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name or f"fp(e{self.exponent_bits}, m{self.mantissa_bits})"
+
+
+#: IEEE single precision, the baseline of Table V.
+FP32_SPEC = FPFormatSpec(exponent_bits=8, mantissa_bits=23, name="FP32")
+
+
+def internal_format_for_posit(config: PositConfig) -> FPFormatSpec:
+    """Size the internal float datapath needed to hold any decoded posit.
+
+    A decoded ``(n, es)`` posit has an effective exponent in
+    ``[-(n-2)*2**es, (n-2)*2**es]`` — requiring
+    ``ceil(log2((n-2)*2**es)) + 2`` exponent bits including sign and guard —
+    and at most ``n - es - 3`` fraction bits.
+    """
+    max_exp = config.max_exponent
+    exponent_bits = max(2, math.ceil(math.log2(max(max_exp, 1))) + 2)
+    mantissa_bits = max(1, config.n - config.es - 3)
+    return FPFormatSpec(exponent_bits=exponent_bits, mantissa_bits=mantissa_bits,
+                        name=f"internal({config})")
+
+
+class FPMac:
+    """Floating-point multiply-accumulate unit (functional + structural model).
+
+    The functional model computes ``a * b + c`` in double precision and then
+    truncates the result's mantissa to the datapath width, which captures the
+    only rounding the real unit would introduce.  The structural model
+    composes the standard FMA datapath: mantissa multiplier, exponent adder,
+    alignment shifter for the addend, wide significand adder, normalization
+    (LZD + shifter), and rounding increment.
+    """
+
+    def __init__(self, spec: FPFormatSpec):
+        self.spec = spec
+
+    # ------------------------------------------------------------------ #
+    # Functional model
+    # ------------------------------------------------------------------ #
+    def mac(self, a: float, b: float, c: float) -> float:
+        """Compute ``a * b + c`` with the datapath's mantissa precision."""
+        exact = a * b + c
+        return self._round_to_mantissa(exact)
+
+    def _round_to_mantissa(self, value: float) -> float:
+        if value == 0.0 or not math.isfinite(value):
+            return value
+        mantissa, exponent = math.frexp(value)  # |mantissa| in [0.5, 1)
+        scale = 2.0 ** (self.spec.mantissa_bits + 1)
+        mantissa = math.trunc(mantissa * scale) / scale  # truncate toward zero
+        return math.ldexp(mantissa, exponent)
+
+    # ------------------------------------------------------------------ #
+    # Structural cost model
+    # ------------------------------------------------------------------ #
+    def cost(self) -> ComponentCost:
+        """Gate-level cost of the FMA datapath."""
+        significand = self.spec.significand_bits
+        exponent = self.spec.exponent_bits
+        product_width = 2 * significand
+        accumulate_width = product_width + 2  # guard bits
+
+        mantissa_mult = multiplier(significand, significand)
+        exponent_add = adder(exponent)
+        sign_logic = xor_row(1)
+        # Multiplier, exponent adder and sign logic operate in parallel.
+        multiply_stage = mantissa_mult.parallel(exponent_add).parallel(sign_logic)
+
+        align_shifter = barrel_shifter(accumulate_width, max_shift=accumulate_width - 1)
+        significand_add = adder(accumulate_width)
+        normalize = lzd(accumulate_width).serial(
+            barrel_shifter(accumulate_width, max_shift=accumulate_width - 1)
+        )
+        rounding = adder(significand).serial(mux2(significand))
+        exponent_adjust = adder(exponent)
+
+        total = (
+            multiply_stage
+            .serial(align_shifter)
+            .serial(significand_add)
+            .serial(normalize)
+            .serial(rounding.parallel(exponent_adjust))
+        )
+        return ComponentCost(f"fp-mac({self.spec})", total.area_ge, total.delay_levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FPMac({self.spec})"

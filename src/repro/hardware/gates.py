@@ -1,0 +1,77 @@
+"""Gate-level cost constants for the analytical 28 nm synthesis model.
+
+The paper synthesizes its designs with Design Compiler under TSMC 28 nm and
+reports delay/power/area (Tables IV and V).  An ASIC flow is not available in
+this reproduction, so :mod:`repro.hardware` instead *models* each design as a
+tree of structural primitives (leading-zero detectors, barrel shifters,
+adders, multipliers, multiplexers) whose costs are expressed in
+technology-independent units:
+
+* area in **gate equivalents** (GE, NAND2-equivalent gates),
+* delay in **logic levels** (NAND2-equivalent delays),
+* dynamic power proportional to switched area and clock frequency.
+
+:class:`GateLibrary` maps those units to physical numbers for a generic 28 nm
+library.  The absolute constants are deliberately round figures; the
+benchmark harness additionally *calibrates* a global area/power scale against
+the paper's published FP32 MAC row (Table V) so that the remaining rows are
+structural predictions on the same scale — see
+:func:`repro.hardware.synthesis.calibrate_to_reference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GateLibrary", "GENERIC_28NM"]
+
+
+@dataclass(frozen=True)
+class GateLibrary:
+    """Physical constants of the modelled standard-cell library.
+
+    Attributes
+    ----------
+    name:
+        Human-readable library name.
+    gate_area_um2:
+        Area of one NAND2-equivalent gate in square micrometres.
+    gate_delay_ns:
+        Propagation delay of one NAND2-equivalent logic level in nanoseconds
+        (includes average local wire delay).
+    dynamic_power_mw_per_kge_ghz:
+        Dynamic power in milliwatts per 1000 gate equivalents switching at
+        1 GHz with the library's nominal activity factor.
+    leakage_mw_per_kge:
+        Static leakage power per 1000 gate equivalents.
+    """
+
+    name: str = "generic-28nm"
+    gate_area_um2: float = 0.49
+    gate_delay_ns: float = 0.018
+    dynamic_power_mw_per_kge_ghz: float = 0.30
+    leakage_mw_per_kge: float = 0.010
+
+    def area_um2(self, gate_equivalents: float) -> float:
+        """Convert a gate-equivalent count to area in µm²."""
+        return gate_equivalents * self.gate_area_um2
+
+    def delay_ns(self, logic_levels: float) -> float:
+        """Convert a logic-level count to delay in nanoseconds."""
+        return logic_levels * self.gate_delay_ns
+
+    def power_mw(self, gate_equivalents: float, clock_mhz: float,
+                 activity: float = 1.0) -> float:
+        """Total (dynamic + leakage) power in mW at the given clock.
+
+        ``activity`` scales the dynamic component relative to the library's
+        nominal switching activity.
+        """
+        kge = gate_equivalents / 1000.0
+        dynamic = self.dynamic_power_mw_per_kge_ghz * kge * (clock_mhz / 1000.0) * activity
+        leakage = self.leakage_mw_per_kge * kge
+        return dynamic + leakage
+
+
+#: Default library used throughout the hardware model.
+GENERIC_28NM = GateLibrary()

@@ -1,0 +1,23 @@
+"""Model zoo: ResNets (the paper's models) plus small reference models."""
+
+from .lenet import LeNet
+from .mlp import MLP
+from .resnet import (
+    BasicBlock,
+    ResNet,
+    cifar_resnet8,
+    cifar_resnet18,
+    resnet18,
+    tiny_resnet,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ResNet",
+    "cifar_resnet18",
+    "cifar_resnet8",
+    "resnet18",
+    "tiny_resnet",
+    "MLP",
+    "LeNet",
+]

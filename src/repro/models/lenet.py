@@ -1,0 +1,77 @@
+"""LeNet-style small convolutional network.
+
+A compact conv/pool/linear model in the spirit of LeCun's LeNet-5, used by
+the examples and by the Deep-Positron-style low-bit inference comparisons on
+small datasets (the paper's related work, [12]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..tensor import Tensor
+
+__all__ = ["LeNet"]
+
+
+class LeNet(Module):
+    """Small convolutional classifier for ~32x32 inputs.
+
+    Parameters
+    ----------
+    in_channels:
+        Number of image channels.
+    num_classes:
+        Output classes.
+    image_size:
+        Spatial size of the (square) input images; used to size the first
+        fully-connected layer.
+    batch_norm:
+        Whether to insert BatchNorm after each convolution (the paper's
+        models are BN-heavy, so the default is True to exercise the same
+        per-layer quantization paths).
+    """
+
+    def __init__(self, in_channels: int = 3, num_classes: int = 10,
+                 image_size: int = 32, batch_norm: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if image_size % 4 != 0:
+            raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+
+        def block(cin: int, cout: int) -> list[Module]:
+            layers: list[Module] = [Conv2d(cin, cout, 5, padding=2, bias=not batch_norm, rng=rng)]
+            if batch_norm:
+                layers.append(BatchNorm2d(cout))
+            layers.append(ReLU())
+            layers.append(MaxPool2d(2))
+            return layers
+
+        feature_size = (image_size // 4) ** 2 * 16
+        self.features = Sequential(*(block(in_channels, 6) + block(6, 16)))
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(feature_size, 120, rng=rng),
+            ReLU(),
+            Linear(120, 84, rng=rng),
+            ReLU(),
+            Linear(84, num_classes, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.classifier(self.features(x))

@@ -1,0 +1,59 @@
+"""Simple multi-layer perceptron models.
+
+Used by the quickstart example, the toy-dataset experiments (spirals/blobs),
+and as a fast stand-in model in unit tests of the training pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import Dropout, Linear, Module, ReLU, Sequential
+from ..tensor import Tensor
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """Fully-connected classifier with ReLU activations.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality (flattened).
+    hidden:
+        Sizes of the hidden layers.
+    num_classes:
+        Output dimensionality.
+    dropout:
+        Optional dropout probability applied after each hidden layer.
+    rng:
+        Random generator for initialization.
+    """
+
+    def __init__(self, in_features: int, hidden: Sequence[int] = (128, 64),
+                 num_classes: int = 10, dropout: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        layers: list[Module] = []
+        previous = in_features
+        for width in hidden:
+            layers.append(Linear(previous, width, rng=rng))
+            layers.append(ReLU())
+            if dropout > 0:
+                layers.append(Dropout(dropout, rng=rng))
+            previous = width
+        layers.append(Linear(previous, num_classes, rng=rng))
+        self.body = Sequential(*layers)
+        self.in_features = in_features
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim > 2:
+            x = x.flatten(start_dim=1)
+        return self.body(x)

@@ -1,0 +1,212 @@
+"""Residual networks (He et al. [1]) — the models evaluated in the paper.
+
+The paper trains two variants (Table III):
+
+* **Cifar-ResNet-18** on Cifar-10 — the Cifar-style ResNet with a 3x3 stem
+  and three or four stages of BasicBlocks on 32x32 inputs.
+* **ResNet-18** on ImageNet — the standard ImageNet ResNet-18 with a 7x7
+  stride-2 stem, max pooling, and four stages on 224x224 inputs.
+
+Both are provided here in fully-parameterized form (depth per stage, base
+width, number of classes, input resolution) so that the benchmark harness can
+run faithful-but-scaled-down versions on CPU: the *structure* (conv/BN
+ordering, residual connections, downsampling projections) is identical to the
+paper's models, which is what the distribution phenomena of Fig. 2 and the
+layer-wise quantization policy depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from ..tensor import Tensor
+
+__all__ = [
+    "BasicBlock",
+    "ResNet",
+    "cifar_resnet18",
+    "cifar_resnet8",
+    "resnet18",
+    "tiny_resnet",
+]
+
+
+def _conv3x3(in_channels: int, out_channels: int, stride: int = 1,
+             rng: Optional[np.random.Generator] = None) -> Conv2d:
+    return Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+
+
+def _conv1x1(in_channels: int, out_channels: int, stride: int = 1,
+             rng: Optional[np.random.Generator] = None) -> Conv2d:
+    return Conv2d(in_channels, out_channels, 1, stride=stride, padding=0, bias=False, rng=rng)
+
+
+class BasicBlock(Module):
+    """The two-convolution residual block used by ResNet-18/34.
+
+    ``conv3x3 -> BN -> ReLU -> conv3x3 -> BN -> (+ shortcut) -> ReLU``
+
+    A 1x1 projection shortcut is used whenever the spatial resolution or the
+    channel count changes.
+    """
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = _conv3x3(in_channels, out_channels, stride, rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = _conv3x3(out_channels, out_channels, 1, rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels * self.expansion:
+            self.downsample = Sequential(
+                _conv1x1(in_channels, out_channels * self.expansion, stride, rng),
+                BatchNorm2d(out_channels * self.expansion),
+            )
+        else:
+            self.downsample = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + identity)
+
+
+class ResNet(Module):
+    """Parameterized residual network.
+
+    Parameters
+    ----------
+    stage_blocks:
+        Number of BasicBlocks in each stage, e.g. ``(2, 2, 2, 2)`` for
+        ResNet-18.
+    num_classes:
+        Size of the classification head.
+    base_width:
+        Channel count of the first stage; each subsequent stage doubles it.
+        The paper's models use 64; the scaled-down benchmark variants use 8
+        or 16 to stay trainable on CPU.
+    stem:
+        ``"cifar"`` (3x3 stride-1 conv, no max pool — for 32x32 inputs) or
+        ``"imagenet"`` (7x7 stride-2 conv followed by 3x3 max pooling — for
+        larger inputs).
+    in_channels:
+        Number of input image channels.
+    rng:
+        Random generator used for weight initialization, making model
+        construction fully deterministic given a seed.
+    """
+
+    def __init__(self, stage_blocks: Sequence[int] = (2, 2, 2, 2),
+                 num_classes: int = 10, base_width: int = 64,
+                 stem: str = "cifar", in_channels: int = 3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if stem not in ("cifar", "imagenet"):
+            raise ValueError(f"stem must be 'cifar' or 'imagenet', got {stem!r}")
+        self.stem_kind = stem
+        self.stage_blocks = tuple(stage_blocks)
+        self.base_width = base_width
+        self.num_classes = num_classes
+
+        if stem == "cifar":
+            self.conv1 = _conv3x3(in_channels, base_width, 1, rng)
+            self.maxpool = Identity()
+        else:
+            self.conv1 = Conv2d(in_channels, base_width, 7, stride=2, padding=3,
+                                bias=False, rng=rng)
+            self.maxpool = MaxPool2d(3, stride=2, padding=1)
+        self.bn1 = BatchNorm2d(base_width)
+        self.relu = ReLU()
+
+        stages = []
+        channels = base_width
+        in_ch = base_width
+        for stage_index, num_blocks in enumerate(self.stage_blocks):
+            stride = 1 if stage_index == 0 else 2
+            blocks = []
+            for block_index in range(num_blocks):
+                blocks.append(
+                    BasicBlock(in_ch, channels, stride if block_index == 0 else 1, rng)
+                )
+                in_ch = channels * BasicBlock.expansion
+            stages.append(Sequential(*blocks))
+            if stage_index != len(self.stage_blocks) - 1:
+                channels *= 2
+        # Register stages as layer1..layerN to match torchvision naming.
+        for i, stage in enumerate(stages, start=1):
+            setattr(self, f"layer{i}", stage)
+        self._stages = stages
+
+        self.avgpool = GlobalAvgPool2d()
+        self.flatten = Flatten()
+        self.fc = Linear(in_ch, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.maxpool(out)
+        for stage in self._stages:
+            out = stage(out)
+        out = self.avgpool(out)
+        return self.fc(out)
+
+    def describe(self) -> dict:
+        """Return a structural summary (parameter count, stages, widths)."""
+        return {
+            "stem": self.stem_kind,
+            "stage_blocks": self.stage_blocks,
+            "base_width": self.base_width,
+            "num_classes": self.num_classes,
+            "num_parameters": self.num_parameters(),
+            "num_conv_layers": sum(1 for m in self.modules() if isinstance(m, Conv2d)),
+            "num_bn_layers": sum(1 for m in self.modules() if isinstance(m, BatchNorm2d)),
+        }
+
+
+def cifar_resnet18(num_classes: int = 10, base_width: int = 64,
+                   rng: Optional[np.random.Generator] = None) -> ResNet:
+    """The Cifar-ResNet-18 of Table III: 4 stages of 2 BasicBlocks, 3x3 stem."""
+    return ResNet((2, 2, 2, 2), num_classes=num_classes, base_width=base_width,
+                  stem="cifar", rng=rng)
+
+
+def cifar_resnet8(num_classes: int = 10, base_width: int = 16,
+                  rng: Optional[np.random.Generator] = None) -> ResNet:
+    """A 3-stage, 1-block-per-stage Cifar ResNet (8 weighted layers)."""
+    return ResNet((1, 1, 1), num_classes=num_classes, base_width=base_width,
+                  stem="cifar", rng=rng)
+
+
+def resnet18(num_classes: int = 1000, base_width: int = 64,
+             rng: Optional[np.random.Generator] = None) -> ResNet:
+    """The ImageNet ResNet-18 of Table III: 7x7 stem, max pool, 4 stages."""
+    return ResNet((2, 2, 2, 2), num_classes=num_classes, base_width=base_width,
+                  stem="imagenet", rng=rng)
+
+
+def tiny_resnet(num_classes: int = 10, base_width: int = 8,
+                stem: str = "cifar",
+                rng: Optional[np.random.Generator] = None) -> ResNet:
+    """A deliberately small ResNet ((1, 1) stages) for unit tests and CI."""
+    return ResNet((1, 1), num_classes=num_classes, base_width=base_width,
+                  stem=stem, rng=rng)

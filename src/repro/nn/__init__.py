@@ -1,0 +1,38 @@
+"""Neural-network layer substrate (Module/Parameter system and layers)."""
+
+from . import init
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from .loss import CrossEntropyLoss, LossScaler, MSELoss
+from .module import Module, Parameter
+
+__all__ = [
+    "init",
+    "Module",
+    "Parameter",
+    "Identity",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "LossScaler",
+]

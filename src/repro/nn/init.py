@@ -1,0 +1,90 @@
+"""Weight initialization schemes (Kaiming / Xavier / constants).
+
+The paper trains ResNets with the standard He ("Kaiming") initialization used
+by the original ResNet work; the observation in Fig. 2 — that BatchNorm weight
+distributions shift sharply during early epochs because of their
+initialization — depends on initializing BN scale parameters to one, which is
+what :func:`ones_` provides.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros_",
+    "ones_",
+    "normal_",
+    "compute_fans",
+]
+
+
+def compute_fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor shape.
+
+    For convolution weights of shape ``(out, in, kh, kw)`` the receptive field
+    size multiplies both fans, matching PyTorch's convention.
+    """
+    if len(shape) < 1:
+        raise ValueError("weight shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape, rng: np.random.Generator, mode: str = "fan_out",
+                   nonlinearity: str = "relu") -> np.ndarray:
+    """He-normal initialization, the ResNet default."""
+    fan_in, fan_out = compute_fans(tuple(shape))
+    fan = fan_out if mode == "fan_out" else fan_in
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / math.sqrt(fan)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, mode: str = "fan_in",
+                    nonlinearity: str = "relu") -> np.ndarray:
+    """He-uniform initialization."""
+    fan_in, fan_out = compute_fans(tuple(shape))
+    fan = fan_out if mode == "fan_out" else fan_in
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    bound = gain * math.sqrt(3.0 / fan)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-normal initialization."""
+    fan_in, fan_out = compute_fans(tuple(shape))
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    fan_in, fan_out = compute_fans(tuple(shape))
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros_(shape) -> np.ndarray:
+    """All-zeros initialization (biases, BN shift)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones_(shape) -> np.ndarray:
+    """All-ones initialization (BN scale)."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def normal_(shape, rng: np.random.Generator, mean: float = 0.0, std: float = 0.01) -> np.ndarray:
+    """Plain normal initialization (classifier heads)."""
+    return rng.normal(mean, std, size=shape)

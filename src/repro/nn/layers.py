@@ -1,0 +1,308 @@
+"""Neural-network layers built on the autograd tensor substrate.
+
+Each compute layer (``Conv2d``, ``Linear``, ``BatchNorm2d``) honours an
+optional per-layer quantization context (``self.quant``), which is how the
+posit transformation P(.) of the paper (Fig. 3) is inserted into the forward,
+backward, and activation paths:
+
+* the layer *input* is wrapped so that the error gradient flowing back to the
+  previous layer is quantized (backward path, Fig. 3b),
+* the *weights* (and biases) are fake-quantized before use (forward path,
+  Fig. 3a),
+* the *output activation* is quantized after the layer's computation
+  (forward path, Fig. 3a).
+
+Weight-gradient quantization (``ΔW``) and post-update weight quantization
+(Fig. 3b/3c) are handled by the trainer and the optimizer, because they act
+on tensors that only exist between backward and the parameter update.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..tensor import Tensor, avg_pool2d, batch_norm, conv2d, dropout, linear, max_pool2d
+from . import init
+from .module import Module, Parameter
+
+__all__ = [
+    "Identity",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+]
+
+
+def _apply_quant_input(module: Module, x: Tensor) -> Tensor:
+    """Quantize the error gradient flowing to the previous layer (Fig. 3b)."""
+    q = module.quant
+    if q is not None and q.enabled:
+        return q.error(x)
+    return x
+
+
+def _apply_quant_weight(module: Module, w: Tensor) -> Tensor:
+    """Fake-quantize a weight tensor for the forward computation (Fig. 3a)."""
+    q = module.quant
+    if q is not None and q.enabled:
+        return q.weight(w)
+    return w
+
+
+def _apply_quant_activation(module: Module, a: Tensor) -> Tensor:
+    """Quantize the output activation of a layer (Fig. 3a)."""
+    q = module.quant
+    if q is not None and q.enabled:
+        return q.activation(a)
+    return a
+
+
+class Identity(Module):
+    """Pass-through layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to learn an additive bias.
+    rng:
+        Random generator for initialization (defaults to a fresh generator).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng, mode="fan_in")
+        )
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = _apply_quant_input(self, x)
+        w = _apply_quant_weight(self, self.weight)
+        b = _apply_quant_weight(self, self.bias) if self.bias is not None else None
+        out = linear(x, w, b)
+        return _apply_quant_activation(self, out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Linear(in_features={self.in_features}, out_features={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Conv2d(Module):
+    """2-D convolution layer over NCHW inputs.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size, stride, padding:
+        Spatial hyperparameters (int or pair).
+    bias:
+        Whether to learn a bias (ResNets use ``bias=False`` before BatchNorm).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels, kh, kw), rng, mode="fan_out")
+        )
+        if bias:
+            fan_in = in_channels * kh * kw
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_channels))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = _apply_quant_input(self, x)
+        w = _apply_quant_weight(self, self.weight)
+        b = _apply_quant_weight(self, self.bias) if self.bias is not None else None
+        out = conv2d(x, w, b, stride=self.stride, padding=self.padding)
+        return _apply_quant_activation(self, out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}, bias={self.bias is not None})"
+        )
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel dimension of NCHW inputs.
+
+    Keeps running mean/variance buffers updated with exponential moving
+    averages during training and uses them at evaluation time.  The paper's
+    Table III footnote assigns BN layers wider posit formats (16 bits) than
+    conv layers (8 bits) on Cifar-10; that distinction is expressed through
+    the per-layer quantization policy, not through this class.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones_(num_features))
+        self.bias = Parameter(init.zeros_(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = _apply_quant_input(self, x)
+        gamma = _apply_quant_weight(self, self.weight)
+        beta = _apply_quant_weight(self, self.bias)
+        out = batch_norm(
+            x,
+            gamma,
+            beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+        return _apply_quant_activation(self, out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchNorm2d({self.num_features}, eps={self.eps}, momentum={self.momentum})"
+
+
+class ReLU(Module):
+    """Rectified linear unit layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ReLU()"
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaxPool2d(kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AvgPool2d(kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the entire spatial extent, yielding ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "GlobalAvgPool2d()"
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Flatten()"
+
+
+class Dropout(Module):
+    """Inverted dropout layer."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self.training, rng=self.rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dropout(p={self.p})"
+
+
+class Sequential(Module):
+    """Container applying child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], Sequence):
+            modules = tuple(modules[0])
+        self._ordered: list[Module] = []
+        for i, module in enumerate(modules):
+            setattr(self, str(i), module)
+            self._ordered.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]

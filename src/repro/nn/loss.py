@@ -1,0 +1,109 @@
+"""Loss modules.
+
+Wraps the functional losses from :mod:`repro.tensor.functional` in Module
+classes so they compose with the rest of the layer API, and adds the loss
+scaling helper used by mixed-precision baselines (Micikevicius et al. [9]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, cross_entropy, mse_loss
+from .module import Module
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "LossScaler"]
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class labels.
+
+    Parameters
+    ----------
+    label_smoothing:
+        Optional label-smoothing factor in ``[0, 1)``.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        super().__init__()
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return cross_entropy(logits, labels, label_smoothing=self.label_smoothing)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CrossEntropyLoss(label_smoothing={self.label_smoothing})"
+
+
+class MSELoss(Module):
+    """Mean squared error loss."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return mse_loss(prediction, target)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "MSELoss()"
+
+
+class LossScaler:
+    """Static or dynamic loss scaling for low-precision gradient propagation.
+
+    Reduced-precision formats with limited dynamic range (FP16/FP8) need the
+    loss to be scaled up before backward so that small gradients do not
+    underflow; the gradients are unscaled again before the optimizer step.
+    Posit with its tapered precision largely avoids the need for this (one of
+    the paper's motivations), but the baseline comparisons use it.
+
+    Parameters
+    ----------
+    scale:
+        Initial multiplicative scale applied to the loss.
+    dynamic:
+        When true, the scale is doubled every ``growth_interval`` successful
+        steps and halved whenever a non-finite gradient is observed.
+    """
+
+    def __init__(self, scale: float = 1024.0, dynamic: bool = False,
+                 growth_interval: int = 200, min_scale: float = 1.0,
+                 max_scale: float = 2.0**24):
+        if scale <= 0:
+            raise ValueError(f"loss scale must be positive, got {scale}")
+        self.scale = float(scale)
+        self.dynamic = dynamic
+        self.growth_interval = growth_interval
+        self.min_scale = min_scale
+        self.max_scale = max_scale
+        self._good_steps = 0
+
+    def scale_loss(self, loss: Tensor) -> Tensor:
+        """Return ``loss * scale`` (graph-connected)."""
+        return loss * self.scale
+
+    def unscale_gradients(self, parameters) -> bool:
+        """Divide parameter gradients by the scale in place.
+
+        Returns ``False`` (and skips the update bookkeeping) if any gradient
+        is non-finite, which signals the caller to skip the optimizer step.
+        """
+        finite = True
+        for param in parameters:
+            if param.grad is None:
+                continue
+            if not np.all(np.isfinite(param.grad)):
+                finite = False
+            param.grad = param.grad / self.scale
+        if self.dynamic:
+            if finite:
+                self._good_steps += 1
+                if self._good_steps >= self.growth_interval:
+                    self.scale = min(self.scale * 2.0, self.max_scale)
+                    self._good_steps = 0
+            else:
+                self.scale = max(self.scale / 2.0, self.min_scale)
+                self._good_steps = 0
+        return finite
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LossScaler(scale={self.scale}, dynamic={self.dynamic})"

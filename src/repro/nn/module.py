@@ -1,0 +1,179 @@
+"""Module / Parameter system (the substrate replacing ``torch.nn.Module``).
+
+A :class:`Module` owns named :class:`Parameter` tensors and named child
+modules, supports recursive traversal (``parameters()``, ``named_modules()``),
+train/eval mode switching, and state-dict style serialization to plain NumPy
+arrays.
+
+The quantized-training machinery of :mod:`repro.core` attaches per-layer
+quantization contexts to modules through the ``quant`` attribute defined
+here; layers consult it in their ``forward`` implementations, which is how
+the posit transformation P(.) of Fig. 3 is inserted into the computation
+flow without modifying the model definitions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor: ``requires_grad=True`` by default."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network layers and models.
+
+    Subclasses define parameters and sub-modules as attributes in
+    ``__init__`` and implement :meth:`forward`.  Attribute assignment is
+    intercepted so that parameters and children are registered automatically,
+    mirroring the PyTorch API that the paper's training code relies on.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+        # Per-layer quantization context attached by repro.core; None means
+        # the layer computes in full precision.
+        object.__setattr__(self, "quant", None)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            value.name = value.name or name
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable array that is part of the module state.
+
+        Buffers (e.g. BatchNorm running statistics) are included in
+        :meth:`state_dict` but not in :meth:`parameters`.
+        """
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs, including ``self`` as ``""``."""
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> list["Module"]:
+        """Return all modules in the tree, including ``self``."""
+        return [m for _, m in self.named_modules()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(qualified_name, buffer)`` pairs recursively."""
+        for name in self._buffers:
+            yield (f"{prefix}{name}", getattr(self, name))
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    # ------------------------------------------------------------------ #
+    # Mode switching
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects BatchNorm, Dropout)."""
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # State dict
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return a flat mapping of parameter and buffer names to array copies."""
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load parameters and buffers from a mapping produced by :meth:`state_dict`."""
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        missing = (set(params) | set(buffers)) - set(state)
+        unexpected = set(state) - (set(params) | set(buffers))
+        if missing:
+            raise KeyError(f"missing keys in state dict: {sorted(missing)}")
+        if unexpected:
+            raise KeyError(f"unexpected keys in state dict: {sorted(unexpected)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+        for name, buf in buffers.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != np.asarray(buf).shape:
+                raise ValueError(
+                    f"shape mismatch for buffer {name}: expected {np.asarray(buf).shape}, "
+                    f"got {value.shape}"
+                )
+            np.asarray(buf)[...] = value
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Forward
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        """Compute the module's output; must be overridden by subclasses."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        child_lines = [f"  ({name}): {module!r}" for name, module in self._modules.items()]
+        if not child_lines:
+            return f"{type(self).__name__}()"
+        body = "\n".join(child_lines)
+        return f"{type(self).__name__}(\n{body}\n)"

@@ -1,0 +1,14 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .schedulers import CosineAnnealingLR, LinearWarmupLR, LRScheduler, MultiStepLR, StepLR
+from .sgd import SGD, Optimizer
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "LRScheduler",
+    "MultiStepLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "LinearWarmupLR",
+]

@@ -1,0 +1,112 @@
+"""Learning-rate schedulers.
+
+The paper's recipes (Table III) use step decay: divide the learning rate by
+10 at fixed epochs (60/150/250 for Cifar-10; every 30 epochs for ImageNet).
+:class:`MultiStepLR` and :class:`StepLR` implement exactly those shapes;
+:class:`CosineAnnealingLR` and :class:`LinearWarmupLR` are provided for the
+extension experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .sgd import Optimizer
+
+__all__ = ["LRScheduler", "MultiStepLR", "StepLR", "CosineAnnealingLR", "LinearWarmupLR"]
+
+
+class LRScheduler:
+    """Base class: adjusts ``optimizer.lr`` as a function of the epoch index."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = -1
+
+    def get_lr(self, epoch: int) -> float:
+        """Return the learning rate to use for ``epoch``; overridden by subclasses."""
+        raise NotImplementedError
+
+    def step(self, epoch: int | None = None) -> float:
+        """Advance to ``epoch`` (or the next epoch) and update the optimizer."""
+        if epoch is None:
+            epoch = self.last_epoch + 1
+        self.last_epoch = epoch
+        lr = self.get_lr(epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class MultiStepLR(LRScheduler):
+    """Divide the learning rate by ``gamma`` at each epoch in ``milestones``.
+
+    This is the Cifar-10 recipe of Table III with
+    ``milestones=(60, 150, 250), gamma=0.1``.
+    """
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * (self.gamma**passed)
+
+
+class StepLR(LRScheduler):
+    """Divide the learning rate by ``gamma`` every ``step_size`` epochs.
+
+    This is the ImageNet recipe of Table III with ``step_size=30, gamma=0.1``.
+    """
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        epoch = min(epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * epoch / self.t_max)
+        )
+
+
+class LinearWarmupLR(LRScheduler):
+    """Linearly ramp the learning rate for ``warmup_epochs`` then delegate.
+
+    Useful in combination with the paper's FP32 warm-up phase when training
+    from scratch with large batch sizes.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, after: LRScheduler | None = None):
+        super().__init__(optimizer)
+        if warmup_epochs < 0:
+            raise ValueError(f"warmup_epochs must be non-negative, got {warmup_epochs}")
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def get_lr(self, epoch: int) -> float:
+        if self.warmup_epochs > 0 and epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        if self.after is not None:
+            return self.after.get_lr(epoch)
+        return self.base_lr

@@ -1,0 +1,192 @@
+"""Reduced-precision IEEE-style float quantizers (baseline formats).
+
+The paper positions posit against reduced-precision floating point formats
+used by prior mixed-precision training work: FP16 (Micikevicius et al. [9]),
+FP8 (Wang et al. [10]), and plain FP32.  This module provides fake-quantizers
+for those formats so that the benchmark harness can run the same training
+recipes under float baselines and compare.
+
+A ``FloatFormat`` is described by exponent bits, mantissa bits, and an
+exponent bias; quantization is round-to-nearest-even with gradual underflow
+(subnormals) and saturation at the maximum finite value (matching the
+behaviour used by quantized-training literature rather than producing inf).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FloatFormat",
+    "FP32",
+    "FP16",
+    "BFLOAT16",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "float_quantize",
+    "FloatQuantizer",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Description of a binary floating-point format.
+
+    Attributes
+    ----------
+    exponent_bits:
+        Width of the exponent field.
+    mantissa_bits:
+        Width of the explicit mantissa (fraction) field.
+    name:
+        Human-readable format name used in reports.
+    """
+
+    exponent_bits: int
+    mantissa_bits: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2:
+            raise ValueError("exponent_bits must be >= 2")
+        if self.mantissa_bits < 0:
+            raise ValueError("mantissa_bits must be >= 0")
+
+    @property
+    def bits(self) -> int:
+        """Total storage width including the sign bit."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias, ``2**(exponent_bits - 1) - 1``."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest unbiased exponent of a normal number."""
+        return (1 << self.exponent_bits) - 2 - self.bias
+
+    @property
+    def min_exponent(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 1 - self.bias
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        return float(2.0**self.max_exponent * (2.0 - 2.0 ** (-self.mantissa_bits)))
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return float(2.0**self.min_exponent)
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude."""
+        return float(2.0 ** (self.min_exponent - self.mantissa_bits))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name or f"fp{self.bits}(e{self.exponent_bits}m{self.mantissa_bits})"
+
+
+#: Standard formats referenced by the paper and its baselines.
+FP32 = FloatFormat(8, 23, "FP32")
+FP16 = FloatFormat(5, 10, "FP16")
+BFLOAT16 = FloatFormat(8, 7, "bfloat16")
+FP8_E4M3 = FloatFormat(4, 3, "FP8-E4M3")
+FP8_E5M2 = FloatFormat(5, 2, "FP8-E5M2")
+
+
+def float_quantize(x, fmt: FloatFormat, rng: np.random.Generator | None = None,
+                   rounding: str = "nearest") -> np.ndarray:
+    """Snap ``x`` element-wise onto the value grid of ``fmt``.
+
+    Parameters
+    ----------
+    x:
+        Array-like of real values.
+    fmt:
+        Target float format.
+    rounding:
+        ``"nearest"`` (round-to-nearest-even) or ``"stochastic"``.
+    rng:
+        Random generator for stochastic rounding.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64`` array of values exactly representable in ``fmt``.
+        Out-of-range magnitudes saturate to the maximum finite value; NaN is
+        propagated.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    scalar_input = arr.ndim == 0
+    arr = np.atleast_1d(arr).copy()
+
+    if fmt is FP32 or (fmt.exponent_bits >= 8 and fmt.mantissa_bits >= 23):
+        result = arr.astype(np.float32).astype(np.float64)
+        return result[0] if scalar_input else result
+
+    sign = np.sign(arr)
+    mag = np.abs(arr)
+    out = np.zeros_like(arr)
+
+    nan_mask = np.isnan(arr)
+    inf_mask = np.isinf(arr)
+    finite = ~nan_mask & ~inf_mask
+    nonzero = finite & (mag > 0)
+
+    if np.any(nonzero):
+        m = mag[nonzero]
+        # Effective quantization step: normals have a step of 2**(e - mant),
+        # subnormals a fixed step of min_subnormal.
+        exp = np.floor(np.log2(m))
+        exp = np.where(2.0 ** (exp + 1) <= m, exp + 1, exp)
+        exp = np.where(2.0**exp > m, exp - 1, exp)
+        exp = np.maximum(exp, fmt.min_exponent)  # subnormal range shares min_exponent step
+        step = 2.0 ** (exp - fmt.mantissa_bits)
+
+        if rounding == "nearest":
+            quantized = np.round(m / step) * step
+        elif rounding == "stochastic":
+            if rng is None:
+                rng = np.random.default_rng()
+            lower = np.floor(m / step)
+            frac = m / step - lower
+            up = rng.random(m.shape) < frac
+            quantized = (lower + up.astype(np.float64)) * step
+        else:
+            raise ValueError(f"unknown rounding mode {rounding!r}")
+
+        # Rounding up may cross into the next binade; that value is still
+        # representable, so no correction is needed.  Saturate at max.
+        quantized = np.minimum(quantized, fmt.max_value)
+        # Values that round to below the smallest subnormal flush to zero.
+        quantized = np.where(quantized < fmt.min_subnormal, 0.0, quantized)
+        out[nonzero] = sign[nonzero] * quantized
+
+    out[inf_mask] = sign[inf_mask] * fmt.max_value
+    out[nan_mask] = np.nan
+
+    return out[0] if scalar_input else out
+
+
+class FloatQuantizer:
+    """Callable wrapper around :func:`float_quantize`, mirroring ``PositQuantizer``."""
+
+    def __init__(self, fmt: FloatFormat, rounding: str = "nearest",
+                 rng: np.random.Generator | None = None):
+        self.fmt = fmt
+        self.rounding = rounding
+        self.rng = rng
+
+    def __call__(self, x) -> np.ndarray:
+        """Quantize ``x`` to the bound float format."""
+        return float_quantize(x, self.fmt, rng=self.rng, rounding=self.rounding)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FloatQuantizer({self.fmt}, rounding={self.rounding!r})"

@@ -1,0 +1,515 @@
+"""Bit-exact scalar posit encode/decode and arithmetic.
+
+This module works on *bit patterns* (Python integers in ``[0, 2**n)``) and is
+the ground truth against which the vectorized quantizer in
+:mod:`repro.posit.quantize` and the hardware models in :mod:`repro.hardware`
+are validated.  It follows the type-3 unum / posit definition used by the
+paper (Eq. (1)):
+
+``x = (-1)**s * useed**k * 2**e * (1 + f)``
+
+with two special patterns: ``000...0`` encodes zero and ``100...0`` encodes
+NaR (the paper writes it as +-inf).
+
+Negative values use two's-complement encoding of the bit pattern, as in the
+posit standard.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import PositConfig
+
+__all__ = [
+    "PositFields",
+    "decode_fields",
+    "decode",
+    "encode",
+    "next_up",
+    "next_down",
+    "enumerate_positive_values",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "fma",
+    "PositScalar",
+]
+
+
+@dataclass(frozen=True)
+class PositFields:
+    """Decomposition of a posit bit pattern into its structural fields.
+
+    Attributes
+    ----------
+    sign:
+        0 for non-negative patterns, 1 for negative patterns.
+    regime:
+        The regime value ``k`` (an integer, possibly negative).
+    regime_width:
+        Number of bits occupied by the regime run *including* the terminating
+        bit (when present).
+    exponent:
+        The decoded exponent value ``e`` in ``[0, 2**es)``.  When fewer than
+        ``es`` exponent bits fit in the word the missing low-order bits are
+        taken as zero.
+    exponent_width:
+        Number of exponent bits physically present in the word.
+    fraction:
+        The fraction value ``f`` in ``[0, 1)``.
+    fraction_width:
+        Number of fraction bits physically present in the word.
+    is_zero / is_nar:
+        Flags for the two special patterns.
+    """
+
+    sign: int
+    regime: int
+    regime_width: int
+    exponent: int
+    exponent_width: int
+    fraction: float
+    fraction_width: int
+    is_zero: bool = False
+    is_nar: bool = False
+
+    @property
+    def scale(self) -> int:
+        """Total power-of-two scale, ``k * 2**es + e`` (requires config es).
+
+        Note: this property is only meaningful when combined with the config
+        that produced it; prefer :func:`decode` for values.
+        """
+        raise AttributeError("use decode() for values; scale depends on es")
+
+
+def _validate_pattern(bits: int, config: PositConfig) -> int:
+    mask = (1 << config.n) - 1
+    if not isinstance(bits, (int,)):
+        raise TypeError(f"bit pattern must be an int, got {type(bits).__name__}")
+    return bits & mask
+
+
+def decode_fields(bits: int, config: PositConfig) -> PositFields:
+    """Split a posit bit pattern into sign/regime/exponent/fraction fields.
+
+    For negative patterns the fields describe the two's complement of the
+    pattern (i.e. the magnitude), which is how posit hardware decoders operate.
+    """
+    n, es = config.n, config.es
+    bits = _validate_pattern(bits, config)
+
+    if bits == 0:
+        return PositFields(0, 0, 0, 0, 0, 0.0, 0, is_zero=True)
+    if bits == config.nar_pattern:
+        return PositFields(1, 0, 0, 0, 0, 0.0, 0, is_nar=True)
+
+    sign = (bits >> (n - 1)) & 1
+    if sign:
+        # Two's complement to obtain the magnitude pattern.
+        bits = (-bits) & ((1 << n) - 1)
+
+    body = bits & ((1 << (n - 1)) - 1)  # n-1 bits after the sign
+    body_width = n - 1
+
+    # Regime: run of identical leading bits, terminated by the opposite bit
+    # (or by the end of the word).
+    first_bit = (body >> (body_width - 1)) & 1
+    run = 0
+    for i in range(body_width - 1, -1, -1):
+        if (body >> i) & 1 == first_bit:
+            run += 1
+        else:
+            break
+    if first_bit == 1:
+        regime = run - 1
+    else:
+        regime = -run
+    regime_width = min(run + 1, body_width)
+
+    remaining = body_width - regime_width
+    exponent_width = min(es, max(remaining, 0))
+    fraction_width = max(remaining - es, 0)
+
+    if remaining > 0:
+        tail = body & ((1 << remaining) - 1)
+    else:
+        tail = 0
+
+    frac_bits = tail & ((1 << fraction_width) - 1) if fraction_width > 0 else 0
+    exp_bits = tail >> fraction_width if exponent_width > 0 else 0
+    # Missing low-order exponent bits are zero.
+    exponent = exp_bits << (es - exponent_width)
+
+    fraction = frac_bits / float(1 << fraction_width) if fraction_width > 0 else 0.0
+
+    return PositFields(
+        sign=sign,
+        regime=regime,
+        regime_width=regime_width,
+        exponent=exponent,
+        exponent_width=exponent_width,
+        fraction=fraction,
+        fraction_width=fraction_width,
+    )
+
+
+def decode(bits: int, config: PositConfig) -> float:
+    """Decode a posit bit pattern to its real value.
+
+    Zero decodes to ``0.0`` and NaR decodes to ``float('nan')``.
+    """
+    fields = decode_fields(bits, config)
+    if fields.is_zero:
+        return 0.0
+    if fields.is_nar:
+        return math.nan
+    scale = fields.regime * (1 << config.es) + fields.exponent
+    magnitude = (2.0**scale) * (1.0 + fields.fraction)
+    return -magnitude if fields.sign else magnitude
+
+
+def _encode_magnitude_rtz(x: float, config: PositConfig) -> int:
+    """Encode a positive magnitude with round-to-zero (truncation).
+
+    ``x`` must satisfy ``minpos <= x <= maxpos``.  Returns the positive bit
+    pattern (sign bit clear).
+    """
+    n, es = config.n, config.es
+
+    exp = math.floor(math.log2(x))
+    # Guard against log2 rounding at exact powers of two.
+    if 2.0**exp > x:
+        exp -= 1
+    elif 2.0 ** (exp + 1) <= x:
+        exp += 1
+    exp = max(-config.max_exponent, min(config.max_exponent, exp))
+
+    k = exp >> es  # floor division for negative values as well
+    e = exp - (k << es)
+    f = x / (2.0**exp) - 1.0
+
+    if k >= 0:
+        regime_width = k + 2
+        regime_field = (1 << (k + 1)) - 1  # k+1 ones followed by a zero
+        regime_field <<= 1
+    else:
+        regime_width = -k + 1
+        regime_field = 1  # -k zeros followed by a one
+
+    body_width = n - 1
+    if regime_width > body_width:
+        # Regime saturates the word: the terminating bit (and everything
+        # after) is dropped.  This only happens at maxpos / minpos.
+        if k >= 0:
+            return (1 << body_width) - 1
+        return 1
+
+    remaining = body_width - regime_width
+    eb = min(es, remaining)
+    fb = max(remaining - es, 0)
+
+    exp_field = e >> (es - eb)  # truncate low-order exponent bits
+    frac_field = int(math.floor(f * (1 << fb))) if fb > 0 else 0
+    frac_field = min(frac_field, (1 << fb) - 1) if fb > 0 else 0
+
+    # The regime field (run plus terminating bit) occupies the top
+    # ``regime_width`` bits of the body; for k < 0 it reduces to a single 1
+    # preceded by zeros, which the shift below places correctly.
+    body = (regime_field << remaining) | (exp_field << fb) | frac_field
+    return body & ((1 << body_width) - 1)
+
+
+def encode(x: float, config: PositConfig, rounding: str = "nearest") -> int:
+    """Encode a real number to the closest posit bit pattern.
+
+    Parameters
+    ----------
+    x:
+        The value to encode.  ``nan``/``inf`` map to NaR.
+    config:
+        Target posit format.
+    rounding:
+        ``"nearest"`` (round to nearest, ties to even code — the posit
+        standard behaviour), ``"zero"`` (round the magnitude toward zero, as
+        in Algorithm 1 of the paper), or ``"up"`` / ``"down"`` (directed
+        rounding of the magnitude).
+
+    Notes
+    -----
+    Under ``"zero"`` rounding, magnitudes smaller than ``minpos`` flush to the
+    zero pattern (Algorithm 1, lines 3-4).  Under ``"nearest"`` rounding the
+    posit convention is that non-zero values never round to zero, so such
+    magnitudes encode to ``minpos`` when they are at least ``minpos / 2``
+    and to zero below that midpoint.
+    """
+    n = config.n
+    if math.isnan(x) or math.isinf(x):
+        return config.nar_pattern
+    if x == 0.0:
+        return 0
+
+    sign = x < 0
+    mag = abs(x)
+
+    if rounding == "zero":
+        if mag < config.minpos:
+            return 0
+        mag = min(mag, config.maxpos)
+        body = _encode_magnitude_rtz(mag, config)
+    elif rounding in ("nearest", "up", "down"):
+        if mag >= config.maxpos:
+            body = (1 << (n - 1)) - 1
+        elif mag <= config.minpos:
+            if rounding == "up":
+                body = 1
+            elif rounding == "down":
+                body = 1 if mag >= config.minpos else 0
+            else:  # nearest: never round a non-zero value to zero unless
+                # it is below half of minpos.
+                body = 1 if mag >= config.minpos / 2.0 else 0
+        else:
+            lo = _encode_magnitude_rtz(mag, config)
+            lo_val = decode(lo, config)
+            if lo_val == mag:
+                body = lo
+            else:
+                hi = lo + 1
+                hi_val = decode(hi, config)
+                if rounding == "down":
+                    body = lo
+                elif rounding == "up":
+                    body = hi
+                else:
+                    mid = (lo_val + hi_val) / 2.0
+                    if mag < mid:
+                        body = lo
+                    elif mag > mid:
+                        body = hi
+                    else:  # tie: round to even code
+                        body = lo if (lo & 1) == 0 else hi
+    else:
+        raise ValueError(f"unknown rounding mode: {rounding!r}")
+
+    if body == 0:
+        return 0
+    if sign:
+        return (-body) & ((1 << n) - 1)
+    return body
+
+
+def next_up(bits: int, config: PositConfig) -> int:
+    """Return the bit pattern of the next larger representable value.
+
+    The posit encoding has the property that interpreting patterns as signed
+    two's-complement integers orders them by value, so ``next_up`` is simply
+    ``bits + 1`` (skipping NaR).
+    """
+    n = config.n
+    mask = (1 << n) - 1
+    nxt = (bits + 1) & mask
+    if nxt == config.nar_pattern:
+        raise OverflowError("next_up of maxpos is NaR")
+    return nxt
+
+
+def next_down(bits: int, config: PositConfig) -> int:
+    """Return the bit pattern of the next smaller representable value."""
+    n = config.n
+    mask = (1 << n) - 1
+    if bits == config.nar_pattern:
+        raise ValueError("next_down of NaR is undefined")
+    nxt = (bits - 1) & mask
+    if nxt == config.nar_pattern:
+        raise OverflowError("next_down of -maxpos is NaR")
+    return nxt
+
+
+def enumerate_positive_values(config: PositConfig) -> list[float]:
+    """Return all strictly positive representable values in increasing order."""
+    return [decode(code, config) for code in range(1, 1 << (config.n - 1))]
+
+
+def _binary_op(a: int, b: int, config: PositConfig, op, rounding: str = "nearest") -> int:
+    """Decode-to-float, operate, re-encode.  NaR is propagated."""
+    if a == config.nar_pattern or b == config.nar_pattern:
+        return config.nar_pattern
+    va, vb = decode(a, config), decode(b, config)
+    try:
+        result = op(va, vb)
+    except ZeroDivisionError:
+        return config.nar_pattern
+    return encode(result, config, rounding=rounding)
+
+
+def add(a: int, b: int, config: PositConfig, rounding: str = "nearest") -> int:
+    """Posit addition on bit patterns."""
+    return _binary_op(a, b, config, lambda x, y: x + y, rounding)
+
+
+def sub(a: int, b: int, config: PositConfig, rounding: str = "nearest") -> int:
+    """Posit subtraction on bit patterns."""
+    return _binary_op(a, b, config, lambda x, y: x - y, rounding)
+
+
+def mul(a: int, b: int, config: PositConfig, rounding: str = "nearest") -> int:
+    """Posit multiplication on bit patterns."""
+    return _binary_op(a, b, config, lambda x, y: x * y, rounding)
+
+
+def div(a: int, b: int, config: PositConfig, rounding: str = "nearest") -> int:
+    """Posit division on bit patterns.  Division by zero yields NaR."""
+    return _binary_op(a, b, config, lambda x, y: x / y, rounding)
+
+
+def fma(a: int, b: int, c: int, config: PositConfig, rounding: str = "nearest") -> int:
+    """Fused multiply-add ``a * b + c`` with a single final rounding."""
+    if config.nar_pattern in (a, b, c):
+        return config.nar_pattern
+    va, vb, vc = decode(a, config), decode(b, config), decode(c, config)
+    return encode(va * vb + vc, config, rounding=rounding)
+
+
+class PositScalar:
+    """A convenience wrapper pairing a bit pattern with its format.
+
+    Supports the usual arithmetic operators with correct per-operation
+    rounding, comparison by value, and conversion to/from floats.
+
+    Examples
+    --------
+    >>> from repro.posit import PositConfig
+    >>> cfg = PositConfig(8, 1)
+    >>> a = PositScalar.from_float(1.5, cfg)
+    >>> b = PositScalar.from_float(2.25, cfg)
+    >>> float(a * b)
+    3.375
+    """
+
+    __slots__ = ("bits", "config")
+
+    def __init__(self, bits: int, config: PositConfig):
+        self.bits = _validate_pattern(bits, config)
+        self.config = config
+
+    @classmethod
+    def from_float(cls, x: float, config: PositConfig, rounding: str = "nearest") -> "PositScalar":
+        """Construct from a real value, rounding to the nearest posit."""
+        return cls(encode(x, config, rounding=rounding), config)
+
+    def __float__(self) -> float:
+        return decode(self.bits, self.config)
+
+    @property
+    def value(self) -> float:
+        """The real value represented by this posit."""
+        return decode(self.bits, self.config)
+
+    @property
+    def is_nar(self) -> bool:
+        """Whether this is the NaR (Not a Real) pattern."""
+        return self.bits == self.config.nar_pattern
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this is the zero pattern."""
+        return self.bits == 0
+
+    def fields(self) -> PositFields:
+        """Return the structural field decomposition of this posit."""
+        return decode_fields(self.bits, self.config)
+
+    def _check_compatible(self, other: "PositScalar") -> None:
+        if self.config != other.config:
+            raise ValueError(
+                f"cannot mix posit formats {self.config} and {other.config}"
+            )
+
+    def _coerce(self, other) -> "PositScalar":
+        if isinstance(other, PositScalar):
+            self._check_compatible(other)
+            return other
+        if isinstance(other, (int, float)):
+            return PositScalar.from_float(float(other), self.config)
+        return NotImplemented
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return PositScalar(add(self.bits, other.bits, self.config), self.config)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return PositScalar(sub(self.bits, other.bits, self.config), self.config)
+
+    def __rsub__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return PositScalar(sub(other.bits, self.bits, self.config), self.config)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return PositScalar(mul(self.bits, other.bits, self.config), self.config)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return PositScalar(div(self.bits, other.bits, self.config), self.config)
+
+    def __rtruediv__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return PositScalar(div(other.bits, self.bits, self.config), self.config)
+
+    def __neg__(self):
+        return PositScalar((-self.bits) & ((1 << self.config.n) - 1), self.config)
+
+    def __abs__(self):
+        return -self if self.value < 0 else self
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PositScalar):
+            return self.config == other.config and self.bits == other.bits
+        if isinstance(other, (int, float)):
+            return self.value == float(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.bits, self.config))
+
+    def __lt__(self, other) -> bool:
+        other = self._coerce(other)
+        return self.value < other.value
+
+    def __le__(self, other) -> bool:
+        other = self._coerce(other)
+        return self.value <= other.value
+
+    def __gt__(self, other) -> bool:
+        other = self._coerce(other)
+        return self.value > other.value
+
+    def __ge__(self, other) -> bool:
+        other = self._coerce(other)
+        return self.value >= other.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PositScalar(bits=0b{self.bits:0{self.config.n}b}, "
+            f"value={self.value!r}, format={self.config})"
+        )

@@ -1,0 +1,160 @@
+"""Posit value-table generation (reproduces Table I of the paper).
+
+Table I of the paper enumerates every positive value representable by the
+``(5, 1)`` posit format together with its regime, exponent, and mantissa
+fields.  :func:`positive_value_table` regenerates that table for any format,
+and :func:`format_table` renders it in the same layout as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .config import PositConfig
+from .scalar import decode_fields
+
+__all__ = ["PositTableRow", "positive_value_table", "format_table", "code_space_summary"]
+
+
+@dataclass(frozen=True)
+class PositTableRow:
+    """One row of the posit value table.
+
+    Mirrors the columns of Table I: the binary code, the regime value, the
+    exponent value, the mantissa (fraction) value, and the represented real
+    value.  The mantissa and value are stored as exact :class:`~fractions.Fraction`
+    objects so that the table is bit-exact rather than a float approximation.
+    """
+
+    code: int
+    binary: str
+    regime: int
+    exponent: int
+    mantissa: Fraction
+    value: Fraction
+
+    def as_dict(self) -> dict:
+        """Return the row as a plain dictionary (useful for DataFrame-style dumps)."""
+        return {
+            "code": self.code,
+            "binary": self.binary,
+            "regime": self.regime,
+            "exponent": self.exponent,
+            "mantissa": self.mantissa,
+            "value": self.value,
+        }
+
+
+def _exact_value(regime: int, exponent: int, mantissa: Fraction, config: PositConfig) -> Fraction:
+    scale = regime * (1 << config.es) + exponent
+    if scale >= 0:
+        base = Fraction(1 << scale, 1)
+    else:
+        base = Fraction(1, 1 << (-scale))
+    return base * (1 + mantissa)
+
+
+def positive_value_table(config: PositConfig, include_zero: bool = True) -> list[PositTableRow]:
+    """Enumerate all non-negative codes of ``config`` with their field values.
+
+    Parameters
+    ----------
+    config:
+        The posit format to enumerate.  Intended for small word sizes
+        (``n <= 16``); the table has ``2**(n-1)`` rows.
+    include_zero:
+        Whether to include the all-zeros pattern as the first row (value 0),
+        matching the presentation of Table I.
+
+    Returns
+    -------
+    list[PositTableRow]
+        Rows ordered by increasing code (and therefore increasing value).
+    """
+    if config.n > 16:
+        raise ValueError(
+            f"refusing to enumerate {config}: table would have {1 << (config.n - 1)} rows"
+        )
+
+    rows: list[PositTableRow] = []
+    start = 0 if include_zero else 1
+    for code in range(start, 1 << (config.n - 1)):
+        binary = format(code, f"0{config.n}b")
+        if code == 0:
+            rows.append(
+                PositTableRow(
+                    code=0,
+                    binary=binary,
+                    regime=0,
+                    exponent=0,
+                    mantissa=Fraction(0),
+                    value=Fraction(0),
+                )
+            )
+            continue
+        fields = decode_fields(code, config)
+        if fields.fraction_width > 0:
+            mantissa = Fraction(
+                int(round(fields.fraction * (1 << fields.fraction_width))),
+                1 << fields.fraction_width,
+            )
+        else:
+            mantissa = Fraction(0)
+        value = _exact_value(fields.regime, fields.exponent, mantissa, config)
+        rows.append(
+            PositTableRow(
+                code=code,
+                binary=binary,
+                regime=fields.regime,
+                exponent=fields.exponent,
+                mantissa=mantissa,
+                value=value,
+            )
+        )
+    return rows
+
+
+def format_table(config: PositConfig, include_zero: bool = True) -> str:
+    """Render the positive-value table as fixed-width text.
+
+    The layout mirrors Table I of the paper: binary code, regime, exponent,
+    mantissa, and real value columns.
+    """
+    rows = positive_value_table(config, include_zero=include_zero)
+    header = f"{'Binary Code':>12} {'Regime':>7} {'Exponent':>9} {'Mantissa':>9} {'Real Value':>12}"
+    lines = [f"Positive values of the ({config.n}, {config.es}) posit", header, "-" * len(header)]
+    for row in rows:
+        if row.code == 0:
+            lines.append(f"{row.binary:>12} {'x':>7} {'x':>9} {'x':>9} {'0':>12}")
+            continue
+        mant = str(row.mantissa)
+        val = str(row.value)
+        lines.append(
+            f"{row.binary:>12} {row.regime:>7} {row.exponent:>9} {mant:>9} {val:>12}"
+        )
+    return "\n".join(lines)
+
+
+def code_space_summary(config: PositConfig) -> dict:
+    """Summarize how the code space of ``config`` is distributed over magnitudes.
+
+    Returns a dictionary with the number of representable values per binade
+    (power-of-two interval), which quantifies the paper's observation that
+    posit precision is concentrated around magnitude 1 — the motivation for
+    the distribution-based shifting of Eq. (2)/(3).
+    """
+    rows = positive_value_table(config, include_zero=False)
+    per_binade: dict[int, int] = {}
+    for row in rows:
+        scale = row.regime * (1 << config.es) + row.exponent
+        per_binade[scale] = per_binade.get(scale, 0) + 1
+    return {
+        "format": str(config),
+        "positive_values": len(rows),
+        "values_per_binade": dict(sorted(per_binade.items())),
+        "max_values_in_a_binade": max(per_binade.values()),
+        "binade_of_max_precision": max(
+            sorted(per_binade), key=lambda s: (per_binade[s], -abs(s))
+        ),
+    }

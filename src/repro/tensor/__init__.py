@@ -1,0 +1,48 @@
+"""Autograd tensor substrate (NumPy-backed replacement for the paper's PyTorch)."""
+
+from .conv import avg_pool2d, col2im, conv2d, global_avg_pool2d, im2col, max_pool2d
+from .functional import (
+    accuracy,
+    batch_norm,
+    cross_entropy,
+    dropout,
+    linear,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    relu,
+    softmax,
+)
+from .ops import concatenate, from_numpy, ones, randn, stack, zeros
+from .tensor import Tensor, is_grad_enabled, no_grad, unbroadcast
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "im2col",
+    "col2im",
+    "linear",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "batch_norm",
+    "dropout",
+    "one_hot",
+    "accuracy",
+    "concatenate",
+    "stack",
+    "zeros",
+    "ones",
+    "randn",
+    "from_numpy",
+]

@@ -1,0 +1,222 @@
+"""Convolution and pooling primitives (im2col-based) with autograd support.
+
+These are the compute-heavy substrate operations that the paper's ResNet
+models are built from.  The forward passes use the classic im2col lowering so
+that the inner loop is a single large matrix multiplication, and the backward
+passes reuse the same lowering (col2im) for the input gradient and a
+transposed matmul for the weight gradient.
+
+All functions take and return :class:`repro.tensor.Tensor` objects with
+``NCHW`` layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["im2col", "col2im", "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d"]
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size would be non-positive "
+            f"(input={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int],
+           padding: tuple[int, int]) -> np.ndarray:
+    """Lower image patches to columns.
+
+    Parameters
+    ----------
+    x:
+        Input array of shape ``(N, C, H, W)``.
+    kernel, stride, padding:
+        Kernel size, stride, and zero padding as ``(h, w)`` pairs.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(N, C * kh * kw, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = _output_size(h, kh, sh, ph)
+    out_w = _output_size(w, kw, sw, pw)
+
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    # Strided view of all patches: (N, C, kh, kw, out_h, out_w)
+    strides = padded.strides
+    view = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2],
+            strides[3],
+            strides[2] * sh,
+            strides[3] * sw,
+        ),
+        writeable=False,
+    )
+    return view.reshape(n, c * kh * kw, out_h * out_w)
+
+
+def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
+           kernel: tuple[int, int], stride: tuple[int, int],
+           padding: tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image.
+
+    Overlapping patch positions are accumulated, which makes this exactly the
+    adjoint operation needed for the convolution input gradient.
+    """
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = _output_size(h, kh, sh, ph)
+    out_w = _output_size(w, kw, sw, pw)
+
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph:ph + h, pw:pw + w]
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride=1, padding=0) -> Tensor:
+    """2-D convolution (cross-correlation) over an NCHW input.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Filter tensor of shape ``(C_out, C_in, kh, kw)``.
+    bias:
+        Optional bias of shape ``(C_out,)``.
+    stride, padding:
+        Integers or ``(h, w)`` pairs.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input channels {c_in} do not match weight channels {c_in_w}")
+
+    out_h = _output_size(h, kh, stride[0], padding[0])
+    out_w = _output_size(w, kw, stride[1], padding[1])
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*kh*kw, L)
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*kh*kw)
+    out = np.einsum("of,nfl->nol", w_mat, cols, optimize=True)
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def _backward(upstream: np.ndarray) -> None:
+        grad_out = upstream.reshape(n, c_out, out_h * out_w)  # (N, C_out, L)
+        results = []
+        if x.requires_grad:
+            # d/dx: scatter W^T @ grad_out back through col2im.
+            grad_cols = np.einsum("of,nol->nfl", w_mat, grad_out, optimize=True)
+            grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+            results.append((x, grad_x))
+        if weight.requires_grad:
+            grad_w = np.einsum("nol,nfl->of", grad_out, cols, optimize=True)
+            results.append((weight, grad_w.reshape(weight.shape)))
+        if bias is not None and bias.requires_grad:
+            results.append((bias, upstream.sum(axis=(0, 2, 3))))
+        out_tensor._backward_results = results  # type: ignore[attr-defined]
+
+    out_tensor = Tensor._make(out, parents, _backward, name="conv2d")
+    return out_tensor
+
+
+def max_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
+    """Max pooling over spatial windows of an NCHW input."""
+    kernel = _pair(kernel_size)
+    stride = kernel if stride is None else _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    out_h = _output_size(h, kernel[0], stride[0], padding[0])
+    out_w = _output_size(w, kernel[1], stride[1], padding[1])
+
+    cols = im2col(x.data, kernel, stride, padding)  # (N, C*kh*kw, L)
+    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    out = out.reshape(n, c, out_h, out_w)
+
+    def _backward(upstream: np.ndarray) -> None:
+        if not x.requires_grad:
+            out_tensor._backward_results = []  # type: ignore[attr-defined]
+            return
+        grad_cols = np.zeros((n, c, kernel[0] * kernel[1], out_h * out_w), dtype=np.float64)
+        up = upstream.reshape(n, c, 1, out_h * out_w)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :], up, axis=2)
+        grad_cols = grad_cols.reshape(n, c * kernel[0] * kernel[1], out_h * out_w)
+        grad_x = col2im(grad_cols, x.shape, kernel, stride, padding)
+        out_tensor._backward_results = [(x, grad_x)]  # type: ignore[attr-defined]
+
+    out_tensor = Tensor._make(out, (x,), _backward, name="max_pool2d")
+    return out_tensor
+
+
+def avg_pool2d(x: Tensor, kernel_size=2, stride=None, padding=0) -> Tensor:
+    """Average pooling over spatial windows of an NCHW input."""
+    kernel = _pair(kernel_size)
+    stride = kernel if stride is None else _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    out_h = _output_size(h, kernel[0], stride[0], padding[0])
+    out_w = _output_size(w, kernel[1], stride[1], padding[1])
+    window = kernel[0] * kernel[1]
+
+    cols = im2col(x.data, kernel, stride, padding)
+    cols = cols.reshape(n, c, window, out_h * out_w)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def _backward(upstream: np.ndarray) -> None:
+        if not x.requires_grad:
+            out_tensor._backward_results = []  # type: ignore[attr-defined]
+            return
+        up = upstream.reshape(n, c, 1, out_h * out_w) / window
+        grad_cols = np.broadcast_to(up, (n, c, window, out_h * out_w)).copy()
+        grad_cols = grad_cols.reshape(n, c * window, out_h * out_w)
+        grad_x = col2im(grad_cols, x.shape, kernel, stride, padding)
+        out_tensor._backward_results = [(x, grad_x)]  # type: ignore[attr-defined]
+
+    out_tensor = Tensor._make(out, (x,), _backward, name="avg_pool2d")
+    return out_tensor
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning shape ``(N, C, 1, 1)``."""
+    return x.mean(axis=(2, 3), keepdims=True)

@@ -1,0 +1,50 @@
+"""Shared pytest fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.posit import PositConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[(8, 0), (8, 1), (8, 2), (16, 1), (16, 2)],
+                ids=lambda p: f"posit({p[0]},{p[1]})")
+def paper_config(request) -> PositConfig:
+    """Each posit format used in the paper's experiments."""
+    n, es = request.param
+    return PositConfig(n, es)
+
+
+@pytest.fixture
+def small_config() -> PositConfig:
+    """A tiny format for exhaustive enumeration tests."""
+    return PositConfig(6, 1)
+
+
+def numerical_gradient(func, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference numerical gradient of ``func()`` w.r.t. ``array`` (in place)."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    for _ in iterator:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        upper = func()
+        array[index] = original - eps
+        lower = func()
+        array[index] = original
+        grad[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+@pytest.fixture
+def numgrad():
+    """Expose the numerical gradient helper as a fixture."""
+    return numerical_gradient

@@ -1,0 +1,112 @@
+"""Tests for post-training quantization and low-bit posit inference."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QuantizationPolicy,
+    evaluate_quantized,
+    inference_sweep,
+    quantize_model_weights,
+)
+from repro.data import ArrayDataLoader, make_blobs
+from repro.models import MLP
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.posit import PositConfig, quantize
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def trained_model_and_loader():
+    """A small MLP trained in FP32 on blobs, plus its validation loader."""
+    points, labels = make_blobs(num_samples=320, num_classes=4, spread=0.4, seed=0)
+    points = (points - points.mean(axis=0)) / points.std(axis=0)
+    order = np.random.default_rng(0).permutation(len(points))
+    points, labels = points[order], labels[order]
+    model = MLP(2, hidden=(32, 16), num_classes=4, rng=np.random.default_rng(0))
+    optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+    criterion = CrossEntropyLoss()
+    train = ArrayDataLoader(points[:256], labels[:256], batch_size=32, seed=0)
+    for _ in range(15):
+        for inputs, targets in train:
+            loss = criterion(model(Tensor(inputs)), targets)
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+    val = ArrayDataLoader(points[256:], labels[256:], batch_size=64, shuffle=False)
+    return model, val
+
+
+class TestQuantizeModelWeights:
+    def test_weights_land_on_grid(self, trained_model_and_loader):
+        model, _ = trained_model_and_loader
+        state_backup = model.state_dict()
+        config = PositConfig(8, 1)
+        scales = quantize_model_weights(model, config, use_scaling=False)
+        try:
+            for param in model.parameters():
+                np.testing.assert_array_equal(
+                    param.data, np.asarray(quantize(param.data, config, rounding="nearest")))
+            assert all(scale == 1.0 for scale in scales.values())
+        finally:
+            model.load_state_dict(state_backup)
+
+    def test_scaled_quantization_returns_scales(self, trained_model_and_loader):
+        model, _ = trained_model_and_loader
+        state_backup = model.state_dict()
+        try:
+            scales = quantize_model_weights(model, PositConfig(8, 1), use_scaling=True)
+            assert len(scales) == len(model.parameters())
+            assert all(np.log2(s) == round(np.log2(s)) for s in scales.values())
+        finally:
+            model.load_state_dict(state_backup)
+
+    def test_none_format_is_noop(self, trained_model_and_loader):
+        model, _ = trained_model_and_loader
+        before = model.state_dict()
+        assert quantize_model_weights(model, None) == {}
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestEvaluateQuantized:
+    def test_fp32_weights_untouched_after_evaluation(self, trained_model_and_loader):
+        model, loader = trained_model_and_loader
+        before = model.state_dict()
+        evaluate_quantized(model, loader, PositConfig(8, 1))
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+        assert all(m.quant is None for m in model.modules())
+
+    def test_16bit_inference_matches_fp32(self, trained_model_and_loader):
+        model, loader = trained_model_and_loader
+        fp32 = inference_sweep(model, loader, formats=[None])[0]["accuracy"]
+        posit16 = evaluate_quantized(model, loader, PositConfig(16, 1))
+        assert posit16 >= fp32 - 0.05
+
+    def test_aggressive_format_degrades(self, trained_model_and_loader):
+        model, loader = trained_model_and_loader
+        fp32 = inference_sweep(model, loader, formats=[None])[0]["accuracy"]
+        posit4 = evaluate_quantized(model, loader, PositConfig(4, 0), use_scaling=False)
+        assert posit4 <= fp32
+
+
+class TestInferenceSweep:
+    def test_sweep_rows_and_monotone_trend(self, trained_model_and_loader):
+        model, loader = trained_model_and_loader
+        rows = inference_sweep(model, loader)
+        assert rows[0]["format"] == "fp32"
+        assert len(rows) == 6
+        accuracies = {row["format"]: row["accuracy"] for row in rows}
+        # 16-bit posit inference should essentially match FP32.
+        assert accuracies["posit(16,1)"] >= accuracies["fp32"] - 0.05
+        # And nothing can beat perfect accuracy.
+        assert all(0.0 <= row["accuracy"] <= 1.0 for row in rows)
+
+    def test_custom_format_list(self, trained_model_and_loader):
+        model, loader = trained_model_and_loader
+        rows = inference_sweep(model, loader, formats=[PositConfig(8, 1)])
+        assert len(rows) == 1 and rows[0]["format"] == "posit(8,1)"

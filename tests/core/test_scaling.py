@@ -1,0 +1,102 @@
+"""Tests for the distribution-based shifting of Eq. (2)/(3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ScaleEstimator, ScaleFactor, compute_scale_factor, log2_center
+
+
+class TestLog2Center:
+    def test_power_of_two_tensor(self):
+        assert log2_center(np.full(100, 8.0)) == 3.0
+
+    def test_mixed_signs_use_magnitude(self):
+        assert log2_center(np.array([-4.0, 4.0, -4.0, 4.0])) == 2.0
+
+    def test_zeros_ignored(self):
+        assert log2_center(np.array([0.0, 0.0, 2.0])) == 1.0
+
+    def test_all_zero_tensor(self):
+        assert log2_center(np.zeros(10)) == 0.0
+
+    def test_rounding_to_integer(self):
+        # Geometric mean of 1 and 2 is 2**0.5 -> center rounds to 0 or 1; mean
+        # of log2 values is 0.5 which rounds (banker's) to 0.
+        assert log2_center(np.array([1.0, 2.0])) in (0.0, 1.0)
+
+    def test_nonfinite_ignored(self):
+        assert log2_center(np.array([np.nan, np.inf, 4.0])) == 2.0
+
+
+class TestComputeScaleFactor:
+    def test_equation_2_with_default_sigma(self):
+        """Sf = 2**(center + sigma), sigma = 2 as in the paper."""
+        values = np.full(50, 2.0**-6)
+        assert compute_scale_factor(values) == 2.0 ** (-6 + 2)
+
+    def test_sigma_zero(self):
+        values = np.full(50, 0.25)
+        assert compute_scale_factor(values, sigma=0) == 0.25
+
+    def test_scale_is_power_of_two(self, rng):
+        values = rng.standard_normal(1000) * 0.037
+        scale = compute_scale_factor(values)
+        assert 2.0 ** round(np.log2(scale)) == scale
+
+    def test_shifting_moves_center_towards_sigma(self, rng):
+        """After dividing by Sf the distribution center lands near -sigma."""
+        sigma = 2
+        values = rng.standard_normal(5000) * 1e-3
+        scale = compute_scale_factor(values, sigma=sigma)
+        shifted_center = np.mean(np.log2(np.abs(values[values != 0]) / scale))
+        assert shifted_center == pytest.approx(-sigma, abs=1.0)
+
+    def test_scale_factor_record(self):
+        record = ScaleFactor.from_tensor(np.full(10, 0.5), sigma=2)
+        assert record.center == -1.0
+        assert record.value == 2.0
+
+    @given(exponent=st.integers(-30, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_tracks_magnitude(self, exponent):
+        """Tensors concentrated at 2**e get Sf = 2**(e + sigma)."""
+        values = np.full(64, 2.0**exponent)
+        assert compute_scale_factor(values, sigma=2) == 2.0 ** (exponent + 2)
+
+
+class TestScaleEstimator:
+    def test_dynamic_mode_recomputes(self, rng):
+        estimator = ScaleEstimator(sigma=2, mode="dynamic")
+        small = np.full(10, 2.0**-8)
+        large = np.full(10, 2.0**4)
+        assert estimator.scale_for(small) == 2.0**-6
+        assert estimator.scale_for(large) == 2.0**6
+
+    def test_calibrated_mode_freezes_center(self):
+        estimator = ScaleEstimator(sigma=2, mode="calibrated")
+        estimator.calibrate(np.full(10, 2.0**-8))
+        # Later tensors with a different magnitude still use the frozen center.
+        assert estimator.scale_for(np.full(10, 2.0**4)) == 2.0**-6
+
+    def test_calibrated_mode_without_calibration_falls_back(self):
+        estimator = ScaleEstimator(sigma=2, mode="calibrated")
+        assert estimator.scale_for(np.full(10, 2.0**3)) == 2.0**5
+
+    def test_observe_uses_moving_average(self):
+        estimator = ScaleEstimator(sigma=0, mode="calibrated", ema_momentum=0.5)
+        estimator.observe(np.full(10, 2.0**0))
+        estimator.observe(np.full(10, 2.0**4))
+        assert estimator.calibrated_center == pytest.approx(2.0)
+        assert estimator.num_observations == 2
+
+    def test_disabled_estimator_returns_unity(self):
+        estimator = ScaleEstimator(enabled=False)
+        assert estimator.scale_for(np.full(10, 2.0**-9)) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleEstimator(mode="bogus")
+        with pytest.raises(ValueError):
+            ScaleEstimator(sigma=-1)

@@ -1,0 +1,217 @@
+"""Tests for the PositTrainer: Fig. 3 insertion points, warm-up, and training runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import PositTrainer, QuantizationPolicy, WarmupSchedule
+from repro.data import ArrayDataLoader, make_blobs
+from repro.models import MLP, tiny_resnet
+from repro.nn import CrossEntropyLoss, LossScaler
+from repro.optim import SGD, MultiStepLR
+from repro.posit import PositConfig, quantize
+
+
+def blob_loaders(batch_size=32, seed=0):
+    points, labels = make_blobs(num_samples=256, num_classes=4, spread=0.5, seed=seed)
+    mean, std = points.mean(axis=0), points.std(axis=0)
+    points = (points - mean) / std
+    # make_blobs emits samples grouped by class; shuffle before splitting so
+    # the train and validation splits share the same class distribution.
+    order = np.random.default_rng(seed).permutation(len(points))
+    points, labels = points[order], labels[order]
+    train = ArrayDataLoader(points[:192], labels[:192], batch_size=batch_size, seed=seed)
+    val = ArrayDataLoader(points[192:], labels[192:], batch_size=64, shuffle=False)
+    return train, val
+
+
+def make_mlp_trainer(policy=None, warmup=0, lr=0.1, seed=0, **kwargs):
+    model = MLP(2, hidden=(32, 16), num_classes=4, rng=np.random.default_rng(seed))
+    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
+    return PositTrainer(model, optimizer, CrossEntropyLoss(), policy=policy,
+                        warmup=WarmupSchedule(warmup), **kwargs)
+
+
+class TestTrainerWiring:
+    def test_fp32_trainer_has_no_contexts(self):
+        trainer = make_mlp_trainer(policy=None)
+        assert trainer.contexts == {}
+        assert not trainer.quantization_active
+
+    def test_policy_attaches_contexts(self):
+        trainer = make_mlp_trainer(policy=QuantizationPolicy.uniform(8))
+        assert len(trainer.contexts) == 3  # three Linear layers in the MLP
+
+    def test_optimizer_hooks_installed(self):
+        trainer = make_mlp_trainer(policy=QuantizationPolicy.uniform(8))
+        assert trainer.optimizer.grad_transform is not None
+        assert trainer.optimizer.param_transform is not None
+
+    def test_warmup_disables_quantization_at_start(self):
+        trainer = make_mlp_trainer(policy=QuantizationPolicy.uniform(8), warmup=2)
+        assert not trainer.quantization_active
+
+    def test_no_warmup_enables_quantization_immediately(self):
+        trainer = make_mlp_trainer(policy=QuantizationPolicy.uniform(8), warmup=0)
+        assert trainer.quantization_active
+
+    def test_describe(self):
+        trainer = make_mlp_trainer(policy=QuantizationPolicy.uniform(8), warmup=1)
+        description = trainer.describe()
+        assert description["warmup"] == {"warmup_epochs": 1}
+        assert len(description["quantized_layers"]) == 3
+
+
+class TestFig3InsertionPoints:
+    """After a quantized training step, every Fig. 3 tensor lies on the posit grid."""
+
+    def test_weights_on_posit_grid_after_step(self):
+        config = PositConfig(8, 1)
+        policy = QuantizationPolicy.uniform(8, use_scaling=False)
+        trainer = make_mlp_trainer(policy=policy, warmup=0, lr=0.05)
+        train, _ = blob_loaders()
+        trainer.train_epoch(train, epoch=0)
+        for param in trainer.model.parameters():
+            np.testing.assert_array_equal(
+                param.data, np.asarray(quantize(param.data, config)),
+                err_msg="stored weights must be posit values after the update (Fig. 3c)",
+            )
+
+    def test_weights_scaled_grid_with_shifting(self):
+        """With Eq. (3) shifting, weights equal Sf times representable posits."""
+        policy = QuantizationPolicy.uniform(8, use_scaling=True, scale_mode="dynamic")
+        trainer = make_mlp_trainer(policy=policy, warmup=0, lr=0.05)
+        train, _ = blob_loaders()
+        trainer.train_epoch(train, epoch=0)
+        config = PositConfig(8, 1)
+        for name, module in trainer.model.named_modules():
+            context = module.quant
+            if context is None:
+                continue
+            weight = module._parameters["weight"].data
+            scale = context.scalers["weight"].scale_for(weight)
+            np.testing.assert_allclose(
+                weight / scale, np.asarray(quantize(weight / scale, config)), atol=0)
+
+    def test_gradients_quantized_before_update(self):
+        """The ΔW hook produces posit-grid gradients (Fig. 3b)."""
+        captured = []
+        policy = QuantizationPolicy.uniform(8, use_scaling=False)
+        trainer = make_mlp_trainer(policy=policy, warmup=0)
+        original_transform = trainer.optimizer.grad_transform
+
+        def spy(grad, param):
+            result = original_transform(grad, param)
+            captured.append(result)
+            return result
+
+        trainer.optimizer.grad_transform = spy
+        train, _ = blob_loaders()
+        trainer.train_epoch(train, epoch=0)
+        assert captured
+        config = PositConfig(8, 2)
+        for grad in captured[:5]:
+            np.testing.assert_array_equal(grad, np.asarray(quantize(grad, config)))
+
+    def test_fp32_trainer_weights_not_on_grid(self):
+        trainer = make_mlp_trainer(policy=None, lr=0.05)
+        train, _ = blob_loaders()
+        trainer.train_epoch(train, epoch=0)
+        config = PositConfig(8, 1)
+        on_grid = all(
+            np.array_equal(p.data, np.asarray(quantize(p.data, config)))
+            for p in trainer.model.parameters()
+        )
+        assert not on_grid
+
+
+class TestWarmupBehaviour:
+    def test_epoch_records_mark_quantized_phase(self):
+        policy = QuantizationPolicy.uniform(8)
+        trainer = make_mlp_trainer(policy=policy, warmup=2, lr=0.05)
+        train, val = blob_loaders()
+        history = trainer.fit(train, val, epochs=4)
+        assert [r.quantized for r in history] == [False, False, True, True]
+
+    def test_calibration_runs_at_transition(self):
+        policy = QuantizationPolicy.uniform(8, scale_mode="calibrated")
+        trainer = make_mlp_trainer(policy=policy, warmup=1, lr=0.05)
+        train, _ = blob_loaders()
+        trainer.fit(train, epochs=2)
+        centers = [c.scalers["weight"].calibrated_center for c in trainer.contexts.values()]
+        assert all(center is not None for center in centers)
+
+    def test_manual_calibration_returns_scales(self):
+        policy = QuantizationPolicy.uniform(8, scale_mode="calibrated")
+        trainer = make_mlp_trainer(policy=policy, warmup=0)
+        scales = trainer.calibrate_scale_factors()
+        assert len(scales) == 3
+        assert all(s > 0 for s in scales.values())
+
+
+class TestTrainingRuns:
+    def test_fp32_learns_blobs(self):
+        trainer = make_mlp_trainer(policy=None, lr=0.1)
+        train, val = blob_loaders()
+        history = trainer.fit(train, val, epochs=15)
+        assert history.final_val_accuracy > 0.9
+
+    def test_posit16_matches_fp32_on_blobs(self):
+        """The core Table III claim at toy scale: 16-bit posit ~= FP32."""
+        train, val = blob_loaders()
+        fp32 = make_mlp_trainer(policy=None, lr=0.1, seed=1)
+        fp32_history = fp32.fit(train, val, epochs=15)
+
+        train, val = blob_loaders()
+        posit = make_mlp_trainer(policy=QuantizationPolicy.imagenet_paper(), warmup=1,
+                                 lr=0.1, seed=1)
+        posit_history = posit.fit(train, val, epochs=15)
+        assert posit_history.final_val_accuracy >= fp32_history.final_val_accuracy - 0.05
+
+    def test_scheduler_steps_per_epoch(self):
+        model = MLP(2, hidden=(8,), num_classes=4, rng=np.random.default_rng(0))
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        scheduler = MultiStepLR(optimizer, milestones=(2,), gamma=0.1)
+        trainer = PositTrainer(model, optimizer, CrossEntropyLoss(), scheduler=scheduler)
+        train, _ = blob_loaders()
+        history = trainer.fit(train, epochs=4)
+        assert history[0].learning_rate == pytest.approx(0.1)
+        assert history[3].learning_rate == pytest.approx(0.01)
+
+    def test_epoch_callbacks_invoked(self):
+        seen = []
+        trainer = make_mlp_trainer(policy=None)
+        trainer.epoch_callbacks.append(lambda tr, epoch, record: seen.append(epoch))
+        train, _ = blob_loaders()
+        trainer.fit(train, epochs=3)
+        assert seen == [0, 1, 2]
+
+    def test_evaluate_does_not_touch_weights(self):
+        trainer = make_mlp_trainer(policy=None)
+        train, val = blob_loaders()
+        before = [p.data.copy() for p in trainer.model.parameters()]
+        trainer.evaluate(val)
+        for original, param in zip(before, trainer.model.parameters()):
+            np.testing.assert_array_equal(original, param.data)
+
+    def test_loss_scaler_path_trains(self):
+        from repro.baselines import fp16_policy
+
+        trainer = make_mlp_trainer(policy=fp16_policy(), warmup=0, lr=0.1,
+                                   loss_scaler=LossScaler(scale=128.0))
+        train, val = blob_loaders()
+        history = trainer.fit(train, val, epochs=10)
+        assert history.final_val_accuracy > 0.8
+
+    def test_resnet_single_quantized_step_runs(self, rng):
+        """End-to-end smoke test with conv/BN layers under the Cifar policy."""
+        model = tiny_resnet(base_width=4, rng=rng)
+        optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+        trainer = PositTrainer(model, optimizer, CrossEntropyLoss(),
+                               policy=QuantizationPolicy.cifar_paper(),
+                               warmup=WarmupSchedule(0))
+        images = rng.standard_normal((8, 3, 16, 16))
+        labels = rng.integers(0, 10, 8)
+        loader = ArrayDataLoader(images, labels, batch_size=8, shuffle=False)
+        loss, accuracy = trainer.train_epoch(loader, epoch=0)
+        assert np.isfinite(loss)
+        assert 0.0 <= accuracy <= 1.0

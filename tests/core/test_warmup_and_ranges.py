@@ -1,0 +1,149 @@
+"""Tests for the warm-up schedule, range analysis, and training metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AverageMeter,
+    EpochRecord,
+    RangeTracker,
+    TrainingHistory,
+    WarmupSchedule,
+    covered_log2_range,
+    log2_range,
+    recommend_es,
+)
+from repro.posit import PositConfig
+
+
+class TestWarmupSchedule:
+    def test_paper_cifar_schedule(self):
+        """Cifar-10 uses 1 warm-up epoch (§III-C)."""
+        schedule = WarmupSchedule(1)
+        assert schedule.in_warmup(0)
+        assert not schedule.in_warmup(1)
+        assert not schedule.quantization_enabled(0)
+        assert schedule.quantization_enabled(1)
+        assert schedule.is_transition(1)
+        assert not schedule.is_transition(0)
+
+    def test_paper_imagenet_schedule(self):
+        """ImageNet uses 5 warm-up epochs (§III-C)."""
+        schedule = WarmupSchedule(5)
+        assert all(schedule.in_warmup(e) for e in range(5))
+        assert schedule.quantization_enabled(5)
+        assert schedule.is_transition(5)
+
+    def test_zero_warmup_disables_phase(self):
+        schedule = WarmupSchedule(0)
+        assert schedule.quantization_enabled(0)
+        assert schedule.is_transition(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WarmupSchedule(-1)
+
+    def test_describe(self):
+        assert WarmupSchedule(3).describe() == {"warmup_epochs": 3}
+
+
+class TestRangeAnalysis:
+    def test_log2_range_of_uniform_tensor_is_zero(self):
+        assert log2_range(np.full(10, 0.5)) == 0.0
+
+    def test_log2_range_measures_spread(self):
+        values = np.array([2.0**-10, 2.0**6])
+        assert log2_range(values) == pytest.approx(16.0)
+
+    def test_percentile_robust_to_outliers(self, rng):
+        values = np.concatenate([rng.uniform(0.5, 2.0, 1000), [1e-30]])
+        assert log2_range(values, percentile=1.0) < 10
+        assert log2_range(values) > 90
+
+    def test_covered_range(self):
+        assert covered_log2_range(PositConfig(8, 0)) == 12
+        assert covered_log2_range(PositConfig(8, 2)) == 48
+
+    def test_recommend_es_grows_with_range(self):
+        assert recommend_es(5.0, n=8) <= recommend_es(40.0, n=8)
+
+    def test_recommend_es_paper_rule(self):
+        """Weight-like ranges fit es=1 while gradient-like ranges need es=2 at 8 bits."""
+        weight_like_range = 12.0    # a few orders of magnitude
+        gradient_like_range = 30.0  # much wider spread
+        assert recommend_es(weight_like_range, n=8) <= 1
+        assert recommend_es(gradient_like_range, n=8) >= 2
+
+    def test_recommend_es_caps_at_max(self):
+        assert recommend_es(10000.0, n=8, max_es=3) == 3
+
+    def test_recommend_es_validation(self):
+        with pytest.raises(ValueError):
+            recommend_es(-1.0, n=8)
+
+    def test_tracker_collects_and_reports(self, rng):
+        tracker = RangeTracker(n_bits=8)
+        tracker.record("conv1", "weight", rng.standard_normal(100) * 0.1)
+        tracker.record("conv1", "error", rng.standard_normal(100) * 1e-5)
+        tracker.record("conv1", "error", rng.standard_normal(100) * 1e2)
+        report = tracker.report()
+        assert len(report) == 2
+        error_row = next(r for r in report if r["role"] == "error")
+        weight_row = next(r for r in report if r["role"] == "weight")
+        assert error_row["overall_log2_range"] > weight_row["overall_log2_range"]
+
+    def test_tracker_recommends_larger_es_for_errors(self, rng):
+        """The §III-B conclusion: backward tensors need a bigger es."""
+        tracker = RangeTracker(n_bits=8)
+        for _ in range(5):
+            tracker.record("layer", "weight", rng.standard_normal(200) * 0.05)
+            scale = 10.0 ** rng.uniform(-6, 2)
+            tracker.record("layer", "error", rng.standard_normal(200) * scale)
+        recommendation = tracker.recommended_es_by_role()
+        assert recommendation["error"] >= recommendation["weight"]
+
+    def test_record_model_weights(self, rng):
+        from repro.models import tiny_resnet
+
+        tracker = RangeTracker()
+        tracker.record_model_weights(tiny_resnet(rng=rng))
+        assert any(row["role"] == "weight" for row in tracker.report())
+
+    def test_empty_tensor_ignored(self):
+        tracker = RangeTracker()
+        tracker.record("layer", "weight", np.zeros(10))
+        assert tracker.report()[0]["overall_log2_range"] == 0.0
+
+
+class TestMetrics:
+    def test_average_meter(self):
+        meter = AverageMeter("loss")
+        meter.update(2.0, count=10)
+        meter.update(4.0, count=10)
+        assert meter.average == pytest.approx(3.0)
+        meter.reset()
+        assert meter.average == 0.0
+
+    def test_epoch_record_as_dict(self):
+        record = EpochRecord(epoch=3, train_loss=0.5, train_accuracy=0.8,
+                             val_accuracy=0.7, quantized=True, extras={"scale": 4.0})
+        as_dict = record.as_dict()
+        assert as_dict["epoch"] == 3 and as_dict["scale"] == 4.0
+
+    def test_history_accessors(self):
+        history = TrainingHistory()
+        history.append(EpochRecord(0, 1.0, 0.3, val_accuracy=0.4))
+        history.append(EpochRecord(1, 0.5, 0.6, val_accuracy=0.55))
+        history.append(EpochRecord(2, 0.4, 0.7, val_accuracy=0.52))
+        assert len(history) == 3
+        assert history.final_val_accuracy == 0.52
+        assert history.best_val_accuracy == 0.55
+        assert history.final_train_loss == 0.4
+        assert history.summary()["epochs"] == 3
+        np.testing.assert_array_equal(history.train_loss_curve(), [1.0, 0.5, 0.4])
+
+    def test_history_handles_missing_validation(self):
+        history = TrainingHistory()
+        history.append(EpochRecord(0, 1.0, 0.3))
+        assert history.final_val_accuracy is None
+        assert np.isnan(history.val_accuracy_curve()).all()

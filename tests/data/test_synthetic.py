@@ -1,0 +1,179 @@
+"""Tests for the synthetic datasets and data loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataLoader,
+    SyntheticImageDataset,
+    cifar_like,
+    imagenet_like,
+    make_blobs,
+    make_spirals,
+    normalize_images,
+    train_loader,
+)
+from repro.data import loaders as data_loaders
+
+
+class TestSyntheticImageDataset:
+    def test_shapes_and_sizes(self):
+        dataset = SyntheticImageDataset(num_classes=4, num_train=100, num_test=40,
+                                        image_size=16, channels=3, seed=0)
+        assert dataset.train_images.shape == (100, 3, 16, 16)
+        assert dataset.test_images.shape == (40, 3, 16, 16)
+        assert dataset.train_labels.shape == (100,)
+        assert dataset.input_shape == (3, 16, 16)
+        assert len(dataset) == 100
+
+    def test_labels_in_range(self):
+        dataset = SyntheticImageDataset(num_classes=5, num_train=200, num_test=50, seed=1)
+        assert dataset.train_labels.min() >= 0
+        assert dataset.train_labels.max() < 5
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticImageDataset(num_train=50, num_test=10, seed=3)
+        b = SyntheticImageDataset(num_train=50, num_test=10, seed=3)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.test_labels, b.test_labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageDataset(num_train=50, num_test=10, seed=3)
+        b = SyntheticImageDataset(num_train=50, num_test=10, seed=4)
+        assert not np.array_equal(a.train_images, b.train_images)
+
+    def test_noise_controls_difficulty(self):
+        """A nearest-prototype classifier should do worse with more noise."""
+        def prototype_accuracy(noise):
+            dataset = SyntheticImageDataset(num_classes=10, num_train=400, num_test=200,
+                                            image_size=16, noise_std=noise, seed=0,
+                                            max_shift=0)
+            prototypes = np.stack([
+                dataset.train_images[dataset.train_labels == c].mean(axis=0)
+                for c in range(10)
+            ])
+            flat_test = dataset.test_images.reshape(len(dataset.test_images), -1)
+            flat_proto = prototypes.reshape(10, -1)
+            predictions = np.argmax(flat_test @ flat_proto.T, axis=1)
+            return float((predictions == dataset.test_labels).mean())
+
+        assert prototype_accuracy(0.5) > prototype_accuracy(40.0)
+
+    def test_class_structure_learnable(self):
+        """With modest noise, same-class samples correlate more than cross-class."""
+        dataset = SyntheticImageDataset(num_classes=3, num_train=300, num_test=30,
+                                        image_size=16, noise_std=0.3, seed=0, max_shift=0)
+        flat = dataset.train_images.reshape(len(dataset.train_images), -1)
+        labels = dataset.train_labels
+        same, cross = [], []
+        for c in range(3):
+            members = flat[labels == c][:20]
+            others = flat[labels != c][:20]
+            centroid = members.mean(axis=0)
+            same.append(np.mean(members @ centroid))
+            cross.append(np.mean(others @ centroid))
+        assert np.mean(same) > np.mean(cross)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(prototype_smoothness=64, image_size=32)
+
+    def test_describe(self):
+        description = cifar_like(num_train=10, num_test=5).describe()
+        assert description["num_classes"] == 10
+        assert description["input_shape"] == (3, 32, 32)
+
+
+class TestPresets:
+    def test_cifar_like_shape(self):
+        dataset = cifar_like(num_train=20, num_test=10)
+        assert dataset.input_shape == (3, 32, 32)
+        assert dataset.num_classes == 10
+
+    def test_imagenet_like_shape(self):
+        dataset = imagenet_like(num_train=20, num_test=10, image_size=64)
+        assert dataset.input_shape == (3, 64, 64)
+        assert dataset.num_classes == 20
+
+
+class TestToyDatasets:
+    def test_spirals_shapes_and_classes(self):
+        points, labels = make_spirals(num_samples=300, num_classes=3)
+        assert points.shape == (300, 2)
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+    def test_spirals_not_linearly_separable(self):
+        points, labels = make_spirals(num_samples=600, num_classes=2, noise=0.05, seed=0)
+        # A linear classifier on raw coordinates should be near chance.
+        from numpy.linalg import lstsq
+
+        targets = np.where(labels == 0, -1.0, 1.0)
+        design = np.hstack([points, np.ones((len(points), 1))])
+        weights = lstsq(design, targets, rcond=None)[0]
+        accuracy = np.mean(np.sign(design @ weights) == targets)
+        assert accuracy < 0.75
+
+    def test_blobs_separable(self):
+        points, labels = make_blobs(num_samples=400, num_classes=4, spread=0.2, seed=0)
+        assert points.shape[1] == 2
+        centroids = np.stack([points[labels == c].mean(axis=0) for c in range(4)])
+        predictions = np.argmin(
+            ((points[:, None, :] - centroids[None]) ** 2).sum(axis=2), axis=1
+        )
+        assert (predictions == labels).mean() > 0.95
+
+
+class TestArrayDataLoader:
+    def test_batches_cover_dataset(self, rng):
+        inputs = rng.standard_normal((25, 4))
+        labels = np.arange(25)
+        loader = ArrayDataLoader(inputs, labels, batch_size=10, shuffle=False)
+        batches = list(loader)
+        assert len(batches) == 3 == len(loader)
+        assert sum(len(b[1]) for b in batches) == 25
+
+    def test_drop_last(self, rng):
+        loader = ArrayDataLoader(rng.standard_normal((25, 4)), np.arange(25),
+                                 batch_size=10, drop_last=True)
+        assert len(loader) == 2
+        assert sum(len(b[1]) for b in loader) == 20
+
+    def test_shuffle_changes_order_but_not_content(self, rng):
+        labels = np.arange(50)
+        loader = ArrayDataLoader(np.zeros((50, 1)), labels, batch_size=50, shuffle=True, seed=0)
+        first_epoch = next(iter(loader))[1]
+        assert not np.array_equal(first_epoch, labels)
+        assert sorted(first_epoch) == list(labels)
+
+    def test_shuffle_deterministic_per_seed(self):
+        def first_batch(seed):
+            loader = ArrayDataLoader(np.zeros((20, 1)), np.arange(20),
+                                     batch_size=20, seed=seed)
+            return next(iter(loader))[1]
+
+        np.testing.assert_array_equal(first_batch(5), first_batch(5))
+        assert not np.array_equal(first_batch(5), first_batch(6))
+
+    def test_transform_applied(self, rng):
+        inputs = rng.standard_normal((10, 3, 4, 4)) * 7 + 3
+        loader = ArrayDataLoader(inputs, np.zeros(10), batch_size=10,
+                                 transform=normalize_images, shuffle=False)
+        batch, _ = next(iter(loader))
+        assert abs(batch.mean()) < 1e-8
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataLoader(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            ArrayDataLoader(np.zeros((3, 2)), np.zeros(3), batch_size=0)
+
+    def test_train_and_test_loader_helpers(self):
+        dataset = cifar_like(num_train=30, num_test=20)
+        train = train_loader(dataset, batch_size=16, seed=0)
+        test = data_loaders.test_loader(dataset, batch_size=16)
+        assert train.num_samples == 30
+        assert test.num_samples == 20
+        batch, labels = next(iter(test))
+        assert batch.shape == (16, 3, 32, 32)

@@ -1,0 +1,139 @@
+"""Tests for the posit decoder/encoder models (Figs. 5 and 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware import PositDecoder, PositEncoder, internal_format_for_posit
+from repro.posit import PositConfig, decode, decode_fields, encode
+
+FORMATS = [PositConfig(8, 0), PositConfig(8, 1), PositConfig(16, 1), PositConfig(16, 2)]
+
+
+class TestDecoderFunctional:
+    @pytest.mark.parametrize("cfg", FORMATS, ids=str)
+    def test_decoded_value_matches_reference(self, cfg, rng):
+        decoder = PositDecoder(cfg)
+        for code in rng.integers(0, cfg.code_count, size=100):
+            code = int(code)
+            reference = decode(code, cfg)
+            decoded = decoder.decode(code)
+            if math.isnan(reference):
+                assert decoded.is_nar
+            else:
+                assert decoded.value == reference
+
+    def test_exhaustive_equivalence_8bit(self):
+        cfg = PositConfig(8, 1)
+        decoder = PositDecoder(cfg)
+        for code in range(cfg.code_count):
+            reference = decode(code, cfg)
+            decoded = decoder.decode(code)
+            if math.isnan(reference):
+                assert decoded.is_nar
+            elif reference == 0:
+                assert decoded.is_zero
+            else:
+                assert decoded.value == reference
+
+    def test_effective_exponent_combines_regime_and_exponent(self):
+        cfg = PositConfig(8, 1)
+        code = encode(6.0, cfg)  # 6 = 2**2 * 1.5 -> k=1, e=0
+        decoded = PositDecoder(cfg).decode(code)
+        fields = decode_fields(code, cfg)
+        assert decoded.effective_exponent == fields.regime * 2 + fields.exponent == 2
+
+    def test_original_and_optimized_functionally_identical(self, rng):
+        """Fig. 5: the optimization is purely structural."""
+        cfg = PositConfig(16, 1)
+        original = PositDecoder(cfg, optimized=False)
+        optimized = PositDecoder(cfg, optimized=True)
+        for code in rng.integers(0, cfg.code_count, size=200):
+            assert original.decode(int(code)) == optimized.decode(int(code))
+
+
+class TestEncoderFunctional:
+    @pytest.mark.parametrize("cfg", FORMATS, ids=str)
+    def test_decode_encode_roundtrip(self, cfg, rng):
+        decoder = PositDecoder(cfg)
+        encoder = PositEncoder(cfg)
+        for code in rng.integers(0, cfg.code_count, size=100):
+            code = int(code)
+            if code == cfg.nar_pattern:
+                continue
+            assert encoder.encode(decoder.decode(code)) == code
+
+    def test_nar_and_zero_handling(self):
+        cfg = PositConfig(8, 1)
+        encoder = PositEncoder(cfg)
+        decoder = PositDecoder(cfg)
+        assert encoder.encode(decoder.decode(0)) == 0
+        assert encoder.encode(decoder.decode(cfg.nar_pattern)) == cfg.nar_pattern
+
+    def test_encode_value_truncates_like_algorithm1(self):
+        cfg = PositConfig(8, 1)
+        encoder = PositEncoder(cfg)
+        assert decode(encoder.encode_value(5.3), cfg) <= 5.3
+
+    def test_original_and_optimized_functionally_identical(self, rng):
+        cfg = PositConfig(16, 1)
+        decoder = PositDecoder(cfg)
+        original = PositEncoder(cfg, optimized=False)
+        optimized = PositEncoder(cfg, optimized=True)
+        for code in rng.integers(0, cfg.code_count, size=200):
+            decoded = decoder.decode(int(code))
+            assert original.encode(decoded) == optimized.encode(decoded)
+
+
+class TestCodecCosts:
+    """The structural claims of Figs. 5/6 and Table IV."""
+
+    @pytest.mark.parametrize("cfg", FORMATS, ids=str)
+    def test_optimized_decoder_is_faster(self, cfg):
+        original = PositDecoder(cfg, optimized=False).cost()
+        optimized = PositDecoder(cfg, optimized=True).cost()
+        assert optimized.delay_levels < original.delay_levels
+
+    @pytest.mark.parametrize("cfg", FORMATS, ids=str)
+    def test_optimized_encoder_is_faster(self, cfg):
+        original = PositEncoder(cfg, optimized=False).cost()
+        optimized = PositEncoder(cfg, optimized=True).cost()
+        assert optimized.delay_levels < original.delay_levels
+
+    def test_optimization_trades_area_for_delay(self):
+        """Duplicating the shifter costs area — the paper's stated trade-off."""
+        cfg = PositConfig(16, 1)
+        assert (PositDecoder(cfg, optimized=True).cost().area_ge
+                > PositDecoder(cfg, optimized=False).cost().area_ge)
+        assert (PositEncoder(cfg, optimized=True).cost().area_ge
+                > PositEncoder(cfg, optimized=False).cost().area_ge)
+
+    def test_cost_grows_with_word_size(self):
+        small = PositDecoder(PositConfig(8, 0)).cost()
+        large = PositDecoder(PositConfig(32, 3)).cost()
+        assert large.area_ge > small.area_ge
+        assert large.delay_levels > small.delay_levels
+
+    def test_encoder_cost_grows_with_word_size(self):
+        small = PositEncoder(PositConfig(8, 0)).cost()
+        large = PositEncoder(PositConfig(32, 3)).cost()
+        assert large.area_ge > small.area_ge
+
+
+class TestInternalFormat:
+    def test_covers_posit_exponent_range(self):
+        for cfg in FORMATS:
+            spec = internal_format_for_posit(cfg)
+            assert 2 ** (spec.exponent_bits - 1) >= cfg.max_exponent
+
+    def test_mantissa_covers_posit_fraction(self):
+        for cfg in FORMATS:
+            spec = internal_format_for_posit(cfg)
+            max_fraction_bits = cfg.n - cfg.es - 3
+            assert spec.mantissa_bits >= max_fraction_bits
+
+    def test_smaller_posit_needs_smaller_datapath(self):
+        spec8 = internal_format_for_posit(PositConfig(8, 1))
+        spec16 = internal_format_for_posit(PositConfig(16, 1))
+        assert spec8.mantissa_bits < spec16.mantissa_bits

@@ -1,0 +1,110 @@
+"""Tests for the hardware cost primitives and the gate library."""
+
+import pytest
+
+from repro.hardware import (
+    GENERIC_28NM,
+    ComponentCost,
+    GateLibrary,
+    absolute_value,
+    adder,
+    barrel_shifter,
+    comparator,
+    incrementer,
+    lod,
+    lzd,
+    multiplier,
+    mux2,
+    register,
+    wire,
+    xor_row,
+)
+
+
+class TestGateLibrary:
+    def test_area_conversion(self):
+        assert GENERIC_28NM.area_um2(1000) == pytest.approx(1000 * GENERIC_28NM.gate_area_um2)
+
+    def test_delay_conversion(self):
+        assert GENERIC_28NM.delay_ns(10) == pytest.approx(10 * GENERIC_28NM.gate_delay_ns)
+
+    def test_power_scales_with_frequency(self):
+        low = GENERIC_28NM.power_mw(1000, clock_mhz=100)
+        high = GENERIC_28NM.power_mw(1000, clock_mhz=1000)
+        assert high > low
+
+    def test_power_has_leakage_floor(self):
+        assert GENERIC_28NM.power_mw(1000, clock_mhz=0) > 0
+
+    def test_custom_library(self):
+        library = GateLibrary(name="test", gate_area_um2=1.0, gate_delay_ns=0.01)
+        assert library.area_um2(5) == 5.0
+
+
+class TestComponentComposition:
+    def test_serial_adds_delay_and_area(self):
+        a = ComponentCost("a", 10, 2)
+        b = ComponentCost("b", 20, 3)
+        combined = a.serial(b)
+        assert combined.area_ge == 30
+        assert combined.delay_levels == 5
+
+    def test_parallel_takes_max_delay(self):
+        a = ComponentCost("a", 10, 2)
+        b = ComponentCost("b", 20, 7)
+        combined = a.parallel(b)
+        assert combined.area_ge == 30
+        assert combined.delay_levels == 7
+
+    def test_scaled(self):
+        cost = ComponentCost("x", 10, 4).scaled(area_factor=2, delay_factor=0.5)
+        assert cost.area_ge == 20 and cost.delay_levels == 2
+
+    def test_zero_identity(self):
+        cost = ComponentCost("x", 10, 4)
+        combined = cost.serial(ComponentCost.zero())
+        assert combined.area_ge == 10 and combined.delay_levels == 4
+
+    def test_wire_is_free(self):
+        assert wire().area_ge == 0 and wire().delay_levels == 0
+
+
+class TestPrimitiveScaling:
+    """Costs must scale the way the underlying structures do."""
+
+    def test_lzd_area_linear_delay_logarithmic(self):
+        assert lzd(32).area_ge == pytest.approx(2 * lzd(16).area_ge)
+        assert lzd(32).delay_levels < 2 * lzd(16).delay_levels
+
+    def test_lod_equals_lzd(self):
+        assert lod(16).area_ge == lzd(16).area_ge
+
+    def test_barrel_shifter_area_superlinear(self):
+        assert barrel_shifter(32).area_ge > 2 * barrel_shifter(16).area_ge
+
+    def test_barrel_shifter_bounded_shift_cheaper(self):
+        assert barrel_shifter(32, max_shift=3).area_ge < barrel_shifter(32).area_ge
+
+    def test_adder_wider_is_bigger_and_slower(self):
+        assert adder(32).area_ge > adder(16).area_ge
+        assert adder(32).delay_levels > adder(16).delay_levels
+
+    def test_incrementer_cheaper_than_adder(self):
+        assert incrementer(16).area_ge < adder(16).area_ge
+
+    def test_multiplier_area_quadratic(self):
+        small = multiplier(8, 8).area_ge
+        large = multiplier(16, 16).area_ge
+        assert large > 3 * small
+
+    def test_multiplier_dominates_fp32_datapath(self):
+        # The 24x24 significand multiplier is the largest single FP32 component.
+        assert multiplier(24, 24).area_ge > adder(48).area_ge
+        assert multiplier(24, 24).area_ge > barrel_shifter(50).area_ge
+
+    def test_mux_and_misc_widths(self):
+        assert mux2(16).area_ge == pytest.approx(2 * mux2(8).area_ge)
+        assert xor_row(8).area_ge > 0
+        assert comparator(8).area_ge > 0
+        assert absolute_value(8).area_ge > incrementer(8).area_ge
+        assert register(8).delay_levels == 0

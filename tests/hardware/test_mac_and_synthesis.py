@@ -1,0 +1,185 @@
+"""Tests for the MAC units, the synthesis model (Tables IV/V), and energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuantizationPolicy
+from repro.hardware import (
+    FP32MAC,
+    Calibration,
+    PositMAC,
+    calibrate_to_reference,
+    codec_optimization_report,
+    communication_saving,
+    model_size_bytes,
+    synthesize,
+    table4_report,
+    table5_report,
+    training_step_traffic,
+)
+from repro.models import tiny_resnet
+from repro.posit import PositConfig, decode, encode, fma
+
+TABLE5_FORMATS = [PositConfig(8, 1), PositConfig(8, 2), PositConfig(16, 1), PositConfig(16, 2)]
+
+
+class TestPositMACFunctional:
+    @pytest.mark.parametrize("cfg", TABLE5_FORMATS, ids=str)
+    def test_matches_reference_fma(self, cfg, rng):
+        mac = PositMAC(cfg)
+        for _ in range(200):
+            a, b, c = rng.uniform(-20, 20, 3)
+            bits = [encode(float(v), cfg) for v in (a, b, c)]
+            assert mac.mac(*bits) == fma(*bits, cfg, rounding="zero")
+
+    def test_nar_propagation(self):
+        cfg = PositConfig(8, 1)
+        mac = PositMAC(cfg)
+        nar = cfg.nar_pattern
+        assert mac.mac(nar, encode(1.0, cfg), encode(1.0, cfg)) == nar
+
+    def test_zero_times_anything(self):
+        cfg = PositConfig(8, 1)
+        mac = PositMAC(cfg)
+        one = encode(1.0, cfg)
+        assert decode(mac.mac(0, one, one), cfg) == 1.0
+
+    def test_mac_value_convenience(self):
+        mac = PositMAC(PositConfig(16, 1))
+        assert mac.mac_value(2.0, 3.0, 1.0) == 7.0
+
+    def test_optimized_and_original_codec_same_results(self, rng):
+        cfg = PositConfig(8, 2)
+        original = PositMAC(cfg, optimized_codec=False)
+        optimized = PositMAC(cfg, optimized_codec=True)
+        for _ in range(100):
+            bits = [encode(float(v), cfg) for v in rng.uniform(-5, 5, 3)]
+            assert original.mac(*bits) == optimized.mac(*bits)
+
+
+class TestFP32MAC:
+    def test_exact_for_small_products(self):
+        assert FP32MAC().mac(1.5, 2.0, 0.25) == 3.25
+
+    def test_rounds_to_single_precision(self):
+        result = FP32MAC().mac(1.0, 1.0, 2.0**-30)
+        assert result == 1.0  # the tiny addend falls below the 24-bit mantissa
+
+
+class TestStructuralClaims:
+    """The relative claims of §IV backed by the cost model."""
+
+    def test_codec_fraction_near_40_percent_for_original(self):
+        """The paper: encoder+decoder of [6] take ~40% of the MAC delay."""
+        fractions = [PositMAC(cfg, optimized_codec=False).codec_delay_fraction()
+                     for cfg in TABLE5_FORMATS]
+        assert all(0.3 <= fraction <= 0.55 for fraction in fractions)
+
+    def test_optimized_codec_reduces_fraction(self):
+        for cfg in TABLE5_FORMATS:
+            original = PositMAC(cfg, optimized_codec=False).codec_delay_fraction()
+            optimized = PositMAC(cfg, optimized_codec=True).codec_delay_fraction()
+            assert optimized < original
+
+    def test_posit8_mac_much_smaller_than_fp32(self):
+        fp32_area = FP32MAC().cost().area_ge
+        for cfg in (PositConfig(8, 1), PositConfig(8, 2)):
+            assert PositMAC(cfg).cost().area_ge < 0.45 * fp32_area
+
+    def test_posit16_mac_smaller_than_fp32(self):
+        fp32_area = FP32MAC().cost().area_ge
+        for cfg in (PositConfig(16, 1), PositConfig(16, 2)):
+            area = PositMAC(cfg).cost().area_ge
+            assert area < fp32_area
+            assert area > 0.4 * fp32_area  # but clearly not 4x smaller
+
+    def test_higher_es_slightly_cheaper_at_same_width(self):
+        """Larger es leaves fewer mantissa bits, shrinking the multiplier."""
+        assert (PositMAC(PositConfig(8, 2)).cost().area_ge
+                < PositMAC(PositConfig(8, 1)).cost().area_ge)
+
+
+class TestSynthesisReports:
+    def test_calibration_reproduces_fp32_reference(self):
+        calibration = calibrate_to_reference()
+        result = synthesize(FP32MAC().cost(), calibration=calibration)
+        assert result.area_um2 == pytest.approx(4322.0, rel=1e-6)
+        assert result.power_mw == pytest.approx(2.52, rel=1e-6)
+
+    def test_identity_calibration(self):
+        raw = synthesize(FP32MAC().cost(), calibration=Calibration.identity())
+        assert raw.area_um2 > 0 and raw.power_mw > 0 and raw.delay_ns > 0
+
+    def test_table4_shape(self):
+        rows = table4_report()
+        assert len(rows) == 6  # 3 formats x (encoder, decoder)
+        for row in rows:
+            assert row["optimized_delay_ns"] < row["original_delay_ns"]
+            assert 5.0 <= row["speedup_percent"] <= 45.0
+
+    def test_table4_delay_grows_with_width(self):
+        rows = table4_report()
+        decoder_delays = {row["format"]: row["optimized_delay_ns"]
+                          for row in rows if row["unit"] == "decoder"}
+        assert decoder_delays["posit(8,0)"] < decoder_delays["posit(16,1)"]
+        assert decoder_delays["posit(16,1)"] < decoder_delays["posit(32,3)"]
+
+    def test_table5_shape(self):
+        rows = table5_report()
+        assert rows[0]["design"] == "FP32"
+        by_design = {row["design"]: row for row in rows}
+        # 8-bit posit MACs achieve large reductions, 16-bit moderate ones.
+        assert by_design["posit(8,1)"]["power_reduction_percent"] > 60
+        assert by_design["posit(8,2)"]["area_reduction_percent"] > 60
+        assert 5 < by_design["posit(16,1)"]["power_reduction_percent"] < 60
+        assert by_design["posit(16,2)"]["area_um2"] < by_design["posit(16,1)"]["area_um2"]
+
+    def test_table5_all_posit_below_fp32(self):
+        rows = table5_report()
+        fp32 = rows[0]
+        for row in rows[1:]:
+            assert row["power_mw"] < fp32["power_mw"]
+            assert row["area_um2"] < fp32["area_um2"]
+
+    def test_codec_optimization_report(self):
+        rows = codec_optimization_report()
+        assert len(rows) == 4
+        for row in rows:
+            assert row["optimized_mac_delay_ns"] < row["original_mac_delay_ns"]
+            assert row["original_codec_fraction"] > row["optimized_codec_fraction"]
+
+
+class TestEnergyAccounting:
+    def test_model_size_ratio_for_8bit_policy(self, rng):
+        """8-bit storage shrinks the (conv-dominated) model by roughly 4x (§IV/§V)."""
+        model = tiny_resnet(base_width=8, rng=rng)
+        policy = QuantizationPolicy.uniform(8)
+        fp32_size = model_size_bytes(model, None).parameter_bytes
+        posit_size = model_size_bytes(model, policy).parameter_bytes
+        assert fp32_size / posit_size == pytest.approx(4.0, rel=0.05)
+
+    def test_model_size_ratio_for_16bit_policy(self, rng):
+        model = tiny_resnet(base_width=8, rng=rng)
+        policy = QuantizationPolicy.imagenet_paper()
+        ratio = (model_size_bytes(model, None).parameter_bytes
+                 / model_size_bytes(model, policy).parameter_bytes)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_communication_saving_in_2_to_4x_band(self, rng):
+        """The §V claim: communication overhead saved by 2-4x."""
+        model = tiny_resnet(base_width=8, rng=rng)
+        for policy in (QuantizationPolicy.cifar_paper(), QuantizationPolicy.imagenet_paper()):
+            saving = communication_saving(model, policy, batch_size=16)
+            assert 2.0 <= saving["traffic_ratio"] <= 4.2
+            assert 2.0 <= saving["model_size_ratio"] <= 4.2
+
+    def test_traffic_scales_with_batch_size(self, rng):
+        model = tiny_resnet(base_width=8, rng=rng)
+        small = training_step_traffic(model, None, batch_size=8)
+        large = training_step_traffic(model, None, batch_size=64)
+        assert large.bytes_per_step > small.bytes_per_step
+
+    def test_energy_proportional_to_traffic(self, rng):
+        model = tiny_resnet(base_width=8, rng=rng)
+        report = training_step_traffic(model, None, batch_size=8)
+        assert report.dram_energy_uj == pytest.approx(report.bytes_per_step * 160e-6, rel=1e-6)

@@ -1,0 +1,104 @@
+"""End-to-end integration tests: the full paper pipeline at reduced scale.
+
+These tests tie every subsystem together — synthetic data, ResNet models,
+the posit training methodology, the baselines, and the analysis tooling —
+and assert the paper's *qualitative* claims at a scale small enough for CI:
+
+* posit training with warm-up + shifting + the paper's es policy reaches the
+  FP32 baseline (Table III's headline result),
+* removing the stabilizing techniques or using an over-aggressive format
+  hurts (the §III-B motivation),
+* the Fig. 2 distribution phenomenon (BN weights shift early) is observable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DistributionRecorder, bn_shift_magnitude
+from repro.core import PositTrainer, QuantizationPolicy, WarmupSchedule
+from repro.data import SyntheticImageDataset, train_loader
+from repro.data.loaders import test_loader as make_test_loader
+from repro.models import tiny_resnet
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+
+
+def small_dataset(seed=0):
+    return SyntheticImageDataset(num_classes=4, num_train=192, num_test=96,
+                                 image_size=16, noise_std=0.4,
+                                 prototype_smoothness=4, max_shift=1, seed=seed)
+
+
+def run_training(policy, warmup_epochs, epochs=4, seed=0, lr=0.05,
+                 callbacks=None, dataset_seed=1):
+    dataset = small_dataset(seed=dataset_seed)
+    train = train_loader(dataset, batch_size=32, seed=seed)
+    val = make_test_loader(dataset, batch_size=96)
+    model = tiny_resnet(num_classes=4, base_width=8, rng=np.random.default_rng(seed))
+    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
+    trainer = PositTrainer(model, optimizer, CrossEntropyLoss(), policy=policy,
+                           warmup=WarmupSchedule(warmup_epochs),
+                           epoch_callbacks=callbacks or [])
+    history = trainer.fit(train, val, epochs=epochs)
+    return trainer, history
+
+
+@pytest.mark.slow
+class TestPaperPipeline:
+    def test_fp32_baseline_learns(self):
+        _, history = run_training(policy=None, warmup_epochs=0)
+        assert history.final_val_accuracy > 0.5
+        assert history.train_loss_curve()[-1] < history.train_loss_curve()[0]
+
+    def test_posit_paper_recipe_matches_fp32(self):
+        """Table III at reduced scale: Cifar policy + warm-up ~= FP32 baseline."""
+        _, fp32_history = run_training(policy=None, warmup_epochs=0)
+        _, posit_history = run_training(policy=QuantizationPolicy.cifar_paper(),
+                                        warmup_epochs=1)
+        assert posit_history.final_val_accuracy >= fp32_history.final_val_accuracy - 0.12
+
+    def test_aggressive_format_without_tricks_degrades(self):
+        """posit(6,0) with no warm-up and no shifting falls well behind."""
+        _, good_history = run_training(policy=QuantizationPolicy.cifar_paper(),
+                                       warmup_epochs=1)
+        bad_policy = QuantizationPolicy.uniform(6, es_forward=0, es_backward=0,
+                                                use_scaling=False)
+        _, bad_history = run_training(policy=bad_policy, warmup_epochs=0)
+        assert bad_history.final_val_accuracy < good_history.final_val_accuracy
+
+    def test_warmup_epochs_stay_in_fp32(self):
+        trainer, history = run_training(policy=QuantizationPolicy.cifar_paper(),
+                                        warmup_epochs=2, epochs=3)
+        assert [record.quantized for record in history] == [False, False, True]
+
+    def test_fig2_bn_weights_shift_more_than_conv_weights(self):
+        """The Fig. 2 observation that motivates warm-up training."""
+        recorder = DistributionRecorder(keep_histograms=False)
+        run_training(policy=None, warmup_epochs=0, epochs=4, callbacks=[recorder])
+        shifts = bn_shift_magnitude(recorder)
+        conv_shift = next(v for k, v in shifts.items() if "conv1" in k)
+        bn_shift = next(v for k, v in shifts.items() if "bn1" in k)
+        assert bn_shift > conv_shift
+
+    def test_training_is_reproducible_given_seeds(self):
+        _, history_a = run_training(policy=QuantizationPolicy.uniform(16),
+                                    warmup_epochs=1, epochs=2)
+        _, history_b = run_training(policy=QuantizationPolicy.uniform(16),
+                                    warmup_epochs=1, epochs=2)
+        np.testing.assert_allclose(history_a.train_loss_curve(),
+                                   history_b.train_loss_curve())
+
+    def test_state_dict_roundtrip_preserves_validation_accuracy(self):
+        trainer, history = run_training(policy=QuantizationPolicy.uniform(16),
+                                        warmup_epochs=1, epochs=3)
+        dataset = small_dataset(seed=1)
+        val = make_test_loader(dataset, batch_size=96)
+        _, accuracy_before = trainer.evaluate(val)
+
+        fresh_model = tiny_resnet(num_classes=4, base_width=8,
+                                  rng=np.random.default_rng(99))
+        fresh_model.load_state_dict(trainer.model.state_dict())
+        fresh_trainer = PositTrainer(fresh_model, SGD(fresh_model.parameters(), lr=0.05),
+                                     CrossEntropyLoss())
+        _, accuracy_after = fresh_trainer.evaluate(val)
+        assert accuracy_after == pytest.approx(accuracy_before, abs=1e-9)

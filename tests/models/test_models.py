@@ -1,0 +1,140 @@
+"""Tests for the model zoo: ResNets (the paper's models), MLP, LeNet."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BasicBlock,
+    LeNet,
+    MLP,
+    ResNet,
+    cifar_resnet8,
+    cifar_resnet18,
+    resnet18,
+    tiny_resnet,
+)
+from repro.nn import BatchNorm2d, Conv2d
+from repro.tensor import Tensor
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_when_shapes_match(self, rng):
+        block = BasicBlock(8, 8, stride=1, rng=rng)
+        out = block(Tensor(rng.standard_normal((2, 8, 8, 8))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_projection_shortcut_on_downsample(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng)
+        out = block(Tensor(rng.standard_normal((2, 8, 8, 8))))
+        assert out.shape == (2, 16, 4, 4)
+
+    def test_output_nonnegative_after_final_relu(self, rng):
+        block = BasicBlock(4, 4, rng=rng)
+        out = block(Tensor(rng.standard_normal((1, 4, 6, 6))))
+        assert np.all(out.data >= 0)
+
+    def test_gradients_flow_through_both_paths(self, rng):
+        block = BasicBlock(4, 8, stride=2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 4, 8, 8)), requires_grad=True)
+        block(x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in block.parameters())
+
+
+class TestResNetArchitectures:
+    def test_cifar_resnet18_structure(self):
+        model = cifar_resnet18(base_width=8, rng=np.random.default_rng(0))
+        description = model.describe()
+        # ResNet-18: 1 stem conv + 2*2*4 block convs + 3 projection convs = 20 convs.
+        assert description["num_conv_layers"] == 20
+        assert description["num_bn_layers"] == 20
+        assert description["stem"] == "cifar"
+
+    def test_cifar_resnet18_full_width_parameter_count(self):
+        """The real Cifar-ResNet-18 has ~11.2M parameters, like the paper's model."""
+        model = cifar_resnet18(base_width=64, rng=np.random.default_rng(0))
+        assert 10_000_000 < model.num_parameters() < 12_000_000
+
+    def test_imagenet_resnet18_parameter_count(self):
+        """Standard ResNet-18 (1000 classes) has ~11.7M parameters."""
+        model = resnet18(rng=np.random.default_rng(0))
+        assert 11_000_000 < model.num_parameters() < 12_500_000
+
+    def test_cifar_forward_shape(self, rng):
+        model = cifar_resnet8(base_width=8, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_imagenet_stem_downsamples_more(self, rng):
+        model = ResNet((1, 1), num_classes=5, base_width=8, stem="imagenet", rng=rng)
+        out = model(Tensor(rng.standard_normal((1, 3, 64, 64))))
+        assert out.shape == (1, 5)
+
+    def test_accepts_raw_numpy_input(self, rng):
+        model = tiny_resnet(rng=rng)
+        assert model(rng.standard_normal((1, 3, 16, 16))).shape == (1, 10)
+
+    def test_invalid_stem_rejected(self):
+        with pytest.raises(ValueError):
+            ResNet(stem="bogus")
+
+    def test_deterministic_given_seed(self):
+        model_a = tiny_resnet(rng=np.random.default_rng(7))
+        model_b = tiny_resnet(rng=np.random.default_rng(7))
+        for p_a, p_b in zip(model_a.parameters(), model_b.parameters()):
+            np.testing.assert_array_equal(p_a.data, p_b.data)
+
+    def test_backward_through_whole_network(self, rng):
+        model = tiny_resnet(base_width=4, rng=rng)
+        out = model(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_conv_layers_have_no_bias(self, rng):
+        model = tiny_resnet(rng=rng)
+        convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+        assert all(conv.bias is None for conv in convs)
+
+    def test_bn_follows_every_conv(self, rng):
+        model = cifar_resnet8(rng=rng)
+        num_convs = sum(1 for m in model.modules() if isinstance(m, Conv2d))
+        num_bns = sum(1 for m in model.modules() if isinstance(m, BatchNorm2d))
+        assert num_convs == num_bns
+
+
+class TestMLP:
+    def test_forward_shape(self, rng):
+        model = MLP(10, hidden=(16, 8), num_classes=4, rng=rng)
+        assert model(Tensor(rng.standard_normal((5, 10)))).shape == (5, 4)
+
+    def test_flattens_high_rank_input(self, rng):
+        model = MLP(3 * 4 * 4, hidden=(8,), num_classes=2, rng=rng)
+        assert model(Tensor(rng.standard_normal((5, 3, 4, 4)))).shape == (5, 2)
+
+    def test_dropout_layers_inserted(self, rng):
+        model = MLP(4, hidden=(8,), dropout=0.5, rng=rng)
+        from repro.nn import Dropout
+
+        assert any(isinstance(m, Dropout) for m in model.modules())
+
+    def test_no_hidden_layers(self, rng):
+        model = MLP(4, hidden=(), num_classes=3, rng=rng)
+        assert model(Tensor(rng.standard_normal((2, 4)))).shape == (2, 3)
+
+
+class TestLeNet:
+    def test_forward_shape(self, rng):
+        model = LeNet(rng=rng)
+        assert model(Tensor(rng.standard_normal((2, 3, 32, 32)))).shape == (2, 10)
+
+    def test_without_batch_norm(self, rng):
+        model = LeNet(batch_norm=False, rng=rng)
+        assert not any(isinstance(m, BatchNorm2d) for m in model.modules())
+
+    def test_invalid_image_size(self):
+        with pytest.raises(ValueError):
+            LeNet(image_size=30)
+
+    def test_grayscale_input(self, rng):
+        model = LeNet(in_channels=1, image_size=28, rng=rng)
+        assert model(Tensor(rng.standard_normal((2, 1, 28, 28)))).shape == (2, 10)

@@ -1,0 +1,72 @@
+"""Tests for loss modules and the loss scaler."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, Linear, LossScaler, MSELoss
+from repro.tensor import Tensor
+
+
+class TestCrossEntropyLoss:
+    def test_matches_functional(self, rng):
+        logits = rng.standard_normal((4, 3))
+        labels = np.array([0, 1, 2, 0])
+        loss = CrossEntropyLoss()(Tensor(logits), labels)
+        assert loss.item() == pytest.approx(
+            -np.mean(np.log(np.exp(logits)[np.arange(4), labels] / np.exp(logits).sum(1)))
+        )
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.5)
+
+
+class TestMSELoss:
+    def test_value(self):
+        loss = MSELoss()(Tensor(np.array([1.0, 3.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+
+class TestLossScaler:
+    def test_scales_loss(self):
+        scaler = LossScaler(scale=512.0)
+        loss = Tensor(np.array(2.0), requires_grad=True)
+        assert scaler.scale_loss(loss).item() == pytest.approx(1024.0)
+
+    def test_unscales_gradients(self, rng):
+        scaler = LossScaler(scale=16.0)
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.standard_normal((4, 3))))
+        scaler.scale_loss(out.sum()).backward()
+        scaled_grad = layer.weight.grad.copy()
+        assert scaler.unscale_gradients(layer.parameters())
+        np.testing.assert_allclose(layer.weight.grad, scaled_grad / 16.0)
+
+    def test_detects_nonfinite_gradients(self, rng):
+        scaler = LossScaler(scale=2.0)
+        layer = Linear(2, 2, rng=rng)
+        layer.weight.grad = np.array([[np.inf, 0.0], [0.0, 0.0]])
+        layer.bias.grad = np.zeros(2)
+        assert not scaler.unscale_gradients(layer.parameters())
+
+    def test_dynamic_growth_and_backoff(self):
+        scaler = LossScaler(scale=8.0, dynamic=True, growth_interval=2)
+        param = Linear(2, 2).weight
+        param.grad = np.ones((2, 2))
+        scaler.unscale_gradients([param])
+        param.grad = np.ones((2, 2))
+        scaler.unscale_gradients([param])
+        assert scaler.scale == 16.0  # doubled after two good steps
+        param.grad = np.full((2, 2), np.nan)
+        scaler.unscale_gradients([param])
+        assert scaler.scale == 8.0  # halved after a bad step
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            LossScaler(scale=0.0)
+
+    def test_skips_parameters_without_gradients(self):
+        scaler = LossScaler(scale=4.0)
+        param = Linear(2, 2).weight
+        param.grad = None
+        assert scaler.unscale_gradients([param])

@@ -1,0 +1,126 @@
+"""Tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Conv2d, Linear, Module, Parameter, ReLU, Sequential
+from repro.tensor import Tensor
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.act = ReLU()
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_parameters_registered_automatically(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert len(net.parameters()) == 4
+
+    def test_parameter_is_tensor_with_grad(self):
+        param = Parameter(np.zeros(3))
+        assert isinstance(param, Tensor)
+        assert param.requires_grad
+
+    def test_named_modules_includes_children(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_modules()]
+        assert "" in names and "fc1" in names and "act" in names
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_buffers_registered(self):
+        bn = BatchNorm2d(3)
+        buffer_names = [name for name, _ in bn.named_buffers()]
+        assert set(buffer_names) == {"running_mean", "running_var"}
+
+    def test_quant_attribute_defaults_to_none(self):
+        assert Linear(2, 2).quant is None
+
+
+class TestTrainEvalMode:
+    def test_recursive_mode_switch(self):
+        net = Sequential(Linear(2, 2), BatchNorm2d(2))
+        net.eval()
+        assert all(not module.training for module in net.modules())
+        net.train()
+        assert all(module.training for module in net.modules())
+
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1 = TinyNet()
+        net2 = TinyNet()
+        state = net1.state_dict()
+        net2.load_state_dict(state)
+        for p1, p2 in zip(net1.parameters(), net2.parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_copies_data(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"][...] = 99.0
+        assert not np.any(net.fc1.weight.data == 99.0)
+
+    def test_missing_key_rejected(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_includes_buffers(self):
+        bn = BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_buffer_roundtrip_preserves_running_stats(self, rng):
+        bn1 = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)) + 3)
+        bn1(x)  # updates running stats
+        bn2 = BatchNorm2d(2)
+        bn2.load_state_dict(bn1.state_dict())
+        np.testing.assert_array_equal(bn1.running_mean, bn2.running_mean)
+
+
+class TestForwardContract:
+    def test_base_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_call_invokes_forward(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)

@@ -1,0 +1,92 @@
+"""Tests for learning-rate schedulers (the paper's step-decay recipes)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, CosineAnnealingLR, LinearWarmupLR, MultiStepLR, StepLR
+
+
+def make_optimizer(lr=0.1):
+    param = Parameter(np.zeros(1))
+    return SGD([param], lr=lr)
+
+
+class TestMultiStepLR:
+    def test_cifar_recipe_from_table3(self):
+        """Initial lr 0.1, divided by 10 at epochs 60, 150, 250 (Table III)."""
+        optimizer = make_optimizer(0.1)
+        scheduler = MultiStepLR(optimizer, milestones=(60, 150, 250), gamma=0.1)
+        assert scheduler.get_lr(0) == pytest.approx(0.1)
+        assert scheduler.get_lr(59) == pytest.approx(0.1)
+        assert scheduler.get_lr(60) == pytest.approx(0.01)
+        assert scheduler.get_lr(150) == pytest.approx(0.001)
+        assert scheduler.get_lr(299) == pytest.approx(0.0001)
+
+    def test_step_updates_optimizer(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = MultiStepLR(optimizer, milestones=(2,))
+        scheduler.step(5)
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_unsorted_milestones_accepted(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = MultiStepLR(optimizer, milestones=(30, 10, 20))
+        assert scheduler.get_lr(25) == pytest.approx(0.01)
+
+
+class TestStepLR:
+    def test_imagenet_recipe_from_table3(self):
+        """Initial lr 0.1 divided by 10 every 30 epochs (Table III)."""
+        scheduler = StepLR(make_optimizer(0.1), step_size=30)
+        assert scheduler.get_lr(0) == pytest.approx(0.1)
+        assert scheduler.get_lr(29) == pytest.approx(0.1)
+        assert scheduler.get_lr(30) == pytest.approx(0.01)
+        assert scheduler.get_lr(60) == pytest.approx(0.001)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+    def test_implicit_epoch_advance(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = StepLR(optimizer, step_size=1, gamma=0.5)
+        scheduler.step()
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.05)
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        scheduler = CosineAnnealingLR(make_optimizer(0.4), t_max=100, eta_min=0.0)
+        assert scheduler.get_lr(0) == pytest.approx(0.4)
+        assert scheduler.get_lr(100) == pytest.approx(0.0, abs=1e-12)
+        assert scheduler.get_lr(50) == pytest.approx(0.2)
+
+    def test_monotone_decreasing(self):
+        scheduler = CosineAnnealingLR(make_optimizer(1.0), t_max=50)
+        lrs = [scheduler.get_lr(e) for e in range(51)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_optimizer(), t_max=0)
+
+
+class TestLinearWarmupLR:
+    def test_ramps_up_linearly(self):
+        scheduler = LinearWarmupLR(make_optimizer(0.5), warmup_epochs=5)
+        assert scheduler.get_lr(0) == pytest.approx(0.1)
+        assert scheduler.get_lr(4) == pytest.approx(0.5)
+        assert scheduler.get_lr(10) == pytest.approx(0.5)
+
+    def test_delegates_after_warmup(self):
+        optimizer = make_optimizer(0.5)
+        after = MultiStepLR(optimizer, milestones=(8,))
+        scheduler = LinearWarmupLR(optimizer, warmup_epochs=4, after=after)
+        assert scheduler.get_lr(2) < 0.5
+        assert scheduler.get_lr(9) == pytest.approx(0.05)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            LinearWarmupLR(make_optimizer(), warmup_epochs=-1)

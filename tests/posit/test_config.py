@@ -1,0 +1,99 @@
+"""Tests for PositConfig derived constants and validation."""
+
+import math
+
+import pytest
+
+from repro.posit import PAPER_FORMATS, PositConfig, get_config
+
+
+class TestPositConfigConstants:
+    def test_useed_es0(self):
+        assert PositConfig(8, 0).useed == 2
+
+    def test_useed_es1(self):
+        assert PositConfig(8, 1).useed == 4
+
+    def test_useed_es2(self):
+        assert PositConfig(8, 2).useed == 16
+
+    def test_useed_es3(self):
+        assert PositConfig(32, 3).useed == 256
+
+    def test_maxpos_paper_5_1(self):
+        # Table I: the largest positive (5,1) posit value is 64 = useed**(5-2).
+        assert PositConfig(5, 1).maxpos == 64.0
+
+    def test_minpos_paper_5_1(self):
+        # Table I: the smallest positive (5,1) posit value is 1/64.
+        assert PositConfig(5, 1).minpos == pytest.approx(1.0 / 64.0)
+
+    def test_maxpos_is_useed_power(self):
+        cfg = PositConfig(8, 1)
+        assert cfg.maxpos == cfg.useed ** (cfg.n - 2)
+
+    def test_minpos_is_reciprocal_of_maxpos(self):
+        for cfg in PAPER_FORMATS.values():
+            assert cfg.minpos == pytest.approx(1.0 / cfg.maxpos)
+
+    def test_max_exponent(self):
+        assert PositConfig(16, 1).max_exponent == 14 * 2
+        assert PositConfig(8, 2).max_exponent == 6 * 4
+
+    def test_nar_pattern_is_msb_only(self):
+        cfg = PositConfig(8, 1)
+        assert cfg.nar_pattern == 0b1000_0000
+
+    def test_code_counts(self):
+        cfg = PositConfig(8, 1)
+        assert cfg.code_count == 256
+        assert cfg.positive_code_count == 127
+
+    def test_dynamic_range_grows_with_es(self):
+        ranges = [PositConfig(16, es).dynamic_range_decades for es in range(4)]
+        assert ranges == sorted(ranges)
+        assert ranges[0] < ranges[-1]
+
+    def test_dynamic_range_value(self):
+        cfg = PositConfig(8, 0)
+        expected = 2 * cfg.max_exponent * math.log10(2)
+        assert cfg.dynamic_range_decades == pytest.approx(expected)
+
+    def test_as_tuple(self):
+        assert PositConfig(16, 2).as_tuple() == (16, 2)
+
+
+class TestPositConfigValidation:
+    def test_rejects_tiny_word(self):
+        with pytest.raises(ValueError):
+            PositConfig(1, 0)
+
+    def test_rejects_negative_es(self):
+        with pytest.raises(ValueError):
+            PositConfig(8, -1)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            PositConfig(8.0, 1)
+
+    def test_rejects_out_of_double_range(self):
+        with pytest.raises(ValueError):
+            PositConfig(64, 5)
+
+    def test_frozen(self):
+        cfg = PositConfig(8, 1)
+        with pytest.raises(AttributeError):
+            cfg.n = 16
+
+
+class TestGetConfig:
+    def test_returns_equal_config(self):
+        assert get_config(8, 1) == PositConfig(8, 1)
+
+    def test_caches_instances(self):
+        assert get_config(16, 2) is get_config(16, 2)
+
+    def test_paper_formats_cover_table3_and_table5(self):
+        names = set(PAPER_FORMATS)
+        for required in ("posit(8,1)", "posit(8,2)", "posit(16,1)", "posit(16,2)"):
+            assert required in names

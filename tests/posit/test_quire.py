@@ -1,0 +1,100 @@
+"""Tests for quire (exact accumulation) support."""
+
+import numpy as np
+import pytest
+
+from repro.posit import PositConfig, Quire, exact_dot, fused_dot, quantize
+
+
+class TestQuire:
+    def test_exact_accumulation_of_products(self):
+        quire = Quire(PositConfig(8, 1))
+        quire.add_product(0.5, 0.25)
+        quire.add_product(1.5, 2.0)
+        assert quire.to_float() == pytest.approx(3.125)
+
+    def test_accumulation_counter(self):
+        quire = Quire(PositConfig(8, 1))
+        for _ in range(5):
+            quire.add_posit(1.0)
+        assert quire.num_accumulations == 5
+        assert quire.to_float() == 5.0
+
+    def test_clear_resets_state(self):
+        quire = Quire(PositConfig(8, 1))
+        quire.add_posit(3.0)
+        quire.clear()
+        assert quire.to_float() == 0.0
+        assert quire.num_accumulations == 0
+
+    def test_cancellation_is_exact(self):
+        """Sums that cancel exactly stay exact in the quire (no rounding)."""
+        cfg = PositConfig(8, 1)
+        quire = Quire(cfg)
+        value = float(quantize(0.7, cfg, rounding="nearest"))
+        for _ in range(100):
+            quire.add_posit(value)
+            quire.add_posit(-value)
+        assert quire.to_float() == 0.0
+
+    def test_final_posit_rounding(self):
+        cfg = PositConfig(8, 1)
+        quire = Quire(cfg)
+        quire.add_product(1.1, 1.1)
+        result = quire.to_posit_value()
+        assert result == float(quantize(quire.to_float(), cfg, rounding="nearest"))
+
+    def test_nominal_width_matches_classic_sizing(self):
+        quire = Quire(PositConfig(8, 1))
+        assert quire.nominal_width_bits == (8 - 2) * 2 ** (1 + 2) + 1 + 5
+
+    def test_small_value_accumulation_not_lost(self):
+        """Many tiny addends that a per-step rounding MAC would drop are kept."""
+        cfg = PositConfig(8, 1)
+        quire = Quire(cfg)
+        quire.add_posit(16.0)
+        tiny = cfg.minpos
+        for _ in range(1000):
+            quire.add_exact(__import__("fractions").Fraction(tiny))
+        assert quire.to_float() > 16.0
+
+
+class TestDotProducts:
+    def test_exact_dot_matches_numpy_for_exact_inputs(self, rng):
+        cfg = PositConfig(16, 1)
+        a = np.asarray(quantize(rng.standard_normal(32), cfg, rounding="nearest"))
+        b = np.asarray(quantize(rng.standard_normal(32), cfg, rounding="nearest"))
+        result = exact_dot(a, b, cfg)
+        expected = float(quantize(float(np.dot(a, b)), cfg, rounding="nearest"))
+        assert result == expected
+
+    def test_shape_mismatch_rejected(self):
+        cfg = PositConfig(8, 1)
+        with pytest.raises(ValueError):
+            exact_dot([1.0, 2.0], [1.0], cfg)
+        with pytest.raises(ValueError):
+            fused_dot([1.0, 2.0], [1.0], cfg)
+
+    def test_exact_dot_at_least_as_accurate_as_fused(self, rng):
+        """The quire (EMAC) accumulation never loses to per-step rounding."""
+        cfg = PositConfig(8, 0)
+        worse = 0
+        for trial in range(10):
+            local = np.random.default_rng(trial)
+            a = local.standard_normal(64)
+            b = local.standard_normal(64)
+            qa = np.asarray(quantize(a, cfg, rounding="nearest"))
+            qb = np.asarray(quantize(b, cfg, rounding="nearest"))
+            reference = float(np.dot(qa, qb))
+            exact_err = abs(exact_dot(a, b, cfg) - reference)
+            fused_err = abs(fused_dot(a, b, cfg) - reference)
+            if exact_err > fused_err + 1e-12:
+                worse += 1
+        assert worse == 0
+
+    def test_fused_dot_returns_representable_value(self, rng):
+        cfg = PositConfig(8, 1)
+        a = rng.standard_normal(16)
+        b = rng.standard_normal(16)
+        result = fused_dot(a, b, cfg)
+        assert result == float(quantize(result, cfg, rounding="nearest"))

@@ -1,0 +1,333 @@
+"""Tests for the bit-exact scalar posit implementation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.posit import (
+    PositConfig,
+    PositScalar,
+    add,
+    decode,
+    decode_fields,
+    div,
+    encode,
+    enumerate_positive_values,
+    fma,
+    mul,
+    next_down,
+    next_up,
+    sub,
+)
+
+SMALL_FORMATS = [PositConfig(5, 1), PositConfig(6, 0), PositConfig(8, 0),
+                 PositConfig(8, 1), PositConfig(8, 2)]
+
+
+class TestSpecialPatterns:
+    def test_zero_pattern_decodes_to_zero(self, paper_config):
+        assert decode(0, paper_config) == 0.0
+
+    def test_nar_pattern_decodes_to_nan(self, paper_config):
+        assert math.isnan(decode(paper_config.nar_pattern, paper_config))
+
+    def test_nar_fields_flagged(self, paper_config):
+        fields = decode_fields(paper_config.nar_pattern, paper_config)
+        assert fields.is_nar and not fields.is_zero
+
+    def test_zero_fields_flagged(self, paper_config):
+        fields = decode_fields(0, paper_config)
+        assert fields.is_zero and not fields.is_nar
+
+    def test_nan_encodes_to_nar(self, paper_config):
+        assert encode(float("nan"), paper_config) == paper_config.nar_pattern
+
+    def test_inf_encodes_to_nar(self, paper_config):
+        assert encode(float("inf"), paper_config) == paper_config.nar_pattern
+        assert encode(float("-inf"), paper_config) == paper_config.nar_pattern
+
+    def test_zero_encodes_to_zero_pattern(self, paper_config):
+        assert encode(0.0, paper_config) == 0
+
+
+class TestFieldStructure:
+    """Fig. 1 / Table I: sign, regime, exponent, mantissa decomposition."""
+
+    def test_code_01000_is_one(self):
+        # Table I row: 01000 -> regime 0, exponent 0, value 1.
+        cfg = PositConfig(5, 1)
+        fields = decode_fields(0b01000, cfg)
+        assert (fields.regime, fields.exponent, fields.fraction) == (0, 0, 0.0)
+        assert decode(0b01000, cfg) == 1.0
+
+    def test_code_00001_minpos(self):
+        # Table I row: 00001 -> regime -3, value 1/64.
+        cfg = PositConfig(5, 1)
+        fields = decode_fields(0b00001, cfg)
+        assert fields.regime == -3
+        assert decode(0b00001, cfg) == pytest.approx(1 / 64)
+
+    def test_code_01111_maxpos(self):
+        # Table I row: 01111 -> regime 3, value 64.
+        cfg = PositConfig(5, 1)
+        assert decode_fields(0b01111, cfg).regime == 3
+        assert decode(0b01111, cfg) == 64.0
+
+    def test_code_00101_fraction(self):
+        # Table I row: 00101 -> regime -1, exponent 0, mantissa 1/2, value 3/8.
+        cfg = PositConfig(5, 1)
+        fields = decode_fields(0b00101, cfg)
+        assert fields.regime == -1
+        assert fields.exponent == 0
+        assert fields.fraction == 0.5
+        assert decode(0b00101, cfg) == pytest.approx(3 / 8)
+
+    def test_negative_pattern_uses_twos_complement(self):
+        cfg = PositConfig(8, 1)
+        positive = encode(1.5, cfg)
+        negative = encode(-1.5, cfg)
+        assert negative == ((-positive) & 0xFF)
+        assert decode(negative, cfg) == -1.5
+
+    def test_field_widths_sum_to_word(self, paper_config):
+        for code in (1, 3, 17, paper_config.positive_code_count):
+            fields = decode_fields(code, paper_config)
+            used = 1 + fields.regime_width + fields.exponent_width + fields.fraction_width
+            assert used <= paper_config.n
+            # All bits after the regime are either exponent or fraction bits.
+            assert fields.exponent_width <= paper_config.es
+
+
+class TestTable1Values:
+    def test_all_positive_values_of_5_1(self):
+        # The complete positive column of Table I.
+        expected = [1 / 64, 1 / 16, 1 / 8, 1 / 4, 3 / 8, 1 / 2, 3 / 4, 1,
+                    3 / 2, 2, 3, 4, 8, 16, 64]
+        assert enumerate_positive_values(PositConfig(5, 1)) == pytest.approx(expected)
+
+    def test_positive_values_strictly_increasing(self):
+        for cfg in SMALL_FORMATS:
+            values = enumerate_positive_values(cfg)
+            assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_extremes_match_config(self):
+        for cfg in SMALL_FORMATS:
+            values = enumerate_positive_values(cfg)
+            assert values[0] == pytest.approx(cfg.minpos)
+            assert values[-1] == pytest.approx(cfg.maxpos)
+
+
+class TestEncodeDecodeRoundTrip:
+    @pytest.mark.parametrize("cfg", SMALL_FORMATS, ids=str)
+    def test_exhaustive_roundtrip(self, cfg):
+        """encode(decode(p)) == p for every non-NaR pattern (both signs)."""
+        for code in range(cfg.code_count):
+            value = decode(code, cfg)
+            if math.isnan(value):
+                continue
+            assert encode(value, cfg) == code
+
+    @pytest.mark.parametrize("rounding", ["zero", "nearest"])
+    def test_representable_values_are_fixed_points(self, paper_config, rounding, rng):
+        codes = rng.integers(1, paper_config.positive_code_count, size=50)
+        for code in codes:
+            value = decode(int(code), paper_config)
+            assert decode(encode(value, paper_config, rounding=rounding), paper_config) == value
+
+    def test_overflow_clamps_to_maxpos(self, paper_config):
+        big = paper_config.maxpos * 10
+        assert decode(encode(big, paper_config), paper_config) == paper_config.maxpos
+
+    def test_underflow_zero_mode_flushes(self, paper_config):
+        tiny = paper_config.minpos / 4
+        assert encode(tiny, paper_config, rounding="zero") == 0
+
+    def test_underflow_nearest_mode_rounds_to_minpos(self, paper_config):
+        near = paper_config.minpos * 0.9
+        assert decode(encode(near, paper_config, rounding="nearest"), paper_config) == (
+            pytest.approx(paper_config.minpos)
+        )
+
+    def test_rounding_zero_never_increases_magnitude(self, paper_config, rng):
+        for value in rng.uniform(-50, 50, size=100):
+            result = decode(encode(float(value), paper_config, rounding="zero"), paper_config)
+            assert abs(result) <= abs(value) + 1e-15
+
+    def test_rounding_nearest_picks_closest(self, paper_config, rng):
+        for value in rng.uniform(0.01, 10.0, size=100):
+            bits = encode(float(value), paper_config, rounding="nearest")
+            chosen = decode(bits, paper_config)
+            neighbours = []
+            if bits > 1:
+                neighbours.append(decode(bits - 1, paper_config))
+            if bits < paper_config.positive_code_count:
+                neighbours.append(decode(bits + 1, paper_config))
+            for other in neighbours:
+                assert abs(chosen - value) <= abs(other - value) + 1e-12
+
+    def test_directed_rounding_brackets_value(self, paper_config, rng):
+        for value in rng.uniform(0.01, 10.0, size=50):
+            down = decode(encode(float(value), paper_config, rounding="down"), paper_config)
+            up = decode(encode(float(value), paper_config, rounding="up"), paper_config)
+            assert down <= value <= up
+
+
+class TestOrderingAndNeighbours:
+    def test_next_up_increases_value(self, paper_config):
+        code = encode(1.0, paper_config)
+        assert decode(next_up(code, paper_config), paper_config) > 1.0
+
+    def test_next_down_decreases_value(self, paper_config):
+        code = encode(1.0, paper_config)
+        assert decode(next_down(code, paper_config), paper_config) < 1.0
+
+    def test_next_up_of_maxpos_raises(self, paper_config):
+        maxpos_code = paper_config.positive_code_count
+        with pytest.raises(OverflowError):
+            next_up(maxpos_code, paper_config)
+
+    def test_monotonicity_across_sign(self):
+        cfg = PositConfig(6, 1)
+        # Walking codes as signed integers walks values monotonically.
+        values = []
+        code = encode(-cfg.maxpos, cfg)
+        for _ in range(cfg.code_count - 2):
+            values.append(decode(code, cfg))
+            code = (code + 1) % cfg.code_count
+            if code == cfg.nar_pattern:
+                break
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+
+class TestScalarArithmetic:
+    def test_add_exact_values(self):
+        cfg = PositConfig(8, 1)
+        a, b = encode(1.5, cfg), encode(2.0, cfg)
+        assert decode(add(a, b, cfg), cfg) == 3.5
+
+    def test_sub_exact_values(self):
+        cfg = PositConfig(8, 1)
+        a, b = encode(4.0, cfg), encode(1.0, cfg)
+        assert decode(sub(a, b, cfg), cfg) == 3.0
+
+    def test_mul_exact_values(self):
+        cfg = PositConfig(8, 1)
+        a, b = encode(1.5, cfg), encode(2.0, cfg)
+        assert decode(mul(a, b, cfg), cfg) == 3.0
+
+    def test_div_by_zero_gives_nar(self):
+        cfg = PositConfig(8, 1)
+        assert div(encode(1.0, cfg), 0, cfg) == cfg.nar_pattern
+
+    def test_nar_propagates_through_ops(self):
+        cfg = PositConfig(8, 1)
+        nar = cfg.nar_pattern
+        one = encode(1.0, cfg)
+        assert add(nar, one, cfg) == nar
+        assert mul(one, nar, cfg) == nar
+        assert fma(nar, one, one, cfg) == nar
+
+    def test_fma_single_rounding(self):
+        # 1.25 * 3 + 0.5 = 4.25; posit(8,1) has a step of 0.5 in [4, 8), so the
+        # exact result is a tie between 4.0 and 4.5 and RNE picks the even code (4.0).
+        cfg = PositConfig(8, 1)
+        a, b, c = encode(1.25, cfg), encode(3.0, cfg), encode(0.5, cfg)
+        assert decode(fma(a, b, c, cfg), cfg) == 4.0
+
+    def test_addition_commutative(self, paper_config, rng):
+        for _ in range(20):
+            a = encode(float(rng.uniform(-5, 5)), paper_config)
+            b = encode(float(rng.uniform(-5, 5)), paper_config)
+            assert add(a, b, paper_config) == add(b, a, paper_config)
+
+
+class TestPositScalarWrapper:
+    def test_construction_and_value(self):
+        cfg = PositConfig(8, 1)
+        x = PositScalar.from_float(1.5, cfg)
+        assert float(x) == 1.5
+        assert not x.is_nar and not x.is_zero
+
+    def test_arithmetic_operators(self):
+        cfg = PositConfig(16, 1)
+        a = PositScalar.from_float(1.5, cfg)
+        b = PositScalar.from_float(2.25, cfg)
+        assert float(a + b) == 3.75
+        assert float(a * b) == 3.375
+        assert float(b - a) == 0.75
+        assert float(b / a) == 1.5
+        assert float(-a) == -1.5
+        assert float(abs(-a)) == 1.5
+
+    def test_mixed_scalar_operands(self):
+        cfg = PositConfig(16, 1)
+        a = PositScalar.from_float(2.0, cfg)
+        assert float(a + 1.0) == 3.0
+        assert float(3.0 * a) == 6.0
+
+    def test_comparisons(self):
+        cfg = PositConfig(8, 1)
+        a = PositScalar.from_float(1.0, cfg)
+        b = PositScalar.from_float(2.0, cfg)
+        assert a < b and b > a and a <= a and b >= b
+        assert a == PositScalar.from_float(1.0, cfg)
+
+    def test_format_mixing_rejected(self):
+        a = PositScalar.from_float(1.0, PositConfig(8, 1))
+        b = PositScalar.from_float(1.0, PositConfig(16, 1))
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_fields_accessor(self):
+        x = PositScalar.from_float(1.0, PositConfig(8, 1))
+        assert x.fields().regime == 0
+
+
+class TestHypothesisProperties:
+    @given(value=st.floats(min_value=-1e6, max_value=1e6,
+                           allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_is_idempotent(self, value):
+        """Quantizing twice equals quantizing once (projection property)."""
+        cfg = PositConfig(16, 2)
+        once = decode(encode(value, cfg, rounding="nearest"), cfg)
+        twice = decode(encode(once, cfg, rounding="nearest"), cfg)
+        assert once == twice
+
+    @given(value=st.floats(min_value=1e-6, max_value=1e6,
+                           allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200, deadline=None)
+    def test_encode_monotonic_in_value(self, value):
+        """Larger magnitudes never get a smaller positive code."""
+        cfg = PositConfig(16, 1)
+        a = encode(value, cfg, rounding="nearest")
+        b = encode(value * 1.25, cfg, rounding="nearest")
+        assert b >= a
+
+    @given(value=st.floats(min_value=-1e4, max_value=1e4,
+                           allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200, deadline=None)
+    def test_negation_symmetry(self, value):
+        """encode(-x) is the two's complement of encode(x)."""
+        cfg = PositConfig(16, 2)
+        pos = encode(value, cfg, rounding="nearest")
+        neg = encode(-value, cfg, rounding="nearest")
+        assert neg == ((-pos) & (cfg.code_count - 1))
+
+    @given(value=st.floats(min_value=1e-7, max_value=1e7,
+                           allow_nan=False, allow_infinity=False),
+           es=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=150, deadline=None)
+    def test_relative_error_bound_within_range(self, value, es):
+        """Within the golden zone, nearest rounding error is below half ULP of the fraction."""
+        cfg = PositConfig(16, es)
+        if not (cfg.minpos * 4 <= value <= cfg.maxpos / 4):
+            return
+        decoded = decode(encode(value, cfg, rounding="nearest"), cfg)
+        fields = decode_fields(encode(value, cfg, rounding="nearest"), cfg)
+        # Relative error bounded by 2**-(fraction_bits) at this magnitude.
+        bound = 2.0 ** (-(fields.fraction_width)) if fields.fraction_width else 1.0
+        assert abs(decoded - value) / value <= bound

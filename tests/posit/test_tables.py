@@ -1,0 +1,102 @@
+"""Tests for the value-table generator (Table I reproduction)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.posit import PositConfig, code_space_summary, format_table, positive_value_table
+
+#: The exact contents of Table I of the paper (positive values of the (5,1) posit).
+TABLE_I = [
+    ("00000", None, None, None, Fraction(0)),
+    ("00001", -3, 0, Fraction(0), Fraction(1, 64)),
+    ("00010", -2, 0, Fraction(0), Fraction(1, 16)),
+    ("00011", -2, 1, Fraction(0), Fraction(1, 8)),
+    ("00100", -1, 0, Fraction(0), Fraction(1, 4)),
+    ("00101", -1, 0, Fraction(1, 2), Fraction(3, 8)),
+    ("00110", -1, 1, Fraction(0), Fraction(1, 2)),
+    ("00111", -1, 1, Fraction(1, 2), Fraction(3, 4)),
+    ("01000", 0, 0, Fraction(0), Fraction(1)),
+    ("01001", 0, 0, Fraction(1, 2), Fraction(3, 2)),
+    ("01010", 0, 1, Fraction(0), Fraction(2)),
+    ("01011", 0, 1, Fraction(1, 2), Fraction(3)),
+    ("01100", 1, 0, Fraction(0), Fraction(4)),
+    ("01101", 1, 1, Fraction(0), Fraction(8)),
+    ("01110", 2, 0, Fraction(0), Fraction(16)),
+    ("01111", 3, 0, Fraction(0), Fraction(64)),
+]
+
+
+class TestTable1Reproduction:
+    def test_row_count_matches_paper(self):
+        rows = positive_value_table(PositConfig(5, 1))
+        assert len(rows) == len(TABLE_I) == 16
+
+    def test_every_row_matches_paper(self):
+        rows = positive_value_table(PositConfig(5, 1))
+        for row, (binary, regime, exponent, mantissa, value) in zip(rows, TABLE_I):
+            assert row.binary == binary
+            assert row.value == value
+            if regime is not None:
+                assert row.regime == regime
+                assert row.exponent == exponent
+                assert row.mantissa == mantissa
+
+    def test_values_exact_fractions(self):
+        rows = positive_value_table(PositConfig(5, 1))
+        assert all(isinstance(row.value, Fraction) for row in rows)
+
+    def test_without_zero_row(self):
+        rows = positive_value_table(PositConfig(5, 1), include_zero=False)
+        assert len(rows) == 15
+        assert rows[0].value == Fraction(1, 64)
+
+    def test_values_increasing(self):
+        rows = positive_value_table(PositConfig(6, 2), include_zero=False)
+        values = [row.value for row in rows]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_as_dict_round_trip(self):
+        row = positive_value_table(PositConfig(5, 1))[8]
+        as_dict = row.as_dict()
+        assert as_dict["binary"] == "01000"
+        assert as_dict["value"] == Fraction(1)
+
+    def test_refuses_huge_formats(self):
+        with pytest.raises(ValueError):
+            positive_value_table(PositConfig(20, 1))
+
+
+class TestFormattedTable:
+    def test_contains_header_and_all_rows(self):
+        text = format_table(PositConfig(5, 1))
+        assert "Binary Code" in text
+        assert "00000" in text and "01111" in text
+        assert "1/64" in text and "3/8" in text
+
+    def test_zero_row_uses_placeholders(self):
+        first_data_line = format_table(PositConfig(5, 1)).splitlines()[3]
+        assert "x" in first_data_line
+
+
+class TestCodeSpaceSummary:
+    def test_precision_concentrated_near_one(self):
+        # The binade with the most representable values must be adjacent to
+        # magnitude 1 (scale 0 or -1) — the paper's "precision symmetrical
+        # about 1" observation.
+        summary = code_space_summary(PositConfig(8, 1))
+        assert summary["binade_of_max_precision"] in (-1, 0)
+
+    def test_total_positive_values(self):
+        summary = code_space_summary(PositConfig(8, 0))
+        assert summary["positive_values"] == 127
+
+    def test_binade_counts_taper_towards_extremes(self):
+        summary = code_space_summary(PositConfig(8, 1))
+        per_binade = summary["values_per_binade"]
+        scales = sorted(per_binade)
+        # The extreme binades hold a single value each; the central ones hold many.
+        assert per_binade[scales[0]] <= 2
+        assert per_binade[scales[-1]] <= 2
+        assert summary["max_values_in_a_binade"] >= 8

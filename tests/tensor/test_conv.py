@@ -1,0 +1,169 @@
+"""Tests for convolution and pooling primitives (forward values and gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    avg_pool2d,
+    col2im,
+    conv2d,
+    global_avg_pool2d,
+    im2col,
+    max_pool2d,
+)
+
+
+def reference_conv2d(x, w, b, stride, padding):
+    """Naive direct convolution used as ground truth."""
+    n, c_in, h, wd = x.shape
+    c_out, _, kh, kw = w.shape
+    sh, sw = stride
+    ph, pw = padding
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (wd + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    for i in range(out_h):
+        for j in range(out_w):
+            patch = xp[:, :, i * sh:i * sh + kh, j * sw:j * sw + kw]
+            out[:, :, i, j] = np.tensordot(patch, w, axes=([1, 2, 3], [1, 2, 3]))
+    if b is not None:
+        out += b.reshape(1, -1, 1, 1)
+    return out
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 8))
+        cols = im2col(x, (3, 3), (1, 1), (1, 1))
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_values_for_identity_kernel_position(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        cols = im2col(x, (1, 1), (1, 1), (0, 0))
+        np.testing.assert_array_equal(cols.ravel(), x.ravel())
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        x = rng.standard_normal((2, 3, 6, 6))
+        y = rng.standard_normal((2, 3 * 9, 16))
+        lhs = np.sum(im2col(x, (3, 3), (1, 1), (0, 0)) * y)
+        rhs = np.sum(x * col2im(y, x.shape, (3, 3), (1, 1), (0, 0)))
+        assert lhs == pytest.approx(rhs)
+
+    def test_invalid_output_size_raises(self):
+        x = np.zeros((1, 1, 2, 2))
+        with pytest.raises(ValueError):
+            im2col(x, (5, 5), (1, 1), (0, 0))
+
+
+class TestConv2dForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), ((2, 1), (1, 0))])
+    def test_matches_naive_convolution(self, rng, stride, padding):
+        x = rng.standard_normal((2, 3, 7, 9))
+        w = rng.standard_normal((4, 3, 3, 3))
+        b = rng.standard_normal(4)
+        stride_pair = stride if isinstance(stride, tuple) else (stride, stride)
+        padding_pair = padding if isinstance(padding, tuple) else (padding, padding)
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        expected = reference_conv2d(x, w, b, stride_pair, padding_pair)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_no_bias(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5))
+        w = rng.standard_normal((3, 2, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), None, padding=1)
+        expected = reference_conv2d(x, w, None, (1, 1), (1, 1))
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_1x1_convolution_is_channel_mixing(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        w = rng.standard_normal((5, 3, 1, 1))
+        out = conv2d(Tensor(x), Tensor(w), None)
+        expected = np.einsum("oc,nchw->nohw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(np.zeros((1, 3, 5, 5))), Tensor(np.zeros((2, 4, 3, 3))))
+
+
+class TestConv2dGradients:
+    def test_gradcheck_all_inputs(self, rng, numgrad):
+        x_data = rng.standard_normal((2, 2, 5, 5))
+        w_data = rng.standard_normal((3, 2, 3, 3))
+        b_data = rng.standard_normal(3)
+
+        def loss():
+            out = conv2d(Tensor(x_data), Tensor(w_data), Tensor(b_data), stride=2, padding=1)
+            return float((out * out).sum().item())
+
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        out = conv2d(x, w, b, stride=2, padding=1)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(x.grad, numgrad(loss, x_data), atol=1e-5)
+        np.testing.assert_allclose(w.grad, numgrad(loss, w_data), atol=1e-5)
+        np.testing.assert_allclose(b.grad, numgrad(loss, b_data), atol=1e-5)
+
+    def test_gradients_only_for_tensors_requiring_grad(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)))
+        w = Tensor(rng.standard_normal((2, 2, 3, 3)), requires_grad=True)
+        out = conv2d(x, w, None, padding=1)
+        out.sum().backward()
+        assert x.grad is None
+        assert w.grad is not None
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = max_pool2d(Tensor(x), 2)
+        assert out.data.item() == 4.0
+
+    def test_max_pool_gradient_goes_to_max(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[[[0, 0], [0, 1.0]]]])
+
+    def test_max_pool_gradcheck(self, rng, numgrad):
+        x_data = rng.standard_normal((2, 3, 6, 6))
+
+        def loss():
+            return float((max_pool2d(Tensor(x_data), 2) ** 2).sum().item())
+
+        x = Tensor(x_data, requires_grad=True)
+        (max_pool2d(x, 2) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, numgrad(loss, x_data), atol=1e-5)
+
+    def test_max_pool_stride_and_padding(self, rng):
+        x = rng.standard_normal((1, 2, 7, 7))
+        out = max_pool2d(Tensor(x), 3, stride=2, padding=1)
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_avg_pool_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        assert avg_pool2d(Tensor(x), 2).data.item() == 2.5
+
+    def test_avg_pool_gradient_is_uniform(self):
+        x = Tensor(np.ones((1, 1, 4, 4)), requires_grad=True)
+        avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_avg_pool_gradcheck(self, rng, numgrad):
+        x_data = rng.standard_normal((1, 2, 4, 4))
+
+        def loss():
+            return float((avg_pool2d(Tensor(x_data), 2) ** 2).sum().item())
+
+        x = Tensor(x_data, requires_grad=True)
+        (avg_pool2d(x, 2) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, numgrad(loss, x_data), atol=1e-6)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 5, 5))
+        out = global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3), keepdims=True))

@@ -1,0 +1,232 @@
+"""Tests for functional ops: softmax, losses, batch norm, dropout, accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    accuracy,
+    batch_norm,
+    cross_entropy,
+    dropout,
+    linear,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    softmax,
+)
+from repro.tensor.ops import concatenate, stack
+
+
+class TestLinear:
+    def test_matches_manual_affine(self, rng):
+        x = rng.standard_normal((4, 3))
+        w = rng.standard_normal((5, 3))
+        b = rng.standard_normal(5)
+        out = linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b)
+
+    def test_gradcheck(self, rng, numgrad):
+        x_data = rng.standard_normal((3, 4))
+        w_data = rng.standard_normal((2, 4))
+
+        def loss():
+            return float((linear(Tensor(x_data), Tensor(w_data)) ** 2).sum().item())
+
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        (linear(x, w) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, numgrad(loss, x_data), atol=1e-6)
+        np.testing.assert_allclose(w.grad, numgrad(loss, w_data), atol=1e-6)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.standard_normal((5, 7))
+        probs = softmax(Tensor(logits)).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+        assert np.all(probs >= 0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.standard_normal((3, 4))
+        a = softmax(Tensor(logits)).data
+        b = softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_numerical_stability_with_large_logits(self):
+        probs = softmax(Tensor(np.array([[1000.0, 0.0, -1000.0]]))).data
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(
+            log_softmax(Tensor(logits)).data,
+            np.log(softmax(Tensor(logits)).data),
+            atol=1e-12,
+        )
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_num_classes(self):
+        logits = Tensor(np.zeros((8, 10)))
+        labels = np.arange(8) % 10
+        assert cross_entropy(logits, labels).item() == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_has_low_loss(self):
+        logits = np.full((4, 3), -50.0)
+        labels = np.array([0, 1, 2, 0])
+        logits[np.arange(4), labels] = 50.0
+        assert cross_entropy(Tensor(logits), labels).item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits_data = rng.standard_normal((5, 4))
+        labels = rng.integers(0, 4, 5)
+        logits = Tensor(logits_data, requires_grad=True)
+        cross_entropy(logits, labels).backward()
+        probs = softmax(Tensor(logits_data)).data
+        expected = (probs - one_hot(labels, 4)) / 5
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-10)
+
+    def test_label_smoothing_increases_loss_of_perfect_prediction(self):
+        logits = np.full((4, 3), -50.0)
+        labels = np.array([0, 1, 2, 0])
+        logits[np.arange(4), labels] = 50.0
+        plain = cross_entropy(Tensor(logits), labels).item()
+        smoothed = cross_entropy(Tensor(logits), labels, label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_nll_loss_consistent_with_cross_entropy(self, rng):
+        logits = rng.standard_normal((6, 5))
+        labels = rng.integers(0, 5, 6)
+        via_ce = cross_entropy(Tensor(logits), labels).item()
+        via_nll = nll_loss(log_softmax(Tensor(logits)), labels).item()
+        assert via_ce == pytest.approx(via_nll)
+
+
+class TestMSE:
+    def test_zero_for_identical(self, rng):
+        x = rng.standard_normal((3, 3))
+        assert mse_loss(Tensor(x), x).item() == 0.0
+
+    def test_value_and_gradient(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        x = rng.standard_normal((8, 4, 5, 5)) * 3 + 7
+        gamma, beta = Tensor(np.ones(4)), Tensor(np.zeros(4))
+        running_mean, running_var = np.zeros(4), np.ones(4)
+        out = batch_norm(Tensor(x), gamma, beta, running_mean, running_var, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), np.ones(4), atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = rng.standard_normal((8, 2, 4, 4)) + 5
+        running_mean, running_var = np.zeros(2), np.ones(2)
+        batch_norm(Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)),
+                   running_mean, running_var, training=True, momentum=0.5)
+        assert np.all(running_mean > 1.0)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = rng.standard_normal((4, 2, 3, 3))
+        running_mean, running_var = np.full(2, 10.0), np.full(2, 4.0)
+        out = batch_norm(Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)),
+                         running_mean, running_var, training=False)
+        np.testing.assert_allclose(out.data, (x - 10.0) / np.sqrt(4.0 + 1e-5), atol=1e-10)
+
+    def test_2d_input(self, rng):
+        x = rng.standard_normal((10, 6))
+        out = batch_norm(Tensor(x), Tensor(np.ones(6)), Tensor(np.zeros(6)),
+                         np.zeros(6), np.ones(6), training=True)
+        np.testing.assert_allclose(out.data.mean(axis=0), np.zeros(6), atol=1e-8)
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            batch_norm(Tensor(np.zeros((2, 3, 4))), Tensor(np.ones(3)), Tensor(np.zeros(3)),
+                       np.zeros(3), np.ones(3), training=True)
+
+    def test_gradcheck(self, rng, numgrad):
+        x_data = rng.standard_normal((3, 2, 3, 3))
+        gamma_data = rng.standard_normal(2)
+        beta_data = rng.standard_normal(2)
+
+        def loss():
+            out = batch_norm(Tensor(x_data), Tensor(gamma_data), Tensor(beta_data),
+                             np.zeros(2), np.ones(2), training=True)
+            return float((out * out).sum().item())
+
+        x = Tensor(x_data, requires_grad=True)
+        gamma = Tensor(gamma_data, requires_grad=True)
+        beta = Tensor(beta_data, requires_grad=True)
+        out = batch_norm(x, gamma, beta, np.zeros(2), np.ones(2), training=True)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(x.grad, numgrad(loss, x_data), atol=1e-5)
+        np.testing.assert_allclose(gamma.grad, numgrad(loss, gamma_data), atol=1e-5)
+        np.testing.assert_allclose(beta.grad, numgrad(loss, beta_data), atol=1e-5)
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self, rng):
+        x = rng.standard_normal((5, 5))
+        out = dropout(Tensor(x), 0.5, training=False)
+        np.testing.assert_array_equal(out.data, x)
+
+    def test_identity_with_zero_probability(self, rng):
+        x = rng.standard_normal((5, 5))
+        np.testing.assert_array_equal(dropout(Tensor(x), 0.0, training=True).data, x)
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, training=True, rng=np.random.default_rng(0))
+        assert out.data.mean() == pytest.approx(1.0, rel=0.02)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.5, training=True)
+
+
+class TestAccuracyAndOneHot:
+    def test_one_hot_shape_and_values(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_top1_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_top5_accuracy(self, rng):
+        logits = rng.standard_normal((10, 20))
+        labels = np.argsort(-logits, axis=1)[:, 3]  # true label always ranked 4th
+        assert accuracy(logits, labels, topk=5) == 1.0
+        assert accuracy(logits, labels, topk=1) == 0.0
+
+    def test_accepts_tensor_input(self):
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert accuracy(logits, np.array([0])) == 1.0
+
+
+class TestCombiningOps:
+    def test_concatenate_values_and_gradients(self, rng):
+        a = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (6, 3)
+        out.sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones((2, 3)))
+        np.testing.assert_array_equal(b.grad, np.ones((4, 3)))
+
+    def test_stack_values_and_gradients(self, rng):
+        a = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        b = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        (out * np.array([[1.0], [2.0]])).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones(3))
+        np.testing.assert_array_equal(b.grad, np.full(3, 2.0))
