@@ -5,13 +5,27 @@ related-work argument: posit's tapered precision fits DNN tensor
 distributions better than fixed point at the same bit width, and the
 distribution-based shifting closes most of the remaining gap to wider floats.
 Reported as SQNR on weight-like and gradient-like tensors.
+
+The formats under comparison are named by registry spec strings and
+resolved through the cached quantizer factory (:mod:`repro.formats`) —
+the benchmark itself holds no format-construction logic.
 """
 
 import numpy as np
 
 from repro.analysis import compare_formats, shifting_benefit
-from repro.baselines import FixedPointFormat, FixedPointQuantizer
-from repro.posit import FP8_E4M3, FP16, FloatQuantizer, PositConfig, PositQuantizer
+from repro.formats import get_quantizer
+
+#: Spec strings of the formats under comparison (labels in the report).
+FORMAT_SPECS = (
+    "posit(8,1)",
+    "posit(8,2)",
+    "posit(16,1)",
+    "fp16",
+    "fp8_e4m3",
+    "fixed(8,5)",    # Q2.5
+    "fixed(16,13)",  # Q2.13, Gupta et al.
+)
 
 
 def make_tensors(rng):
@@ -25,15 +39,8 @@ def make_tensors(rng):
 def test_bench_format_comparison(benchmark, save_result, bench_rng):
     """SQNR of posit / float / fixed-point formats on the three tensor kinds."""
     tensors = make_tensors(bench_rng)
-    quantizers = {
-        "posit(8,1)": PositQuantizer(PositConfig(8, 1), rounding="nearest"),
-        "posit(8,2)": PositQuantizer(PositConfig(8, 2), rounding="nearest"),
-        "posit(16,1)": PositQuantizer(PositConfig(16, 1), rounding="nearest"),
-        "FP16": FloatQuantizer(FP16),
-        "FP8-E4M3": FloatQuantizer(FP8_E4M3),
-        "fixed Q2.5 (8b)": FixedPointQuantizer(FixedPointFormat(2, 5)),
-        "fixed Q2.13 (16b)": FixedPointQuantizer(FixedPointFormat(2, 13)),
-    }
+    quantizers = {spec: get_quantizer(spec, rounding="nearest")
+                  for spec in FORMAT_SPECS}
 
     def run_comparison():
         return {name: compare_formats(tensor, quantizers)
@@ -47,20 +54,21 @@ def test_bench_format_comparison(benchmark, save_result, bench_rng):
 
     # 8-bit posit beats 8-bit fixed point on small-magnitude tensors (weights,
     # gradients) — the paper's core numerical argument.
-    assert sqnr("conv_weights", "posit(8,1)") > sqnr("conv_weights", "fixed Q2.5 (8b)")
-    assert sqnr("gradients", "posit(8,2)") > sqnr("gradients", "fixed Q2.5 (8b)")
+    assert sqnr("conv_weights", "posit(8,1)") > sqnr("conv_weights", "fixed(8,5)")
+    assert sqnr("gradients", "posit(8,2)") > sqnr("gradients", "fixed(8,5)")
     # 16-bit posit is comparable to or better than FP16 on these tensors.
-    assert sqnr("conv_weights", "posit(16,1)") > sqnr("conv_weights", "FP16") - 3.0
+    assert sqnr("conv_weights", "posit(16,1)") > sqnr("conv_weights", "fp16") - 3.0
 
 
 def test_bench_shifting_gain_by_format(benchmark, save_result, bench_rng):
     """How much SQNR the Eq. (2)/(3) shifting recovers, per posit format."""
+    from repro.formats import parse_format
+
     gradients = bench_rng.standard_normal(30000) * 3e-5
 
     def run_study():
-        return [shifting_benefit(gradients, config)
-                for config in (PositConfig(8, 0), PositConfig(8, 1),
-                               PositConfig(8, 2), PositConfig(16, 1))]
+        return [shifting_benefit(gradients, parse_format(spec))
+                for spec in ("posit(8,0)", "posit(8,1)", "posit(8,2)", "posit(16,1)")]
 
     rows = benchmark(run_study)
     save_result("shifting_gain_by_format", rows)

@@ -24,6 +24,7 @@ benchmarks/results for EXPERIMENTS.md.
 import numpy as np
 import pytest
 
+from repro.api import build_policy
 from repro.core import PositTrainer, QuantizationPolicy, WarmupSchedule
 from repro.data import cifar_like, train_loader
 from repro.data.loaders import test_loader as make_test_loader
@@ -62,11 +63,12 @@ def test_bench_table3_cifar_recipe(benchmark, save_result):
     results = {}
 
     def train_all():
-        results["fp32"] = run_configuration(None, 0)
+        # Policies are named declaratively and resolved by repro.api.
+        results["fp32"] = run_configuration(build_policy("fp32"), 0)
         results["posit_cifar_policy"] = run_configuration(
-            QuantizationPolicy.cifar_paper(), warmup_epochs=1)
+            build_policy("cifar_paper"), warmup_epochs=1)
         results["posit_imagenet_policy"] = run_configuration(
-            QuantizationPolicy.imagenet_paper(), warmup_epochs=1)
+            build_policy("imagenet_paper"), warmup_epochs=1)
         results["posit6_no_tricks"] = run_configuration(
             QuantizationPolicy.uniform(6, es_forward=0, es_backward=0, use_scaling=False),
             warmup_epochs=0)

@@ -26,19 +26,12 @@ from repro.analysis import (
     bn_shift_magnitude,
     shifting_coverage_gain,
 )
-from repro.core import (
-    PositTrainer,
-    QuantizationPolicy,
-    RangeTracker,
-    WarmupSchedule,
-    recommend_es,
-)
+from repro.api import ExperimentConfig, build_experiment
+from repro.core import PositTrainer, RangeTracker, recommend_es
 from repro.data import cifar_like, train_loader
-from repro.data.loaders import test_loader as make_test_loader
 from repro.models import cifar_resnet8
 from repro.nn import CrossEntropyLoss
 from repro.optim import SGD
-from repro.posit import PositConfig
 from repro.tensor import Tensor
 
 
@@ -57,14 +50,17 @@ def study_1_fig2_distributions() -> None:
     print("Study 1 — Fig. 2: CONV vs BN weight distributions during training")
     print("=" * 72)
 
-    dataset = cifar_like(num_train=256, num_test=64, noise_std=0.5, seed=1)
-    train = train_loader(dataset, batch_size=32, seed=0)
-    model = cifar_resnet8(base_width=8, rng=np.random.default_rng(0))
     recorder = DistributionRecorder()
-    trainer = PositTrainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9),
-                           CrossEntropyLoss(), epoch_callbacks=[recorder])
+    experiment = build_experiment(
+        ExperimentConfig(dataset="cifar_like", model="cifar_resnet",
+                         policy="fp32", epochs=3, batch_size=32, lr=0.05,
+                         train_size=256, test_size=64, data_seed=1,
+                         data_kwargs={"noise_std": 0.5}),
+        epoch_callbacks=[recorder],
+    )
+    model = experiment.model
     recorder.record_model(model, epoch=-1)  # initialization snapshot
-    trainer.fit(train, epochs=3)
+    experiment.run()
 
     for name, snapshot in recorder.snapshots.items():
         kind = "BN " if "bn" in name else "CONV"
@@ -86,10 +82,11 @@ def study_2_code_space_coverage() -> None:
 
     rng = np.random.default_rng(0)
     weights = rng.standard_normal(20000) * 0.004  # conv-weight-like scale
-    for config in (PositConfig(8, 0), PositConfig(8, 1), PositConfig(16, 1)):
-        gain = shifting_coverage_gain(weights, config)
+    # Formats are named by registry spec strings (repro.formats).
+    for spec in ("posit(8,0)", "posit(8,1)", "posit(16,1)"):
+        gain = shifting_coverage_gain(weights, spec)
         direct, shifted = gain["direct"], gain["shifted"]
-        print(f"{config}: codes used {direct['distinct_codes']:>5} -> "
+        print(f"{gain['format']}: codes used {direct['distinct_codes']:>5} -> "
               f"{shifted['distinct_codes']:>5} with Sf={gain['scale_factor']:.2e}  "
               f"(entropy {direct['entropy_bits']:.2f} -> {shifted['entropy_bits']:.2f} bits)")
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import QuantizationPolicy
+from repro.api import build_policy
 from repro.hardware import (
     FP32MAC,
     PositMAC,
@@ -33,6 +33,7 @@ from repro.hardware import (
     table5_report,
 )
 from repro.models import cifar_resnet18
+from repro.formats import parse_format
 from repro.posit import PositConfig, encode
 
 
@@ -81,15 +82,15 @@ def main() -> None:
 
     print("\n§V — communication saving for ResNet-18 under the paper's policies")
     model = cifar_resnet18(base_width=16, rng=np.random.default_rng(0))
-    for name, policy in (("Cifar policy (8-bit CONV / 16-bit BN)", QuantizationPolicy.cifar_paper()),
-                         ("ImageNet policy (16-bit everywhere)", QuantizationPolicy.imagenet_paper())):
+    for name, policy in (("Cifar policy (8-bit CONV / 16-bit BN)", build_policy("cifar_paper")),
+                         ("ImageNet policy (16-bit everywhere)", build_policy("imagenet_paper"))):
         saving = communication_saving(model, policy, batch_size=32)
         print(f"  {name:<42} model size x{saving['model_size_ratio']:.2f}, "
               f"traffic x{saving['traffic_ratio']:.2f}, energy x{saving['energy_ratio']:.2f}")
 
     fp32_area = FP32MAC().cost().area_ge
     print("\nStructural gate counts (FP32 MAC = 1.0):")
-    for cfg in (PositConfig(8, 1), PositConfig(8, 2), PositConfig(16, 1), PositConfig(16, 2)):
+    for cfg in map(parse_format, ("posit(8,1)", "posit(8,2)", "posit(16,1)", "posit(16,2)")):
         ratio = PositMAC(cfg).cost().area_ge / fp32_area
         print(f"  {cfg}: {ratio:.2f}")
 

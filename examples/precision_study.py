@@ -15,6 +15,10 @@ This is the comparison the paper makes qualitatively in its related-work
 discussion: posit at 8 bits retains accuracy where aggressive fixed-point
 formats fall behind.
 
+Every scheme is one :class:`~repro.api.ExperimentConfig` whose policy is a
+preset name resolved by :func:`repro.api.build_policy` — the study is a list
+of plain dicts, not six copies of training wiring.
+
 Run with:  python examples/precision_study.py [--epochs N]
 """
 
@@ -23,28 +27,27 @@ from __future__ import annotations
 import argparse
 import time
 
-import numpy as np
-
-from repro.baselines import fixed_point_policy, fp8_policy, fp16_policy
-from repro.core import PositTrainer, QuantizationPolicy, WarmupSchedule
-from repro.data import cifar_like, train_loader
-from repro.data.loaders import test_loader as make_test_loader
-from repro.models import tiny_resnet
-from repro.nn import CrossEntropyLoss, LossScaler
-from repro.optim import SGD
+from repro.api import ExperimentConfig, build_experiment
 
 
-def run_one(label: str, policy, warmup: int, args, loss_scaler=None) -> dict:
-    dataset = cifar_like(num_train=args.train_size, num_test=args.test_size,
-                         noise_std=0.5, seed=args.data_seed)
-    train = train_loader(dataset, batch_size=args.batch_size, seed=0)
-    val = make_test_loader(dataset, batch_size=256)
-    model = tiny_resnet(num_classes=10, base_width=8, rng=np.random.default_rng(0))
-    optimizer = SGD(model.parameters(), lr=args.lr, momentum=0.9)
-    trainer = PositTrainer(model, optimizer, CrossEntropyLoss(), policy=policy,
-                           warmup=WarmupSchedule(warmup), loss_scaler=loss_scaler)
+def run_one(label: str, policy, warmup: int, args, loss_scaling: bool = False) -> dict:
+    config = ExperimentConfig(
+        name=label,
+        dataset="cifar_like",
+        model="tiny_resnet",
+        policy=policy,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        warmup_epochs=warmup,
+        loss_scaling=loss_scaling,
+        train_size=args.train_size,
+        test_size=args.test_size,
+        data_seed=args.data_seed,
+        data_kwargs={"noise_std": 0.5},
+    )
     start = time.time()
-    history = trainer.fit(train, val, epochs=args.epochs)
+    history = build_experiment(config).run()
     return {
         "scheme": label,
         "val_accuracy": history.final_val_accuracy,
@@ -65,18 +68,18 @@ def main() -> None:
     args = parser.parse_args()
 
     schemes = [
-        ("FP32", None, 0, None),
-        ("posit(8,1)/(8,2) + warm-up + shift", QuantizationPolicy.cifar_paper(), 1, None),
-        ("posit(16,1)/(16,2) + warm-up", QuantizationPolicy.imagenet_paper(), 1, None),
-        ("FP16 mixed precision + loss scaling", fp16_policy(), 0, LossScaler(1024.0, dynamic=True)),
-        ("FP8 E4M3/E5M2", fp8_policy(), 1, LossScaler(1024.0, dynamic=True)),
-        ("fixed point Q2.13 (stochastic)", fixed_point_policy(), 0, None),
+        ("FP32", "fp32", 0, False),
+        ("posit(8,1)/(8,2) + warm-up + shift", "cifar_paper", 1, False),
+        ("posit(16,1)/(16,2) + warm-up", "imagenet_paper", 1, False),
+        ("FP16 mixed precision + loss scaling", "fp16_mixed", 0, True),
+        ("FP8 E4M3/E5M2", "fp8_mixed", 1, True),
+        ("fixed point Q2.13 (stochastic)", "fixed_point", 0, False),
     ]
 
     results = []
-    for label, policy, warmup, scaler in schemes:
+    for label, policy, warmup, scaling in schemes:
         print(f"training: {label} ...")
-        results.append(run_one(label, policy, warmup, args, loss_scaler=scaler))
+        results.append(run_one(label, policy, warmup, args, loss_scaling=scaling))
 
     print(f"\n{'scheme':<40} {'val acc':>8} {'best':>8} {'loss':>8} {'time(s)':>8}")
     for row in results:

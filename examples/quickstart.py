@@ -17,20 +17,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    PositConfig,
-    PositTrainer,
-    QuantizationPolicy,
-    WarmupSchedule,
-    compute_scale_factor,
-    quantize,
-)
+from repro import compute_scale_factor, parse_format, quantize
 from repro.analysis import sqnr_db
-from repro.data import ArrayDataLoader, make_spirals
-from repro.models import MLP
-from repro.nn import CrossEntropyLoss
-from repro.optim import SGD
-from repro.posit import format_table
+from repro.api import ExperimentConfig, build_experiment
+from repro.posit import PositConfig, format_table
 
 
 def part_1_posit_basics() -> None:
@@ -41,8 +31,9 @@ def part_1_posit_basics() -> None:
     # Table I of the paper: every positive value of the (5,1) posit.
     print(format_table(PositConfig(5, 1)))
 
-    # The transformation operator P(x) of Algorithm 1 snaps reals onto the grid.
-    cfg = PositConfig(8, 1)
+    # The transformation operator P(x) of Algorithm 1 snaps reals onto the
+    # grid.  Formats resolve from registry spec strings (repro.formats).
+    cfg = parse_format("posit(8,1)")
     values = np.array([0.003, 0.3, 1.7, 42.0, 1e9])
     print(f"\nP_(8,1) with round-to-zero applied to {values}:")
     print(f"  -> {np.asarray(quantize(values, cfg, rounding='zero'))}")
@@ -78,29 +69,29 @@ def part_3_train_fp32_vs_posit() -> None:
     print("Part 3 — training: FP32 baseline vs posit(16,1)/(16,2)")
     print("=" * 70)
 
-    points, labels = make_spirals(num_samples=600, num_classes=3, noise=0.15, seed=0)
-    order = np.random.default_rng(0).permutation(len(points))
-    points, labels = points[order], labels[order]
-    split = 480
-    train = ArrayDataLoader(points[:split], labels[:split], batch_size=32, seed=0)
-    val = ArrayDataLoader(points[split:], labels[split:], batch_size=120, shuffle=False)
+    # The whole experiment is declarative: dataset, model, and policy are
+    # plain strings resolved by repro.api (policies also accept dicts and
+    # QuantizationPolicy objects).
+    base = ExperimentConfig(
+        dataset="spirals", model="mlp", num_classes=3,
+        train_size=480, test_size=120, batch_size=32,
+        epochs=30, lr=0.1, data_seed=0, seed=7, shuffle_seed=0,
+        data_kwargs={"noise": 0.15},
+    )
 
     def run(policy, warmup_epochs, label):
-        model = MLP(2, hidden=(64, 32), num_classes=3, rng=np.random.default_rng(7))
-        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
-        trainer = PositTrainer(model, optimizer, CrossEntropyLoss(), policy=policy,
-                               warmup=WarmupSchedule(warmup_epochs))
-        history = trainer.fit(train, val, epochs=30)
-        print(f"  {label:<28} final val accuracy: {history.final_val_accuracy:.3f}")
+        config = base.with_overrides(policy=policy, warmup_epochs=warmup_epochs)
+        history = build_experiment(config).run()
+        print(f"  {label:<40} final val accuracy: {history.final_val_accuracy:.3f}")
         return history
 
-    run(None, 0, "FP32 baseline")
-    run(QuantizationPolicy.imagenet_paper(), 1, "posit(16,1)/(16,2), warm-up 1")
+    run("fp32", 0, "FP32 baseline")
+    run("imagenet_paper", 1, "posit(16,1)/(16,2), warm-up 1")
     # 8-bit posit on a tiny all-Linear MLP is deliberately aggressive: the
     # paper's 8-bit recipe applies to CONV layers and keeps BN at 16 bits (see
     # examples/train_cifar_like.py and examples/precision_study.py for that
     # configuration); here it illustrates where 8 bits alone starts to strain.
-    run(QuantizationPolicy.uniform(8), 1, "posit(8,1)/(8,2) everywhere (aggressive)")
+    run("uniform(8)", 1, "posit(8,1)/(8,2) everywhere (aggressive)")
 
 
 if __name__ == "__main__":

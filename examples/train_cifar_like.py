@@ -16,6 +16,10 @@ a CPU, but every methodological ingredient is the same:
 The quantity to compare is the *gap* between the FP32 row and the posit row,
 which the paper reports as ~0.5 % (93.40 vs 92.87).
 
+The wiring is fully declarative through :mod:`repro.api`: each run is an
+:class:`~repro.api.ExperimentConfig` whose policy is a preset name
+("cifar_paper") or spec — the same config could come from a JSON file.
+
 Run with:  python examples/train_cifar_like.py [--epochs N] [--train-size N]
 """
 
@@ -24,36 +28,29 @@ from __future__ import annotations
 import argparse
 import time
 
-import numpy as np
-
-from repro.core import PositTrainer, QuantizationPolicy, WarmupSchedule
-from repro.data import cifar_like, train_loader
-from repro.data.loaders import test_loader as make_test_loader
-from repro.models import ResNet
-from repro.nn import CrossEntropyLoss
-from repro.optim import SGD, MultiStepLR
+from repro.api import ExperimentConfig, build_experiment, build_policy
 
 
-def build_model(seed: int) -> ResNet:
-    """A Cifar-style ResNet scaled down (width 8, 3 stages) for CPU training."""
-    return ResNet(stage_blocks=(1, 1, 1), num_classes=10, base_width=8,
-                  stem="cifar", rng=np.random.default_rng(seed))
-
-
-def run_experiment(label: str, policy, warmup_epochs: int, args, seed: int = 0) -> dict:
-    dataset = cifar_like(num_train=args.train_size, num_test=args.test_size,
-                         noise_std=0.5, seed=args.data_seed)
-    train = train_loader(dataset, batch_size=args.batch_size, seed=seed)
-    val = make_test_loader(dataset, batch_size=256)
-
-    model = build_model(seed)
-    optimizer = SGD(model.parameters(), lr=args.lr, momentum=0.9, weight_decay=5e-4)
-    scheduler = MultiStepLR(optimizer, milestones=(args.epochs // 2, 3 * args.epochs // 4))
-    trainer = PositTrainer(model, optimizer, CrossEntropyLoss(), policy=policy,
-                           warmup=WarmupSchedule(warmup_epochs), scheduler=scheduler,
-                           verbose=args.verbose)
+def run_experiment(label: str, policy, warmup_epochs: int, args) -> dict:
+    config = ExperimentConfig(
+        name=label,
+        dataset="cifar_like",
+        model="cifar_resnet",
+        policy=policy,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        weight_decay=5e-4,
+        warmup_epochs=warmup_epochs,
+        scheduler="multistep",
+        train_size=args.train_size,
+        test_size=args.test_size,
+        data_seed=args.data_seed,
+        verbose=args.verbose,
+        data_kwargs={"noise_std": 0.5},
+    )
     start = time.time()
-    history = trainer.fit(train, val, epochs=args.epochs)
+    history = build_experiment(config).run()
     elapsed = time.time() - start
     result = {
         "label": label,
@@ -83,11 +80,14 @@ def main() -> None:
     print(f"  model:   Cifar ResNet (3 stages, width 8), {args.epochs} epochs\n")
 
     results = [
-        run_experiment("FP32 baseline", None, 0, args),
-        run_experiment("posit CONV(8,1)/(8,2) + BN(16,1)/(16,2)",
-                       QuantizationPolicy.cifar_paper(), 1, args),
-        run_experiment("posit(8,*) everywhere, no warm-up, no shifting",
-                       QuantizationPolicy.uniform(8, use_scaling=False), 0, args),
+        run_experiment("FP32 baseline", "fp32", 0, args),
+        run_experiment("posit CONV(8,1)/(8,2) + BN(16,1)/(16,2)", "cifar_paper", 1, args),
+        run_experiment(
+            "posit(8,*) everywhere, no warm-up, no shifting",
+            # Policies are data: take the uniform(8) preset and switch off
+            # the stabilizing shift via its dict form.
+            {**build_policy("uniform(8)").to_dict(), "use_scaling": False},
+            0, args),
     ]
 
     print("\nSummary (compare the FP32-vs-posit gap, as in Table III):")

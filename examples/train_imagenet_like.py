@@ -12,6 +12,8 @@ images, 20 classes) instead of ImageNet-1k, the model keeps the ImageNet stem
 is a handful of epochs.  The claim under test is the relative one: the 16-bit
 posit run tracks the FP32 run.
 
+The wiring is declarative through :mod:`repro.api`.
+
 Run with:  python examples/train_imagenet_like.py [--epochs N]
 """
 
@@ -20,37 +22,30 @@ from __future__ import annotations
 import argparse
 import time
 
-import numpy as np
-
-from repro.core import PositTrainer, QuantizationPolicy, WarmupSchedule
-from repro.data import imagenet_like, train_loader
-from repro.data.loaders import test_loader as make_test_loader
-from repro.models import ResNet
-from repro.nn import CrossEntropyLoss
-from repro.optim import SGD, StepLR
+from repro.api import ExperimentConfig, build_experiment
 
 
-def build_model(num_classes: int, seed: int) -> ResNet:
-    """ResNet with the ImageNet stem, scaled down to width 8 / (1,1,1,1) blocks."""
-    return ResNet(stage_blocks=(1, 1, 1, 1), num_classes=num_classes, base_width=8,
-                  stem="imagenet", rng=np.random.default_rng(seed))
-
-
-def run(label: str, policy, warmup_epochs: int, args, seed: int = 0) -> dict:
-    dataset = imagenet_like(num_train=args.train_size, num_test=args.test_size,
-                            num_classes=args.classes, image_size=args.image_size,
-                            seed=args.data_seed)
-    train = train_loader(dataset, batch_size=args.batch_size, seed=seed)
-    val = make_test_loader(dataset, batch_size=128)
-
-    model = build_model(args.classes, seed)
-    optimizer = SGD(model.parameters(), lr=args.lr, momentum=0.9, weight_decay=1e-4)
-    scheduler = StepLR(optimizer, step_size=max(args.epochs // 3, 1), gamma=0.1)
-    trainer = PositTrainer(model, optimizer, CrossEntropyLoss(), policy=policy,
-                           warmup=WarmupSchedule(warmup_epochs), scheduler=scheduler,
-                           verbose=args.verbose)
+def run(label: str, policy, warmup_epochs: int, args) -> dict:
+    config = ExperimentConfig(
+        name=label,
+        dataset="imagenet_like",
+        model="imagenet_resnet",
+        policy=policy,
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        weight_decay=1e-4,
+        warmup_epochs=warmup_epochs,
+        scheduler="step",
+        train_size=args.train_size,
+        test_size=args.test_size,
+        num_classes=args.classes,
+        data_seed=args.data_seed,
+        verbose=args.verbose,
+        data_kwargs={"image_size": args.image_size},
+    )
     start = time.time()
-    history = trainer.fit(train, val, epochs=args.epochs)
+    history = build_experiment(config).run()
     elapsed = time.time() - start
     print(f"{label:<42} val acc {history.final_val_accuracy:.3f} "
           f"(best {history.best_val_accuracy:.3f})  [{elapsed:.0f}s]")
@@ -76,9 +71,9 @@ def main() -> None:
     print(f"  model:   ResNet (ImageNet stem, width 8), {args.epochs} epochs\n")
 
     results = [
-        run("FP32 baseline", None, 0, args),
+        run("FP32 baseline", "fp32", 0, args),
         run("posit(16,1) fwd/update, (16,2) bwd, warm-up",
-            QuantizationPolicy.imagenet_paper(), min(2, args.epochs - 1), args),
+            "imagenet_paper", min(2, args.epochs - 1), args),
     ]
     gap = results[0]["accuracy"] - results[1]["accuracy"]
     print(f"\nFP32-vs-posit16 accuracy gap: {gap:+.3f} "

@@ -11,53 +11,62 @@ both improve when the Eq. (2)/(3) scale factor is applied.
 
 from __future__ import annotations
 
+from typing import Sequence, Union
+
 import numpy as np
 
 from ..core.scaling import compute_scale_factor
-from ..posit import PositConfig, quantize_to_bits
+from ..formats import NumberFormat, as_format
 
 __all__ = ["code_usage", "coverage_report", "shifting_coverage_gain"]
 
+FormatLike = Union[NumberFormat, str]
 
-def code_usage(values: np.ndarray, config: PositConfig, scale: float = 1.0,
+
+def code_usage(values: np.ndarray, config: FormatLike, scale: float = 1.0,
                rounding: str = "zero") -> dict:
-    """Histogram of posit codes used by ``values`` (optionally pre-scaled).
+    """Histogram of storage codes used by ``values`` (optionally pre-scaled).
 
-    Returns the number of distinct codes used, the fraction of the available
-    code space that represents, and the normalized entropy of the code
-    histogram (1.0 means the codes are used uniformly).
+    Works for any :class:`~repro.formats.NumberFormat` (or registry spec
+    string) via its ``to_bits`` codec.  Returns the number of distinct codes
+    used, the fraction of the available code space that represents, and the
+    normalized entropy of the code histogram (1.0 means the codes are used
+    uniformly).
     """
+    config = as_format(config)
     values = np.asarray(values, dtype=np.float64).ravel()
     scaled = values / scale if scale != 1.0 else values
-    bits = np.asarray(quantize_to_bits(scaled, config, rounding=rounding)).ravel()
+    bits = np.asarray(config.to_bits(scaled, mode=rounding)).ravel()
     unique, counts = np.unique(bits, return_counts=True)
     probabilities = counts / counts.sum()
     entropy = float(-(probabilities * np.log2(probabilities)).sum())
-    max_entropy = np.log2(config.code_count)
+    code_count = getattr(config, "code_count", 1 << config.bits)
+    max_entropy = np.log2(code_count)
     return {
-        "format": str(config),
+        "format": config.spec(),
         "scale": scale,
         "distinct_codes": int(unique.size),
-        "code_space_fraction": unique.size / config.code_count,
+        "code_space_fraction": unique.size / code_count,
         "entropy_bits": entropy,
         "normalized_entropy": entropy / max_entropy if max_entropy > 0 else 0.0,
     }
 
 
-def coverage_report(values: np.ndarray, configs: list[PositConfig],
+def coverage_report(values: np.ndarray, configs: Sequence[FormatLike],
                     rounding: str = "zero") -> list[dict]:
-    """Code usage of the same tensor under several posit formats."""
+    """Code usage of the same tensor under several number formats."""
     return [code_usage(values, config, rounding=rounding) for config in configs]
 
 
-def shifting_coverage_gain(values: np.ndarray, config: PositConfig, sigma: int = 2,
+def shifting_coverage_gain(values: np.ndarray, config: FormatLike, sigma: int = 2,
                            rounding: str = "zero") -> dict:
     """Compare code usage with and without the Eq. (2)/(3) scale factor."""
+    config = as_format(config)
     direct = code_usage(values, config, scale=1.0, rounding=rounding)
     scale = compute_scale_factor(values, sigma=sigma)
     shifted = code_usage(values, config, scale=scale, rounding=rounding)
     return {
-        "format": str(config),
+        "format": config.spec(),
         "scale_factor": scale,
         "direct": direct,
         "shifted": shifted,

@@ -8,11 +8,12 @@ the distribution-based shifting of Eq. (2)/(3) recenters the data.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.scaling import compute_scale_factor
+from ..formats import NumberFormat, get_quantizer
 from ..posit import PositConfig, quantize
 
 __all__ = [
@@ -74,8 +75,25 @@ def quantization_report(values: np.ndarray, quantizer: Callable[[np.ndarray], np
     }
 
 
-def compare_formats(values: np.ndarray, quantizers: dict[str, Callable[[np.ndarray], np.ndarray]]) -> list[dict]:
-    """Run :func:`quantization_report` for several formats on the same tensor."""
+def compare_formats(
+    values: np.ndarray,
+    quantizers: Union[dict[str, Callable[[np.ndarray], np.ndarray]],
+                      Sequence[Union[str, NumberFormat]]],
+    rounding: str = "nearest",
+) -> list[dict]:
+    """Run :func:`quantization_report` for several formats on the same tensor.
+
+    ``quantizers`` is either the classic ``{label: quantizer}`` mapping, or a
+    plain sequence of registry spec strings / :class:`~repro.formats.NumberFormat`
+    objects (e.g. ``["posit(8,1)", "fp8_e4m3", "fixed(16,13)"]``) which are
+    resolved through the cached quantizer factory and labelled by spec.
+    """
+    if not isinstance(quantizers, dict):
+        resolved = {}
+        for entry in quantizers:
+            quantizer = get_quantizer(entry, rounding=rounding)
+            resolved[quantizer.format.spec()] = quantizer
+        quantizers = resolved
     return [quantization_report(values, quantizer, label=label)
             for label, quantizer in quantizers.items()]
 

@@ -1,0 +1,358 @@
+"""High-level experiment API: declarative config -> wired experiment.
+
+Every example script and benchmark used to copy-paste the same dozen lines
+of wiring (dataset -> loaders -> model -> optimizer -> scheduler -> policy
+-> trainer).  This module makes that wiring a function of plain data:
+
+>>> from repro.api import ExperimentConfig, build_experiment
+>>> config = ExperimentConfig(dataset="cifar_like", model="cifar_resnet",
+...                           policy="cifar_paper", epochs=4, warmup_epochs=1)
+>>> experiment = build_experiment(config)
+>>> history = experiment.run()
+
+Because :class:`ExperimentConfig` round-trips through plain dicts
+(:meth:`~ExperimentConfig.to_dict` / :meth:`~ExperimentConfig.from_dict`)
+and policies round-trip through spec strings and dicts (the
+:mod:`repro.formats` registry), an entire experiment is expressible as a
+JSON/YAML document — the declarative entry point the sweep and benchmark
+harnesses build on.
+
+:func:`build_policy` is the single resolution point for every way a policy
+can be named: a :class:`~repro.core.policy.QuantizationPolicy` instance, a
+preset name (``"cifar_paper"``, ``"imagenet_paper"``, ``"fp16_mixed"``,
+``"fp8_mixed"``, ``"fixed_point"``, ``"full_precision"``), a parametric
+preset (``"uniform(8)"``), a bare format spec (``"posit(8,1)"``,
+``"fixed(16,13)"`` — that format everywhere), a policy dict, or
+``None``/``"fp32"`` for the unquantized baseline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional, Union
+
+import numpy as np
+
+from .baselines import fixed_point_policy, fp8_policy, fp16_policy, make_loss_scaler
+from .core import PositTrainer, QuantizationPolicy, WarmupSchedule
+from .core.policy import _FULL_PRECISION_SPECS
+from .data import (
+    ArrayDataLoader,
+    cifar_like,
+    imagenet_like,
+    make_blobs,
+    make_spirals,
+    test_loader,
+    train_loader,
+)
+from .formats import FormatSpecError, parse_format
+from .models import MLP, LeNet, ResNet, tiny_resnet
+from .nn import CrossEntropyLoss, LossScaler
+from .optim import SGD, CosineAnnealingLR, MultiStepLR, StepLR
+
+__all__ = [
+    "ExperimentConfig",
+    "Experiment",
+    "build_policy",
+    "build_experiment",
+    "run_experiment",
+    "POLICY_PRESETS",
+]
+
+#: Named policy presets resolvable by :func:`build_policy`.  Values are
+#: zero-argument factories so each call gets a fresh policy instance.
+POLICY_PRESETS = {
+    "cifar_paper": QuantizationPolicy.cifar_paper,
+    "imagenet_paper": QuantizationPolicy.imagenet_paper,
+    "full_precision": QuantizationPolicy.full_precision,
+    "fp16_mixed": fp16_policy,
+    "fp8_mixed": fp8_policy,
+    "fixed_point": fixed_point_policy,
+}
+
+_UNIFORM_PRESET = re.compile(r"^uniform\((\d+)(?:,(\d+),(\d+))?\)$")
+
+
+def build_policy(
+    spec: Union[QuantizationPolicy, Mapping, str, None],
+) -> Optional[QuantizationPolicy]:
+    """Resolve any policy description to a :class:`QuantizationPolicy` (or None).
+
+    See the module docstring for the accepted forms.  ``None`` and the
+    full-precision spec strings (``"fp32"``, ``"none"``) resolve to ``None``,
+    which the trainer interprets as the unquantized FP32 baseline.
+    """
+    if spec is None or isinstance(spec, QuantizationPolicy):
+        return spec
+    if isinstance(spec, Mapping):
+        return QuantizationPolicy.from_dict(spec)
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"policy must be a QuantizationPolicy, dict, spec string, or None; "
+            f"got {type(spec).__name__}"
+        )
+
+    key = spec.strip().lower().replace(" ", "")
+    # Same synonym set the policy layer uses for per-role specs, so
+    # "fp32"/"none"/"float32"/... mean the FP32 baseline at every level.
+    if key in _FULL_PRECISION_SPECS:
+        return None
+    preset = POLICY_PRESETS.get(key)
+    if preset is not None:
+        return preset()
+    uniform = _UNIFORM_PRESET.match(key)
+    if uniform is not None:
+        n, es_forward, es_backward = uniform.groups()
+        if es_forward is None:
+            return QuantizationPolicy.uniform(int(n))
+        return QuantizationPolicy.uniform(int(n), es_forward=int(es_forward),
+                                          es_backward=int(es_backward))
+    try:
+        fmt = parse_format(key)
+    except FormatSpecError as exc:
+        raise ValueError(
+            f"unknown policy spec {spec!r}; expected one of the presets "
+            f"{sorted(POLICY_PRESETS)}, 'uniform(n[,es_fwd,es_bwd])', 'fp32', "
+            f"or a format spec like 'posit(8,1)' ({exc})"
+        ) from exc
+    return QuantizationPolicy.uniform_format(fmt)
+
+
+@dataclass
+class ExperimentConfig:
+    """Declarative description of one training experiment.
+
+    Every field is plain data; :meth:`to_dict`/:meth:`from_dict` round-trip
+    the config through JSON-able form (the policy is serialized via
+    :meth:`QuantizationPolicy.to_dict` when it is an object).
+
+    Parameters
+    ----------
+    dataset:
+        ``"cifar_like"``, ``"imagenet_like"``, ``"spirals"``, or ``"blobs"``.
+    model:
+        ``"mlp"``, ``"lenet"``, ``"tiny_resnet"``, ``"cifar_resnet"``, or
+        ``"imagenet_resnet"``.
+    policy:
+        Anything :func:`build_policy` accepts.
+    loss_scaling:
+        Attach a :class:`~repro.nn.LossScaler` (the float-baseline recipe).
+    model_kwargs / data_kwargs:
+        Escape hatches merged into the model constructor / dataset builder.
+    """
+
+    name: str = "experiment"
+    dataset: str = "cifar_like"
+    model: str = "cifar_resnet"
+    policy: Union[QuantizationPolicy, Mapping, str, None] = "cifar_paper"
+    epochs: int = 4
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    warmup_epochs: int = 1
+    scheduler: Optional[str] = None  # None | "step" | "multistep" | "cosine"
+    loss_scaling: bool = False
+    train_size: int = 256
+    test_size: int = 128
+    num_classes: int = 10
+    seed: int = 0
+    data_seed: int = 1
+    shuffle_seed: Optional[int] = None  # loader shuffle; defaults to `seed`
+    verbose: bool = False
+    model_kwargs: dict = field(default_factory=dict)
+    data_kwargs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-able form of the config."""
+        data = {
+            "name": self.name,
+            "dataset": self.dataset,
+            "model": self.model,
+            "policy": (self.policy.to_dict()
+                       if isinstance(self.policy, QuantizationPolicy) else self.policy),
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "warmup_epochs": self.warmup_epochs,
+            "scheduler": self.scheduler,
+            "loss_scaling": self.loss_scaling,
+            "train_size": self.train_size,
+            "test_size": self.test_size,
+            "num_classes": self.num_classes,
+            "seed": self.seed,
+            "data_seed": self.data_seed,
+            "shuffle_seed": self.shuffle_seed,
+            "verbose": self.verbose,
+            "model_kwargs": dict(self.model_kwargs),
+            "data_kwargs": dict(self.data_kwargs),
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict` (policy dicts stay declarative)."""
+        return cls(**dict(data))
+
+    def with_overrides(self, **changes) -> "ExperimentConfig":
+        """Copy of the config with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class Experiment:
+    """A fully wired experiment: model, data, policy, and trainer."""
+
+    config: ExperimentConfig
+    model: Any
+    optimizer: Any
+    scheduler: Any
+    policy: Optional[QuantizationPolicy]
+    loss_scaler: Optional[LossScaler]
+    trainer: PositTrainer
+    train_loader: ArrayDataLoader
+    val_loader: ArrayDataLoader
+
+    def run(self, epochs: Optional[int] = None):
+        """Train for ``epochs`` (default: the config's) and return the history."""
+        return self.trainer.fit(self.train_loader, self.val_loader,
+                                epochs=epochs if epochs is not None else self.config.epochs)
+
+    def describe(self) -> dict:
+        """Config + trainer summary, for reports."""
+        return {"config": self.config.to_dict(), "trainer": self.trainer.describe()}
+
+
+def _build_loaders(config: ExperimentConfig) -> tuple[ArrayDataLoader, ArrayDataLoader, int]:
+    """Build (train_loader, val_loader, input_features) for the config."""
+    shuffle_seed = config.shuffle_seed if config.shuffle_seed is not None else config.seed
+    if config.dataset in ("cifar_like", "imagenet_like"):
+        builder = cifar_like if config.dataset == "cifar_like" else imagenet_like
+        kwargs = dict(num_train=config.train_size, num_test=config.test_size,
+                      num_classes=config.num_classes, seed=config.data_seed)
+        kwargs.update(config.data_kwargs)
+        dataset = builder(**kwargs)
+        train = train_loader(dataset, batch_size=config.batch_size, seed=shuffle_seed)
+        val = test_loader(dataset, batch_size=max(config.batch_size, 128))
+        image_shape = dataset.train_images.shape[1:]
+        features = int(np.prod(image_shape))
+        return train, val, features
+
+    if config.dataset in ("spirals", "blobs"):
+        builder = make_spirals if config.dataset == "spirals" else make_blobs
+        total = config.train_size + config.test_size
+        # The toy builders emit (num_samples // num_classes) per class, so a
+        # non-divisible total would come up short — and the shortfall would
+        # silently empty the validation split.  Over-request and trim after
+        # shuffling instead.
+        per_class = -(-total // config.num_classes)  # ceil division
+        kwargs = dict(num_samples=per_class * config.num_classes,
+                      num_classes=config.num_classes, seed=config.data_seed)
+        kwargs.update(config.data_kwargs)
+        points, labels = builder(**kwargs)
+        order = np.random.default_rng(config.data_seed).permutation(len(points))
+        points, labels = points[order][:total], labels[order][:total]
+        split = config.train_size
+        train = ArrayDataLoader(points[:split], labels[:split],
+                                batch_size=config.batch_size, seed=shuffle_seed)
+        val = ArrayDataLoader(points[split:], labels[split:],
+                              batch_size=max(len(points) - split, 1), shuffle=False)
+        return train, val, points.shape[1]
+
+    raise ValueError(
+        f"unknown dataset {config.dataset!r}; expected one of "
+        f"'cifar_like', 'imagenet_like', 'spirals', 'blobs'"
+    )
+
+
+def _build_model(config: ExperimentConfig, in_features: int):
+    """Build the model named by the config (rng seeded from config.seed)."""
+    rng = np.random.default_rng(config.seed)
+    kwargs = dict(config.model_kwargs)
+    if config.model == "mlp":
+        kwargs.setdefault("hidden", (64, 32))
+        return MLP(in_features, num_classes=config.num_classes, rng=rng, **kwargs)
+    if config.model == "lenet":
+        return LeNet(num_classes=config.num_classes, rng=rng, **kwargs)
+    if config.model == "tiny_resnet":
+        kwargs.setdefault("base_width", 8)
+        return tiny_resnet(num_classes=config.num_classes, rng=rng, **kwargs)
+    if config.model == "cifar_resnet":
+        kwargs.setdefault("stage_blocks", (1, 1, 1))
+        kwargs.setdefault("base_width", 8)
+        kwargs.setdefault("stem", "cifar")
+        return ResNet(num_classes=config.num_classes, rng=rng, **kwargs)
+    if config.model == "imagenet_resnet":
+        kwargs.setdefault("stage_blocks", (1, 1, 1, 1))
+        kwargs.setdefault("base_width", 8)
+        kwargs.setdefault("stem", "imagenet")
+        return ResNet(num_classes=config.num_classes, rng=rng, **kwargs)
+    raise ValueError(
+        f"unknown model {config.model!r}; expected one of "
+        f"'mlp', 'lenet', 'tiny_resnet', 'cifar_resnet', 'imagenet_resnet'"
+    )
+
+
+def _build_scheduler(config: ExperimentConfig, optimizer):
+    if config.scheduler is None or config.scheduler == "none":
+        return None
+    if config.scheduler == "step":
+        return StepLR(optimizer, step_size=max(config.epochs // 3, 1))
+    if config.scheduler == "multistep":
+        return MultiStepLR(optimizer, milestones=(config.epochs // 2,
+                                                  3 * config.epochs // 4))
+    if config.scheduler == "cosine":
+        return CosineAnnealingLR(optimizer, t_max=max(config.epochs, 1))
+    raise ValueError(
+        f"unknown scheduler {config.scheduler!r}; expected "
+        f"'step', 'multistep', 'cosine', or None"
+    )
+
+
+def build_experiment(config: Union[ExperimentConfig, Mapping],
+                     epoch_callbacks: Optional[list] = None) -> Experiment:
+    """Wire a complete experiment from a config (or its dict form).
+
+    ``epoch_callbacks`` are passed to the trainer (they are code, not data,
+    so they ride alongside the declarative config).
+    """
+    if isinstance(config, Mapping):
+        config = ExperimentConfig.from_dict(config)
+    train, val, in_features = _build_loaders(config)
+    model = _build_model(config, in_features)
+    optimizer = SGD(model.parameters(), lr=config.lr, momentum=config.momentum,
+                    weight_decay=config.weight_decay)
+    scheduler = _build_scheduler(config, optimizer)
+    policy = build_policy(config.policy)
+    loss_scaler = make_loss_scaler(policy) if config.loss_scaling else None
+    trainer = PositTrainer(
+        model,
+        optimizer,
+        CrossEntropyLoss(),
+        policy=policy,
+        warmup=WarmupSchedule(config.warmup_epochs),
+        scheduler=scheduler,
+        epoch_callbacks=epoch_callbacks,
+        loss_scaler=loss_scaler,
+        verbose=config.verbose,
+    )
+    return Experiment(
+        config=config,
+        model=model,
+        optimizer=optimizer,
+        scheduler=scheduler,
+        policy=policy,
+        loss_scaler=loss_scaler,
+        trainer=trainer,
+        train_loader=train,
+        val_loader=val,
+    )
+
+
+def run_experiment(config: Union[ExperimentConfig, Mapping],
+                   epoch_callbacks: Optional[list] = None):
+    """Build and run an experiment; returns its :class:`TrainingHistory`."""
+    return build_experiment(config, epoch_callbacks=epoch_callbacks).run()

@@ -1,107 +1,28 @@
-"""Fixed-point quantization baseline (Gupta et al. [7]).
+"""Compatibility shim: fixed point moved into the core format type system.
 
-The earliest limited-precision training work used fixed-point formats with
-stochastic rounding.  The paper cites it as the class of "aggressive
-approximation" methods that lose too much information on complex tasks, and
-the ablation benchmarks use it as the weakest baseline.
-
-A fixed-point format ``Q(integer_bits, fraction_bits)`` represents values in
-``[-2**integer_bits, 2**integer_bits - 2**-fraction_bits]`` with a uniform
-step of ``2**-fraction_bits``.
+:class:`FixedPointFormat` is now a first-class
+:class:`~repro.formats.NumberFormat` living in
+:mod:`repro.formats.fixedpoint`, so it participates in quantization
+policies, the format registry (``"fixed(16,13)"``), and the cached
+quantizer factory exactly like posit and float formats.  This module
+re-exports the public names for existing imports; prefer
+``from repro.formats import FixedPointFormat`` in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from ..formats.fixedpoint import (
+    FixedPointFormat,
+    FixedPointQuantizer,
+    fixed_point_from_bits,
+    fixed_point_quantize,
+    fixed_point_to_bits,
+)
 
-import numpy as np
-
-__all__ = ["FixedPointFormat", "FixedPointQuantizer", "fixed_point_quantize"]
-
-
-@dataclass(frozen=True)
-class FixedPointFormat:
-    """Signed fixed-point format with ``integer_bits``.``fraction_bits`` split.
-
-    The sign bit is implicit (two's complement), so the total storage width
-    is ``1 + integer_bits + fraction_bits``.
-    """
-
-    integer_bits: int
-    fraction_bits: int
-    name: str = ""
-
-    def __post_init__(self) -> None:
-        if self.integer_bits < 0 or self.fraction_bits < 0:
-            raise ValueError("field widths must be non-negative")
-        if self.integer_bits + self.fraction_bits == 0:
-            raise ValueError("format must have at least one magnitude bit")
-
-    @property
-    def bits(self) -> int:
-        """Total storage width including the sign bit."""
-        return 1 + self.integer_bits + self.fraction_bits
-
-    @property
-    def step(self) -> float:
-        """Quantization step (value of one LSB)."""
-        return 2.0 ** (-self.fraction_bits)
-
-    @property
-    def max_value(self) -> float:
-        """Largest representable value."""
-        return 2.0**self.integer_bits - self.step
-
-    @property
-    def min_value(self) -> float:
-        """Smallest (most negative) representable value."""
-        return -(2.0**self.integer_bits)
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.name or f"Q{self.integer_bits}.{self.fraction_bits}"
-
-    def make_quantizer(self, rounding: str = "nearest",
-                       rng: Optional[np.random.Generator] = None) -> "FixedPointQuantizer":
-        """Build a quantizer for this format (hook used by QuantizationPolicy)."""
-        mode = "stochastic" if rounding == "stochastic" else "nearest"
-        return FixedPointQuantizer(self, rounding=mode, rng=rng)
-
-
-def fixed_point_quantize(x, fmt: FixedPointFormat, rounding: str = "nearest",
-                         rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    """Snap ``x`` onto the fixed-point grid of ``fmt`` with saturation.
-
-    ``rounding`` is ``"nearest"`` (round half away from zero, the common
-    hardware choice) or ``"stochastic"`` (Gupta et al.'s method).
-    """
-    arr = np.asarray(x, dtype=np.float64)
-    scaled = arr / fmt.step
-    if rounding == "nearest":
-        quantized = np.round(scaled)
-    elif rounding == "stochastic":
-        if rng is None:
-            rng = np.random.default_rng()
-        lower = np.floor(scaled)
-        quantized = lower + (rng.random(arr.shape) < (scaled - lower))
-    else:
-        raise ValueError(f"unknown rounding mode {rounding!r}")
-    values = quantized * fmt.step
-    return np.clip(values, fmt.min_value, fmt.max_value)
-
-
-class FixedPointQuantizer:
-    """Callable wrapper around :func:`fixed_point_quantize`."""
-
-    def __init__(self, fmt: FixedPointFormat, rounding: str = "nearest",
-                 rng: Optional[np.random.Generator] = None):
-        self.fmt = fmt
-        self.rounding = rounding
-        self.rng = rng
-
-    def __call__(self, x) -> np.ndarray:
-        """Quantize ``x`` to the bound fixed-point format."""
-        return fixed_point_quantize(x, self.fmt, rounding=self.rounding, rng=self.rng)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"FixedPointQuantizer({self.fmt}, rounding={self.rounding!r})"
+__all__ = [
+    "FixedPointFormat",
+    "FixedPointQuantizer",
+    "fixed_point_quantize",
+    "fixed_point_to_bits",
+    "fixed_point_from_bits",
+]

@@ -16,9 +16,9 @@ builder pairs them with a :class:`~repro.nn.loss.LossScaler`.
 from __future__ import annotations
 
 from ..core.policy import QuantizationPolicy, RoleFormats
+from ..formats import FixedPointFormat
 from ..nn import LossScaler
 from ..posit import FP8_E4M3, FP8_E5M2, FP16, FloatFormat
-from .fixedpoint import FixedPointFormat
 
 __all__ = [
     "fp16_policy",

@@ -16,28 +16,34 @@ both paths:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..data.loaders import ArrayDataLoader
+from ..formats import get_quantizer
 from ..nn import Module
 from ..tensor import Tensor, accuracy, no_grad
-from .policy import Format, QuantizationPolicy, RoleFormats, _make_quantizer
+from .policy import Format, QuantizationPolicy, RoleFormats, _as_role_format
 from .scaling import compute_scale_factor
 from .transform import apply_scaled_quantization
 
 __all__ = ["quantize_model_weights", "evaluate_quantized", "inference_sweep"]
 
+#: A format argument: a NumberFormat, a registry spec string, or None (FP32).
+FormatLike = Union[Format, str]
 
-def quantize_model_weights(model: Module, fmt: Format, rounding: str = "nearest",
+
+def quantize_model_weights(model: Module, fmt: FormatLike, rounding: str = "nearest",
                            use_scaling: bool = True, sigma: int = 2) -> dict[str, float]:
     """Snap every parameter of ``model`` onto the grid of ``fmt`` in place.
 
-    Returns the per-parameter scale factors that were applied (1.0 when
-    scaling is disabled), so callers can reconstruct the stored representation.
+    ``fmt`` may be a :class:`~repro.formats.NumberFormat` or a registry spec
+    string like ``"posit(8,1)"``.  Returns the per-parameter scale factors
+    that were applied (1.0 when scaling is disabled), so callers can
+    reconstruct the stored representation.
     """
-    quantizer = _make_quantizer(fmt, rounding, rng=None)
+    quantizer = get_quantizer(_as_role_format(fmt), rounding, rng=None)
     scales: dict[str, float] = {}
     if quantizer is None:
         return scales
@@ -48,15 +54,16 @@ def quantize_model_weights(model: Module, fmt: Format, rounding: str = "nearest"
     return scales
 
 
-def evaluate_quantized(model: Module, loader: ArrayDataLoader, fmt: Format,
+def evaluate_quantized(model: Module, loader: ArrayDataLoader, fmt: FormatLike,
                        rounding: str = "nearest", use_scaling: bool = True,
                        quantize_activations: bool = True) -> float:
     """Evaluate ``model`` with weights and (optionally) activations in ``fmt``.
 
     The model's stored weights are left untouched: quantization is applied
     through a temporary per-layer policy, exactly as the forward path of
-    Fig. 3a, and removed afterwards.
+    Fig. 3a, and removed afterwards.  ``fmt`` accepts spec strings.
     """
+    fmt = _as_role_format(fmt)
     formats = RoleFormats(weight=fmt, activation=fmt if quantize_activations else None)
     policy = QuantizationPolicy(conv_formats=formats, bn_formats=formats,
                                 linear_formats=formats, rounding=rounding,
@@ -76,12 +83,14 @@ def evaluate_quantized(model: Module, loader: ArrayDataLoader, fmt: Format,
 
 
 def inference_sweep(model: Module, loader: ArrayDataLoader,
-                    formats: Optional[list[Format]] = None,
+                    formats: Optional[list[FormatLike]] = None,
                     rounding: str = "nearest", use_scaling: bool = True) -> list[dict]:
     """Accuracy of ``model`` under a sweep of inference number formats.
 
     Defaults to the posit formats the paper and Deep Positron [12] consider:
-    (8,0), (8,1), (8,2), (16,1), plus the FP32 reference (``None``).
+    (8,0), (8,1), (8,2), (16,1), plus the FP32 reference (``None``).  Sweep
+    entries may be format objects or spec strings, so callers can drive the
+    study from a plain config file.
     """
     from ..posit import PositConfig
 
@@ -90,6 +99,7 @@ def inference_sweep(model: Module, loader: ArrayDataLoader,
                    PositConfig(8, 0), PositConfig(6, 1)]
     rows = []
     for fmt in formats:
+        fmt = _as_role_format(fmt)
         if fmt is None:
             model.train(False)
             total, correct = 0, 0.0
@@ -102,5 +112,5 @@ def inference_sweep(model: Module, loader: ArrayDataLoader,
         else:
             acc = evaluate_quantized(model, loader, fmt, rounding=rounding,
                                      use_scaling=use_scaling)
-        rows.append({"format": "fp32" if fmt is None else str(fmt), "accuracy": acc})
+        rows.append({"format": "fp32" if fmt is None else fmt.spec(), "accuracy": acc})
     return rows

@@ -20,24 +20,70 @@ The paper's qualitative criterion for choosing ``es`` — gradients/errors have
 wider dynamic range than weights/activations, so they get ``es = 2`` while
 the forward tensors get ``es = 1`` — is what the default policies encode;
 :mod:`repro.core.range_analysis` measures the ranges that justify it.
+
+Formats are uniform :class:`~repro.formats.NumberFormat` values (posit,
+float, or fixed point) and policies are constructible declaratively from
+registry spec strings: :meth:`RoleFormats.from_specs`,
+:meth:`QuantizationPolicy.from_dict` (the inverse of
+:meth:`QuantizationPolicy.to_dict`), and
+:meth:`QuantizationPolicy.uniform_format`.  Quantizer instances come from
+the cached :func:`repro.formats.get_quantizer` factory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Mapping, Optional, Union
 
 import numpy as np
 
+from ..formats import NumberFormat, as_format, get_quantizer
 from ..nn import BatchNorm2d, Conv2d, Linear, Module
-from ..posit import FloatFormat, FloatQuantizer, PositConfig, PositQuantizer
+from ..posit import FloatFormat, PositConfig
 from .scaling import ScaleEstimator
 from .transform import LayerQuantContext, Quantizer
 
 __all__ = ["Format", "RoleFormats", "QuantizationPolicy"]
 
-#: A tensor format: a posit configuration, a float format, or ``None`` (FP32).
-Format = Union[PositConfig, FloatFormat, None]
+#: A tensor format: any :class:`~repro.formats.NumberFormat` or ``None`` (FP32).
+#:
+#: .. deprecated:: the ad-hoc ``Union[PositConfig, FloatFormat, None]`` this
+#:    alias used to be is superseded by the :class:`~repro.formats.NumberFormat`
+#:    protocol; the alias remains for callers that annotate with it.
+Format = Optional[NumberFormat]
+
+#: Role spec strings that mean "leave this tensor in full precision".  Note
+#: that at the *policy* level ``"fp32"`` (and its named aliases) maps to
+#: ``None`` (no quantizer at all); to fake-quantize through the FP32 grid
+#: explicitly, pass the :data:`repro.posit.FP32` format object or the
+#: structural spec ``"float(8,23)"``.  ``repro.api.build_policy`` uses the
+#: same set so policy-level and role-level synonyms cannot diverge.
+_FULL_PRECISION_SPECS = frozenset({"", "fp32", "none", "full", "float32"})
+
+
+def _as_role_format(value: Union[NumberFormat, str, None]) -> Format:
+    """Resolve one role entry: ``None``/"fp32"-style specs mean full precision."""
+    if value is None:
+        return None
+    if isinstance(value, str) and value.strip().lower() in _FULL_PRECISION_SPECS:
+        return None
+    return as_format(value)
+
+
+def _role_name(fmt: Format) -> str:
+    """Round-trippable name for a role format (``"fp32"`` for ``None``)."""
+    if fmt is None:
+        return "fp32"
+    if hasattr(fmt, "spec"):
+        spec = fmt.spec()
+        if spec in _FULL_PRECISION_SPECS:
+            # An explicit FP32 FloatFormat role must not round-trip to None:
+            # serialize it structurally so from_dict rebuilds a format with
+            # identical quantization behaviour (the FP32 fast path keys on
+            # exponent/mantissa widths, not on the named constant).
+            return f"float({fmt.exponent_bits},{fmt.mantissa_bits})"
+        return spec
+    return str(fmt)
 
 
 @dataclass(frozen=True)
@@ -64,33 +110,59 @@ class RoleFormats:
         """All roles stay in FP32."""
         return cls()
 
-    def as_dict(self) -> dict:
-        """Role-to-format mapping with human-readable format names."""
-        def _name(fmt: Format) -> str:
-            return "fp32" if fmt is None else str(fmt)
+    @classmethod
+    def from_specs(cls, weight=None, activation=None, error=None,
+                   weight_grad=None) -> "RoleFormats":
+        """Build role formats from spec strings and/or format objects.
 
+        Each role accepts a :class:`~repro.formats.NumberFormat`, a registry
+        spec string (``"posit(8,1)"``, ``"fp8_e4m3"``, ``"fixed(16,13)"``),
+        or ``None``/``"fp32"`` for full precision.
+        """
+        return cls(
+            weight=_as_role_format(weight),
+            activation=_as_role_format(activation),
+            error=_as_role_format(error),
+            weight_grad=_as_role_format(weight_grad),
+        )
+
+    @classmethod
+    def uniform(cls, fmt: Union[NumberFormat, str, None]) -> "RoleFormats":
+        """The same format (object or spec string) for all four roles."""
+        resolved = _as_role_format(fmt)
+        return cls(weight=resolved, activation=resolved,
+                   error=resolved, weight_grad=resolved)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Union[NumberFormat, str, None]]) -> "RoleFormats":
+        """Inverse of :meth:`as_dict`: build role formats from a plain dict."""
+        roles = {"weight", "activation", "error", "weight_grad"}
+        unknown = set(mapping) - roles
+        if unknown:
+            raise ValueError(
+                f"unknown tensor roles {sorted(unknown)}; expected a subset of {sorted(roles)}"
+            )
+        return cls.from_specs(**mapping)
+
+    def as_dict(self) -> dict:
+        """Role-to-format mapping with round-trippable spec strings."""
         return {
-            "weight": _name(self.weight),
-            "activation": _name(self.activation),
-            "error": _name(self.error),
-            "weight_grad": _name(self.weight_grad),
+            "weight": _role_name(self.weight),
+            "activation": _role_name(self.activation),
+            "error": _role_name(self.error),
+            "weight_grad": _role_name(self.weight_grad),
         }
 
 
 def _make_quantizer(fmt: Format, rounding: str,
                     rng: Optional[np.random.Generator]) -> Optional[Quantizer]:
-    """Instantiate the appropriate quantizer for a format descriptor."""
-    if fmt is None:
-        return None
-    if isinstance(fmt, PositConfig):
-        return PositQuantizer(fmt, rounding=rounding, rng=rng)
-    if isinstance(fmt, FloatFormat):
-        float_rounding = "stochastic" if rounding == "stochastic" else "nearest"
-        return FloatQuantizer(fmt, rounding=float_rounding, rng=rng)
-    if hasattr(fmt, "make_quantizer"):
-        # Extension hook for baseline formats (e.g. fixed point).
-        return fmt.make_quantizer(rounding=rounding, rng=rng)
-    raise TypeError(f"unsupported format descriptor: {fmt!r}")
+    """Instantiate the quantizer for a format descriptor.
+
+    .. deprecated:: thin wrapper around the cached
+       :func:`repro.formats.get_quantizer` factory, kept for callers of the
+       old private helper.
+    """
+    return get_quantizer(fmt, rounding=rounding, rng=rng)
 
 
 class QuantizationPolicy:
@@ -186,6 +258,50 @@ class QuantizationPolicy:
         """No quantization anywhere (FP32 baseline expressed as a policy)."""
         return cls(conv_formats=RoleFormats.full_precision(), **overrides)
 
+    @classmethod
+    def uniform_format(cls, fmt: Union[NumberFormat, str, None],
+                       **overrides) -> "QuantizationPolicy":
+        """One format (object or spec string) for every role and layer type.
+
+        This is how a single-format sweep point — including fixed-point and
+        float baselines — is expressed declaratively, e.g.
+        ``QuantizationPolicy.uniform_format("fixed(16,13)", rounding="stochastic")``.
+        """
+        formats = RoleFormats.uniform(fmt)
+        return cls(conv_formats=formats, bn_formats=formats,
+                   linear_formats=formats, **overrides)
+
+    # ------------------------------------------------------------------ #
+    # Declarative (spec-string / dict) construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "QuantizationPolicy":
+        """Build a policy from the plain-dict form produced by :meth:`to_dict`.
+
+        ``data["conv"]`` (required), ``data["bn"]`` and ``data["linear"]``
+        (optional, defaulting to the conv assignment) are role->spec
+        mappings; every other key is passed to the constructor unchanged.
+        The round trip ``QuantizationPolicy.from_dict(p.to_dict())`` yields a
+        policy with identical quantization behaviour, which makes policies
+        JSON/YAML-able experiment inputs.
+        """
+        options = dict(data)
+        if "conv" not in options:
+            raise ValueError("policy dict requires a 'conv' role-format mapping")
+        conv = RoleFormats.from_dict(options.pop("conv"))
+        bn = options.pop("bn", None)
+        linear = options.pop("linear", None)
+        return cls(
+            conv_formats=conv,
+            bn_formats=RoleFormats.from_dict(bn) if bn is not None else None,
+            linear_formats=RoleFormats.from_dict(linear) if linear is not None else None,
+            **options,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form of the policy; inverse of :meth:`from_dict`."""
+        return {**self.describe(), "seed": self.seed}
+
     # ------------------------------------------------------------------ #
     def formats_for(self, module: Module) -> Optional[RoleFormats]:
         """Return the role formats for ``module``, or None for unhandled types."""
@@ -205,13 +321,16 @@ class QuantizationPolicy:
     def build_context(self, name: str, module: Module,
                       formats: RoleFormats) -> LayerQuantContext:
         """Build a :class:`LayerQuantContext` for one layer."""
+        # With no explicit seed the quantizers are pure functions of
+        # (format, rounding) and come from the shared cache; a seeded policy
+        # gets per-context instances so layers keep independent rng streams.
         rng = np.random.default_rng(self.seed) if self.seed is not None else None
         return LayerQuantContext(
             name=name,
-            weight_quantizer=_make_quantizer(formats.weight, self.rounding, rng),
-            activation_quantizer=_make_quantizer(formats.activation, self.rounding, rng),
-            error_quantizer=_make_quantizer(formats.error, self.rounding, rng),
-            weight_grad_quantizer=_make_quantizer(formats.weight_grad, self.rounding, rng),
+            weight_quantizer=get_quantizer(formats.weight, self.rounding, rng),
+            activation_quantizer=get_quantizer(formats.activation, self.rounding, rng),
+            error_quantizer=get_quantizer(formats.error, self.rounding, rng),
+            weight_grad_quantizer=get_quantizer(formats.weight_grad, self.rounding, rng),
             weight_scaler=self._make_scaler() if formats.weight is not None else None,
             activation_scaler=self._make_scaler() if formats.activation is not None else None,
             error_scaler=self._make_scaler() if formats.error is not None else None,

@@ -50,7 +50,11 @@ class PositTrainer:
     loss_fn:
         Loss module; defaults to cross-entropy.
     policy:
-        Quantization policy.  ``None`` trains the FP32 baseline.
+        Quantization policy.  ``None`` trains the FP32 baseline.  Besides a
+        :class:`~repro.core.policy.QuantizationPolicy` instance, a preset
+        name (``"cifar_paper"``), a format spec (``"posit(8,1)"``), or a
+        policy dict (the :meth:`~repro.core.policy.QuantizationPolicy.to_dict`
+        form) is accepted and resolved through :func:`repro.api.build_policy`.
     warmup:
         FP32 warm-up schedule.  Ignored when ``policy`` is None.
     scheduler:
@@ -80,6 +84,12 @@ class PositTrainer:
         loss_scaler=None,
         verbose: bool = False,
     ):
+        if isinstance(policy, (str, dict)):
+            # Deferred import: repro.api composes this trainer, so the
+            # spec-resolution helper cannot be imported at module load time.
+            from ..api import build_policy
+
+            policy = build_policy(policy)
         self.model = model
         self.optimizer = optimizer
         self.loss_fn = loss_fn if loss_fn is not None else CrossEntropyLoss()

@@ -46,9 +46,10 @@ __all__ = [
     "LayerQuantContext",
 ]
 
-#: Any callable mapping a float array onto a reduced-precision grid — a
-#: :class:`~repro.posit.PositQuantizer`, a
-#: :class:`~repro.posit.FloatQuantizer`, or a baseline quantizer.
+#: Any callable mapping a float array onto a reduced-precision grid —
+#: typically obtained from the cached :func:`repro.formats.get_quantizer`
+#: factory for any :class:`~repro.formats.NumberFormat` (posit, float, or
+#: fixed point).
 Quantizer = Callable[[np.ndarray], np.ndarray]
 
 
@@ -261,6 +262,9 @@ class LayerQuantContext:
         def _fmt(quantizer: Optional[Quantizer]) -> str:
             if quantizer is None:
                 return "fp32"
+            fmt = getattr(quantizer, "format", None)
+            if fmt is not None and hasattr(fmt, "spec"):
+                return fmt.spec()
             config = getattr(quantizer, "config", None) or getattr(quantizer, "fmt", None)
             return str(config) if config is not None else type(quantizer).__name__
 

@@ -1,0 +1,74 @@
+"""Cached quantizer factory keyed by ``(format, rounding_mode)``.
+
+A quantizer is a small stateless callable, but the policy layer used to
+build four of them per layer on every ``attach`` — dozens of redundant
+instances for a ResNet, re-created again for every sweep point.  This
+factory memoizes one instance per ``(format, rounding)`` pair; formats are
+frozen (hashable) dataclasses, so they key the cache directly.
+
+Calls that carry an explicit random generator (seeded stochastic rounding)
+bypass the cache: a shared generator across layers would entangle their
+random streams, which is exactly what a caller passing ``rng`` is trying to
+control.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from .base import NumberFormat
+from .registry import parse_format
+
+__all__ = ["get_quantizer", "clear_quantizer_cache", "quantizer_cache_info"]
+
+#: (format, rounding) -> quantizer instance.
+_QUANTIZER_CACHE: dict[tuple, Callable] = {}
+
+
+def _build(fmt: NumberFormat, rounding: str,
+           rng: Optional[np.random.Generator]) -> Callable:
+    maker = getattr(fmt, "make_quantizer", None)
+    if maker is None:
+        raise TypeError(
+            f"unsupported format descriptor: {fmt!r} (no make_quantizer hook)"
+        )
+    return maker(rounding=rounding, rng=rng)
+
+
+def get_quantizer(fmt: Union[NumberFormat, str, None], rounding: str = "zero",
+                  rng: Optional[np.random.Generator] = None) -> Optional[Callable]:
+    """Return a quantizer for ``fmt``, memoized per ``(format, rounding)``.
+
+    ``fmt`` may be a :class:`NumberFormat`, a spec string (resolved through
+    the registry), or ``None`` (meaning "no quantization" — returns ``None``,
+    mirroring the policy layer's FP32 convention).  Each format family maps
+    the requested rounding mode onto what it supports (e.g. floats treat
+    ``"zero"`` as round-to-nearest), exactly as the policy layer always did.
+    """
+    if fmt is None:
+        return None
+    if isinstance(fmt, str):
+        fmt = parse_format(fmt)
+    if rng is not None:
+        return _build(fmt, rounding, rng)
+    key = (fmt, rounding)
+    quantizer = _QUANTIZER_CACHE.get(key)
+    if quantizer is None:
+        quantizer = _build(fmt, rounding, None)
+        _QUANTIZER_CACHE[key] = quantizer
+    return quantizer
+
+
+def clear_quantizer_cache() -> None:
+    """Drop all memoized quantizers (mainly for tests and benchmarks)."""
+    _QUANTIZER_CACHE.clear()
+
+
+def quantizer_cache_info() -> dict:
+    """Introspection: cache size and the currently cached keys."""
+    return {
+        "size": len(_QUANTIZER_CACHE),
+        "keys": [(fmt.spec(), rounding) for fmt, rounding in _QUANTIZER_CACHE],
+    }

@@ -1,0 +1,206 @@
+"""Format registry: spec-string parsing, round-tripping, and lookup.
+
+The registry maps canonical spec strings to :class:`~repro.formats.base.NumberFormat`
+instances so policies, experiment configs, CLIs, and benchmark harnesses can
+name formats declaratively:
+
+* parametric families — ``"posit(n,es)"``, ``"float(e,m)"`` (exponent /
+  mantissa bits), and ``"fixed(bits,frac)"`` (total word size / fraction
+  bits) — are parsed structurally;
+* named formats — ``"fp32"``, ``"fp16"``, ``"bfloat16"``, ``"fp8_e4m3"``,
+  ``"fp8_e5m2"``, and every posit constant defined in
+  :mod:`repro.posit.config` (including ``"posit(32,2)"``, which the paper's
+  ``PAPER_FORMATS`` table deliberately omits) — are registered eagerly.
+
+Specs are case-insensitive and whitespace-tolerant; ``-`` is treated as
+``_`` so ``"FP8-E4M3"`` parses.  For every registered format,
+``parse_format(fmt.spec()) == fmt`` holds.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional, Union
+
+from ..posit import config as _posit_config
+from ..posit import floatformats as _floatformats
+from ..posit.config import PositConfig, get_config
+from ..posit.floatformats import FloatFormat
+from .base import NumberFormat
+from .fixedpoint import FixedPointFormat
+
+__all__ = [
+    "FormatSpecError",
+    "register_format",
+    "parse_format",
+    "as_format",
+    "available_formats",
+]
+
+
+class FormatSpecError(ValueError):
+    """Raised for malformed or unknown number-format spec strings."""
+
+
+#: Canonical spec -> format instance.  Populated below and via register_format.
+_REGISTRY: dict[str, NumberFormat] = {}
+
+_SPEC_PATTERN = re.compile(r"^([a-z_][a-z0-9_]*)\((.*)\)$")
+
+
+def _normalize(spec: str) -> str:
+    # Dashes become underscores so named aliases like "FP8-E4M3" resolve;
+    # the parametric parser below works on the dash-preserving form so a
+    # (invalid but diagnosable) negative argument stays readable.
+    return spec.strip().lower().replace(" ", "").replace("-", "_")
+
+
+def register_format(fmt: NumberFormat, aliases: Iterable[str] = ()) -> NumberFormat:
+    """Register ``fmt`` under its canonical spec (plus optional aliases).
+
+    Returns ``fmt`` so the call can be used inline.  Re-registering the same
+    format under the same key is a no-op; registering a *different* format
+    under an existing key raises ``ValueError`` to keep specs unambiguous.
+    """
+    keys = [_normalize(fmt.spec())] + [_normalize(alias) for alias in aliases]
+    for key in keys:
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing != fmt:
+            raise ValueError(
+                f"spec {key!r} is already registered to {existing!r}; "
+                f"refusing to rebind it to {fmt!r}"
+            )
+        _REGISTRY[key] = fmt
+    return fmt
+
+
+def _parse_int_args(family: str, argstr: str, spec: str, count: int) -> list[int]:
+    # No filtering of empty parts: "posit(8,,1)" must fail the arity check,
+    # not silently collapse to posit(8,1).
+    parts = argstr.split(",") if argstr else []
+    if len(parts) != count:
+        raise FormatSpecError(
+            f"{family} spec takes {count} integer arguments, "
+            f"'{family}({','.join(['<int>'] * count)})'; got {spec!r}"
+        )
+    values = []
+    for part in parts:
+        try:
+            values.append(int(part))
+        except ValueError as exc:
+            raise FormatSpecError(
+                f"non-integer argument {part!r} in format spec {spec!r}"
+            ) from exc
+    return values
+
+
+def parse_format(spec: str) -> NumberFormat:
+    """Parse a spec string into a :class:`NumberFormat`.
+
+    Named formats resolve through the registry; parametric families are
+    constructed structurally (and cached where the family supports it).
+    Raises :class:`FormatSpecError` with an actionable message on malformed
+    input — e.g. ``"posit(8)"`` (missing ``es``) or ``"fixed(4,8)"``
+    (fraction field wider than the word).
+    """
+    if not isinstance(spec, str):
+        raise TypeError(f"format spec must be a string, got {type(spec).__name__}")
+    key = _normalize(spec)
+    registered = _REGISTRY.get(key)
+    if registered is not None:
+        return registered
+
+    match = _SPEC_PATTERN.match(spec.strip().lower().replace(" ", ""))
+    if match is None:
+        known = ", ".join(sorted(k for k in _REGISTRY if "(" not in k))
+        raise FormatSpecError(
+            f"unknown format spec {spec!r}; expected a named format ({known}) or "
+            f"a parametric spec posit(n,es), float(e,m), fixed(bits,frac)"
+        )
+    family, argstr = match.groups()
+
+    if family == "posit":
+        n, es = _parse_int_args("posit", argstr, spec, 2)
+        try:
+            return get_config(n, es)
+        except (TypeError, ValueError) as exc:
+            raise FormatSpecError(f"invalid posit spec {spec!r}: {exc}") from exc
+
+    if family == "float":
+        exponent_bits, mantissa_bits = _parse_int_args("float", argstr, spec, 2)
+        try:
+            return FloatFormat(exponent_bits, mantissa_bits)
+        except ValueError as exc:
+            raise FormatSpecError(f"invalid float spec {spec!r}: {exc}") from exc
+
+    if family == "fixed":
+        bits, fraction_bits = _parse_int_args("fixed", argstr, spec, 2)
+        integer_bits = bits - 1 - fraction_bits
+        if integer_bits < 0:
+            raise FormatSpecError(
+                f"invalid fixed spec {spec!r}: fixed(bits,frac) needs "
+                f"frac <= bits - 1 (one bit is the sign); a {bits}-bit word "
+                f"cannot hold {fraction_bits} fraction bits"
+            )
+        try:
+            return FixedPointFormat(integer_bits, fraction_bits)
+        except ValueError as exc:
+            raise FormatSpecError(f"invalid fixed spec {spec!r}: {exc}") from exc
+
+    raise FormatSpecError(
+        f"unknown format family {family!r} in spec {spec!r}; "
+        f"supported families: posit, float, fixed"
+    )
+
+
+def as_format(value: Union[NumberFormat, str, None],
+              allow_none: bool = False) -> Optional[NumberFormat]:
+    """Coerce ``value`` to a :class:`NumberFormat`.
+
+    Accepts an existing format instance (returned unchanged) or a spec
+    string.  ``None`` is passed through only with ``allow_none=True`` (the
+    policy layer uses ``None`` to mean "stay in FP32").
+    """
+    if value is None:
+        if allow_none:
+            return None
+        raise TypeError("format must not be None here (did you mean allow_none=True?)")
+    if isinstance(value, str):
+        return parse_format(value)
+    if isinstance(value, NumberFormat):
+        return value
+    raise TypeError(
+        f"expected a NumberFormat or spec string, got {type(value).__name__}: {value!r}"
+    )
+
+
+def available_formats() -> dict[str, NumberFormat]:
+    """Snapshot of the registry: canonical spec (and aliases) -> format."""
+    return dict(_REGISTRY)
+
+
+# --------------------------------------------------------------------- #
+# Eager registration of every module-level constant, so the registry is
+# consistent with what the substrate modules export (no hand-curated
+# subset that can drift, which is how POSIT_32_2 went missing from
+# PAPER_FORMATS).
+# --------------------------------------------------------------------- #
+for _value in vars(_posit_config).values():
+    if isinstance(_value, PositConfig):
+        register_format(_value)
+
+_FLOAT_ALIASES = {
+    "fp32": ("float32",),
+    "fp16": ("float16",),
+    "bfloat16": ("bf16",),
+    "fp8_e4m3": ("e4m3",),
+    "fp8_e5m2": ("e5m2",),
+}
+for _value in vars(_floatformats).values():
+    if isinstance(_value, FloatFormat):
+        register_format(_value, aliases=_FLOAT_ALIASES.get(_normalize(_value.spec()), ()))
+
+#: The fixed-point words the paper's baselines exercise: Gupta et al.'s
+#: 16-bit Q2.13 and the 8-bit Q2.5 used in the error benchmarks.
+register_format(FixedPointFormat(2, 13))
+register_format(FixedPointFormat(2, 5))

@@ -30,7 +30,9 @@ from .floatformats import (
     FP32,
     FloatFormat,
     FloatQuantizer,
+    float_from_bits,
     float_quantize,
+    float_to_bits,
 )
 from .quantize import (
     ROUNDING_MODES,
@@ -103,6 +105,8 @@ __all__ = [
     "FloatFormat",
     "FloatQuantizer",
     "float_quantize",
+    "float_to_bits",
+    "float_from_bits",
     "FP32",
     "FP16",
     "BFLOAT16",

@@ -26,6 +26,8 @@ __all__ = [
     "FP8_E4M3",
     "FP8_E5M2",
     "float_quantize",
+    "float_to_bits",
+    "float_from_bits",
     "FloatQuantizer",
 ]
 
@@ -92,6 +94,69 @@ class FloatFormat:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name or f"fp{self.bits}(e{self.exponent_bits}m{self.mantissa_bits})"
 
+    # ------------------------------------------------------------------ #
+    # NumberFormat protocol surface (see repro.formats).
+    # ------------------------------------------------------------------ #
+    @property
+    def code_count(self) -> int:
+        """Number of *finite* bit patterns (code-space accounting).
+
+        The all-ones exponent is reserved for NaN/infinity in both
+        directions of the bit codec, so those ``2 * 2**mantissa_bits``
+        patterns can never be produced by finite data.
+        """
+        return (1 << self.bits) - 2 * (1 << self.mantissa_bits)
+
+    @property
+    def maxpos(self) -> float:
+        """Largest representable positive magnitude (protocol alias)."""
+        return self.max_value
+
+    @property
+    def minpos(self) -> float:
+        """Smallest representable positive magnitude (smallest subnormal)."""
+        return self.min_subnormal
+
+    def spec(self) -> str:
+        """Canonical registry spec string.
+
+        The standard constants round-trip through their short names
+        (``"fp16"``, ``"fp8_e4m3"``, ...); anonymous parametric formats use
+        ``"float(<exponent bits>,<mantissa bits>)"`` — note that parsing a
+        parametric spec does not reconstruct a custom ``name``.
+        """
+        canonical = _CANONICAL_SPECS.get(self)
+        if canonical is not None:
+            return canonical
+        return f"float({self.exponent_bits},{self.mantissa_bits})"
+
+    def quantize(self, x, mode: str = "nearest",
+                 rng: np.random.Generator | None = None) -> np.ndarray:
+        """Snap ``x`` onto this float grid.
+
+        ``mode`` is ``"nearest"`` or ``"stochastic"``; posit's ``"zero"``
+        mode is accepted and mapped to ``"nearest"`` (the convention the
+        policy layer has always used for float baselines).
+        """
+        rounding = "stochastic" if mode == "stochastic" else "nearest"
+        return float_quantize(x, self, rng=rng, rounding=rounding)
+
+    def to_bits(self, x, mode: str = "nearest",
+                rng: np.random.Generator | None = None) -> np.ndarray:
+        """Quantize ``x`` and return sign/exponent/mantissa bit patterns."""
+        rounding = "stochastic" if mode == "stochastic" else "nearest"
+        return float_to_bits(x, self, rounding=rounding, rng=rng)
+
+    def from_bits(self, bits) -> np.ndarray:
+        """Decode sign/exponent/mantissa bit patterns to real values."""
+        return float_from_bits(bits, self)
+
+    def make_quantizer(self, rounding: str = "nearest",
+                       rng: np.random.Generator | None = None) -> "FloatQuantizer":
+        """Build a :class:`FloatQuantizer` bound to this format."""
+        mode = "stochastic" if rounding == "stochastic" else "nearest"
+        return FloatQuantizer(self, rounding=mode, rng=rng)
+
 
 #: Standard formats referenced by the paper and its baselines.
 FP32 = FloatFormat(8, 23, "FP32")
@@ -99,6 +164,16 @@ FP16 = FloatFormat(5, 10, "FP16")
 BFLOAT16 = FloatFormat(8, 7, "bfloat16")
 FP8_E4M3 = FloatFormat(4, 3, "FP8-E4M3")
 FP8_E5M2 = FloatFormat(5, 2, "FP8-E5M2")
+
+#: Short registry specs for the standard constants (exact instance match,
+#: including the cosmetic name, so spec round-tripping is unambiguous).
+_CANONICAL_SPECS: dict[FloatFormat, str] = {
+    FP32: "fp32",
+    FP16: "fp16",
+    BFLOAT16: "bfloat16",
+    FP8_E4M3: "fp8_e4m3",
+    FP8_E5M2: "fp8_e5m2",
+}
 
 
 def float_quantize(x, fmt: FloatFormat, rng: np.random.Generator | None = None,
@@ -175,6 +250,78 @@ def float_quantize(x, fmt: FloatFormat, rng: np.random.Generator | None = None,
     return out[0] if scalar_input else out
 
 
+def float_to_bits(x, fmt: FloatFormat, rounding: str = "nearest",
+                  rng: np.random.Generator | None = None) -> np.ndarray:
+    """Quantize ``x`` and return IEEE-style bit patterns (``int64``).
+
+    Layout is ``[sign | exponent | mantissa]`` with the format's widths; the
+    all-ones exponent is reserved (as in IEEE) and used to encode NaN.
+    Because :func:`float_quantize` saturates infinities, every finite input
+    maps to a normal, subnormal, or zero pattern.
+    """
+    values = float_quantize(x, fmt, rng=rng, rounding=rounding)
+    arr = np.atleast_1d(np.asarray(values, dtype=np.float64))
+
+    e_width, m_width = fmt.exponent_bits, fmt.mantissa_bits
+    exp_all_ones = np.int64((1 << e_width) - 1)
+
+    sign = (np.signbit(arr)).astype(np.int64)
+    mag = np.abs(arr)
+    exp_field = np.zeros(arr.shape, dtype=np.int64)
+    mant_field = np.zeros(arr.shape, dtype=np.int64)
+
+    nan_mask = np.isnan(arr)
+    normal = ~nan_mask & (mag >= fmt.min_normal)
+    subnormal = ~nan_mask & (mag > 0) & (mag < fmt.min_normal)
+
+    if np.any(normal):
+        m = mag[normal]
+        exps = np.floor(np.log2(m)).astype(np.int64)
+        # Repair float64 log2 off-by-one at binade boundaries.
+        exps = np.where(np.power(2.0, (exps + 1).astype(np.float64)) <= m, exps + 1, exps)
+        exps = np.where(np.power(2.0, exps.astype(np.float64)) > m, exps - 1, exps)
+        frac = m / np.power(2.0, exps.astype(np.float64)) - 1.0
+        exp_field[normal] = exps + fmt.bias
+        # Quantized values sit exactly on the grid, so this rint is exact.
+        mant_field[normal] = np.rint(frac * (1 << m_width)).astype(np.int64)
+
+    if np.any(subnormal):
+        mant_field[subnormal] = np.rint(mag[subnormal] / fmt.min_subnormal).astype(np.int64)
+
+    if np.any(nan_mask):
+        sign[nan_mask] = 0
+        exp_field[nan_mask] = exp_all_ones
+        mant_field[nan_mask] = (1 << m_width) >> 1  # quiet-NaN style payload
+
+    bits = (sign << (e_width + m_width)) | (exp_field << m_width) | mant_field
+    return bits[0] if np.asarray(x).ndim == 0 else bits
+
+
+def float_from_bits(bits, fmt: FloatFormat) -> np.ndarray:
+    """Decode ``[sign | exponent | mantissa]`` bit patterns to real values.
+
+    The all-ones exponent decodes to NaN (this codec never produces
+    infinities — out-of-range magnitudes saturate on the encode side).
+    """
+    arr = np.atleast_1d(np.asarray(bits, dtype=np.int64))
+    e_width, m_width = fmt.exponent_bits, fmt.mantissa_bits
+    arr = arr & ((np.int64(1) << fmt.bits) - 1)
+
+    sign = (arr >> (e_width + m_width)) & 1
+    exp_field = (arr >> m_width) & ((np.int64(1) << e_width) - 1)
+    mant_field = arr & ((np.int64(1) << m_width) - 1)
+
+    exp_all_ones = (1 << e_width) - 1
+    frac = mant_field.astype(np.float64) / (1 << m_width)
+    normal_values = (1.0 + frac) * np.power(2.0, (exp_field - fmt.bias).astype(np.float64))
+    subnormal_values = mant_field.astype(np.float64) * fmt.min_subnormal
+
+    out = np.where(exp_field == 0, subnormal_values, normal_values)
+    out = np.where(sign == 1, -out, out)
+    out = np.where(exp_field == exp_all_ones, np.nan, out)
+    return out[0] if np.asarray(bits).ndim == 0 else out
+
+
 class FloatQuantizer:
     """Callable wrapper around :func:`float_quantize`, mirroring ``PositQuantizer``."""
 
@@ -184,9 +331,18 @@ class FloatQuantizer:
         self.rounding = rounding
         self.rng = rng
 
+    @property
+    def format(self) -> FloatFormat:
+        """The bound format (uniform accessor across quantizer families)."""
+        return self.fmt
+
     def __call__(self, x) -> np.ndarray:
         """Quantize ``x`` to the bound float format."""
         return float_quantize(x, self.fmt, rng=self.rng, rounding=self.rounding)
+
+    def to_bits(self, x) -> np.ndarray:
+        """Quantize ``x`` and return bit patterns instead of values."""
+        return float_to_bits(x, self.fmt, rounding=self.rounding, rng=self.rng)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FloatQuantizer({self.fmt}, rounding={self.rounding!r})"

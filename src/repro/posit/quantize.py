@@ -386,6 +386,11 @@ class PositQuantizer:
         self.num_underflows = 0
         self.num_saturations = 0
 
+    @property
+    def format(self) -> PositConfig:
+        """The bound format (uniform accessor across quantizer families)."""
+        return self.config
+
     def __call__(self, x) -> np.ndarray:
         """Quantize ``x`` to the bound posit format."""
         arr = _as_float_array(x)

@@ -1,0 +1,199 @@
+"""The high-level experiment API: declarative config -> wired experiment."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    POLICY_PRESETS,
+    Experiment,
+    ExperimentConfig,
+    build_experiment,
+    build_policy,
+    run_experiment,
+)
+from repro.core import PositTrainer, QuantizationPolicy
+from repro.formats import FixedPointFormat
+from repro.models import MLP
+from repro.optim import SGD
+from repro.posit import FP16, PositConfig
+
+TINY = dict(dataset="spirals", model="mlp", num_classes=3,
+            train_size=90, test_size=30, batch_size=32, epochs=1,
+            lr=0.1, warmup_epochs=0)
+
+
+class TestBuildPolicy:
+    def test_none_and_fp32_mean_baseline(self):
+        assert build_policy(None) is None
+        assert build_policy("fp32") is None
+        assert build_policy("none") is None
+        # Named FP32 aliases and the role-level synonyms resolve the same
+        # way, so "float32" cannot silently become a fake-quantizing policy.
+        assert build_policy("float32") is None
+        assert build_policy("full") is None
+
+    def test_policy_object_passes_through(self):
+        policy = QuantizationPolicy.cifar_paper()
+        assert build_policy(policy) is policy
+
+    def test_presets_resolve(self):
+        for name in POLICY_PRESETS:
+            assert isinstance(build_policy(name), QuantizationPolicy)
+
+    def test_preset_equals_factory(self):
+        assert build_policy("cifar_paper").describe() == \
+            QuantizationPolicy.cifar_paper().describe()
+
+    def test_uniform_preset(self):
+        policy = build_policy("uniform(8)")
+        assert policy.conv_formats.weight == PositConfig(8, 1)
+        assert policy.conv_formats.error == PositConfig(8, 2)
+        explicit = build_policy("uniform(8,0,1)")
+        assert explicit.conv_formats.weight == PositConfig(8, 0)
+        assert explicit.conv_formats.error == PositConfig(8, 1)
+
+    def test_bare_format_spec_means_uniform_format(self):
+        policy = build_policy("fixed(16,13)")
+        assert policy.conv_formats.weight == FixedPointFormat(2, 13)
+        assert policy.bn_formats.weight == FixedPointFormat(2, 13)
+        policy = build_policy("fp16")
+        assert policy.linear_formats.error == FP16
+
+    def test_dict_resolves_via_from_dict(self):
+        policy = build_policy(QuantizationPolicy.imagenet_paper().to_dict())
+        assert policy.conv_formats.weight == PositConfig(16, 1)
+
+    def test_unknown_spec_raises_with_candidates(self):
+        with pytest.raises(ValueError, match="cifar_paper"):
+            build_policy("not_a_policy")
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            build_policy(3.5)
+
+
+class TestExperimentConfig:
+    def test_round_trips_through_dict(self):
+        config = ExperimentConfig(**TINY, policy="cifar_paper")
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_policy_object_serialized_to_dict(self):
+        config = ExperimentConfig(**TINY, policy=QuantizationPolicy.imagenet_paper())
+        data = config.to_dict()
+        assert isinstance(data["policy"], dict)
+        rebuilt = ExperimentConfig.from_dict(data)
+        policy = build_policy(rebuilt.policy)
+        assert policy.conv_formats.weight == PositConfig(16, 1)
+
+    def test_with_overrides(self):
+        config = ExperimentConfig(**TINY)
+        assert config.with_overrides(epochs=7).epochs == 7
+        assert config.epochs == TINY["epochs"]
+
+
+class TestBuildExperiment:
+    def test_wires_all_pieces(self):
+        experiment = build_experiment(ExperimentConfig(**TINY, policy="imagenet_paper"))
+        assert isinstance(experiment, Experiment)
+        assert isinstance(experiment.trainer, PositTrainer)
+        assert isinstance(experiment.model, MLP)
+        assert experiment.policy is not None
+        assert experiment.trainer.contexts  # policy attached to the model
+
+    def test_accepts_plain_dict_config(self):
+        experiment = build_experiment({**TINY, "policy": "fp32"})
+        assert experiment.policy is None
+
+    def test_run_returns_history(self):
+        history = build_experiment(ExperimentConfig(**TINY, policy="fp32")).run()
+        assert len(history) == TINY["epochs"]
+        assert np.isfinite(history.final_train_loss)
+
+    def test_run_experiment_shortcut(self):
+        history = run_experiment({**TINY, "policy": "uniform(8)"})
+        assert len(history) == TINY["epochs"]
+
+    def test_image_dataset_and_resnet(self):
+        config = ExperimentConfig(dataset="cifar_like", model="tiny_resnet",
+                                  policy="cifar_paper", epochs=1, batch_size=16,
+                                  train_size=32, test_size=16, warmup_epochs=0,
+                                  data_kwargs={"noise_std": 0.5})
+        history = build_experiment(config).run()
+        assert len(history) == 1
+
+    def test_num_classes_reaches_dataset_and_model(self):
+        config = ExperimentConfig(dataset="cifar_like", model="tiny_resnet",
+                                  policy=None, epochs=1, batch_size=16,
+                                  train_size=32, test_size=16, num_classes=4,
+                                  warmup_epochs=0)
+        experiment = build_experiment(config)
+        labels = experiment.train_loader.labels
+        assert labels.max() < 4  # dataset honoured num_classes
+        assert experiment.model.num_classes == 4
+        experiment.run()  # trains without label/output mismatch
+
+    def test_split_sizes_exact_even_when_not_divisible_by_classes(self):
+        # The toy builders emit floor(total/num_classes) per class; the
+        # loaders must still honour the requested split so the validation
+        # set cannot silently end up empty.
+        config = ExperimentConfig(dataset="spirals", model="mlp", num_classes=10,
+                                  policy=None, epochs=1, train_size=101, test_size=7,
+                                  warmup_epochs=0)
+        experiment = build_experiment(config)
+        assert len(experiment.train_loader.labels) == 101
+        assert len(experiment.val_loader.labels) == 7
+        history = experiment.run()
+        assert history.final_val_accuracy is not None
+
+    def test_shuffle_seed_decouples_loader_from_model_seed(self):
+        base = dict(TINY, policy=None)
+        a = build_experiment(ExperimentConfig(**base, seed=7, shuffle_seed=0))
+        b = build_experiment(ExperimentConfig(**base, seed=0))
+        first_a = next(iter(a.train_loader))[0]
+        first_b = next(iter(b.train_loader))[0]
+        np.testing.assert_array_equal(first_a, first_b)
+
+    def test_loss_scaling_builds_scaler(self):
+        experiment = build_experiment(
+            ExperimentConfig(**TINY, policy="fp16_mixed", loss_scaling=True))
+        assert experiment.loss_scaler is not None
+        assert experiment.trainer.loss_scaler is experiment.loss_scaler
+
+    def test_scheduler_wiring(self):
+        for name in ("step", "multistep", "cosine"):
+            experiment = build_experiment(
+                ExperimentConfig(**TINY, policy=None, scheduler=name))
+            assert experiment.scheduler is not None
+            assert experiment.trainer.scheduler is experiment.scheduler
+
+    def test_unknown_dataset_model_scheduler_raise(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            build_experiment(ExperimentConfig(dataset="mnist"))
+        with pytest.raises(ValueError, match="unknown model"):
+            build_experiment(ExperimentConfig(**{**TINY, "model": "transformer"}))
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            build_experiment(ExperimentConfig(**TINY, scheduler="exponential"))
+
+    def test_epoch_callbacks_forwarded(self):
+        seen = []
+        build_experiment(ExperimentConfig(**TINY, policy=None),
+                         epoch_callbacks=[lambda trainer, epoch, record: seen.append(epoch)]
+                         ).run()
+        assert seen == list(range(TINY["epochs"]))
+
+
+class TestTrainerSpecPolicies:
+    """PositTrainer resolves string/dict policies through build_policy."""
+
+    def test_trainer_accepts_preset_name(self):
+        model = MLP(2, hidden=(8,), num_classes=3, rng=np.random.default_rng(0))
+        trainer = PositTrainer(model, SGD(model.parameters(), lr=0.1),
+                               policy="imagenet_paper")
+        assert isinstance(trainer.policy, QuantizationPolicy)
+        assert trainer.contexts
+
+    def test_trainer_accepts_policy_dict(self):
+        model = MLP(2, hidden=(8,), num_classes=3, rng=np.random.default_rng(0))
+        trainer = PositTrainer(model, SGD(model.parameters(), lr=0.1),
+                               policy=QuantizationPolicy.cifar_paper().to_dict())
+        assert trainer.policy.conv_formats.weight == PositConfig(8, 1)

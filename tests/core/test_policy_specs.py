@@ -1,0 +1,164 @@
+"""Declarative policy construction: spec strings and dicts are equivalent to objects.
+
+Acceptance regression for the NumberFormat/registry redesign: the paper
+preset built from objects, the same policy round-tripped through its dict
+form, and a policy assembled purely from spec strings must all produce
+bit-identical quantized tensors; and a fixed-point format must train
+end-to-end through PositTrainer like any other format.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PositTrainer, QuantizationPolicy, RoleFormats, WarmupSchedule
+from repro.data import ArrayDataLoader, make_spirals
+from repro.formats import FixedPointFormat
+from repro.models import MLP, tiny_resnet
+from repro.nn import CrossEntropyLoss
+from repro.optim import SGD
+from repro.posit import FP16, PositConfig
+from repro.tensor import Tensor
+
+#: The cifar_paper() assignment written out as plain spec strings.
+CIFAR_PAPER_SPEC_DICT = {
+    "conv": {"weight": "posit(8,1)", "activation": "posit(8,1)",
+             "error": "posit(8,2)", "weight_grad": "posit(8,2)"},
+    "bn": {"weight": "posit(16,1)", "activation": "posit(16,1)",
+           "error": "posit(16,2)", "weight_grad": "posit(16,2)"},
+    "linear": {"weight": "posit(8,1)", "activation": "posit(8,1)",
+               "error": "posit(8,2)", "weight_grad": "posit(8,2)"},
+    "rounding": "zero",
+    "use_scaling": True,
+    "sigma": 2,
+    "scale_mode": "dynamic",
+}
+
+
+def _forward_and_grads(policy: QuantizationPolicy):
+    """Train-mode forward logits + one quantized weight-gradient hook output."""
+    model = tiny_resnet(rng=np.random.default_rng(0))
+    contexts = policy.attach(model)
+    model.train(True)
+    images = np.random.default_rng(42).standard_normal((4, 3, 8, 8))
+    logits = model(Tensor(images)).data.copy()
+    grads = np.random.default_rng(43).standard_normal((8, 3, 3, 3)) * 1e-3
+    context = next(iter(contexts.values()))
+    quantized_grads = context.weight_grad(grads)
+    QuantizationPolicy.detach(model)
+    return logits, quantized_grads
+
+
+class TestConstructionEquivalence:
+    def test_object_dict_and_spec_policies_are_bit_identical(self):
+        object_policy = QuantizationPolicy.cifar_paper()
+        dict_policy = QuantizationPolicy.from_dict(object_policy.to_dict())
+        spec_policy = QuantizationPolicy.from_dict(CIFAR_PAPER_SPEC_DICT)
+
+        reference_logits, reference_grads = _forward_and_grads(object_policy)
+        for other in (dict_policy, spec_policy):
+            logits, grads = _forward_and_grads(other)
+            np.testing.assert_array_equal(logits, reference_logits)
+            np.testing.assert_array_equal(grads, reference_grads)
+
+    def test_cifar_paper_round_trips_through_dict(self):
+        policy = QuantizationPolicy.cifar_paper()
+        rebuilt = QuantizationPolicy.from_dict(policy.to_dict())
+        assert rebuilt.conv_formats == policy.conv_formats
+        assert rebuilt.bn_formats == policy.bn_formats
+        assert rebuilt.linear_formats == policy.linear_formats
+        assert rebuilt.describe() == policy.describe()
+        assert rebuilt.to_dict() == policy.to_dict()
+
+    def test_float_and_fixed_policies_round_trip(self):
+        formats = RoleFormats(weight=FP16, activation=FP16,
+                              error=FixedPointFormat(2, 13), weight_grad=None)
+        policy = QuantizationPolicy(conv_formats=formats, use_scaling=False)
+        rebuilt = QuantizationPolicy.from_dict(policy.to_dict())
+        assert rebuilt.conv_formats == formats
+        assert rebuilt.to_dict() == policy.to_dict()
+
+    def test_seed_survives_round_trip(self):
+        policy = QuantizationPolicy.cifar_paper(rounding="stochastic", seed=11)
+        assert QuantizationPolicy.from_dict(policy.to_dict()).seed == 11
+
+    def test_explicit_fp32_format_role_does_not_collapse_to_none(self):
+        # An FP32 FloatFormat role means "fake-quantize through the float32
+        # grid"; its dict form must rebuild a quantizing format, not the
+        # no-quantizer None that the "fp32" synonym denotes.
+        from repro.posit import FP32
+
+        formats = RoleFormats(weight=FP32)
+        rebuilt = RoleFormats.from_dict(formats.as_dict())
+        assert rebuilt.weight is not None
+        assert rebuilt.weight.exponent_bits == FP32.exponent_bits
+        assert rebuilt.weight.mantissa_bits == FP32.mantissa_bits
+
+
+class TestRoleFormatsSpecs:
+    def test_from_specs_mixes_strings_objects_and_none(self):
+        formats = RoleFormats.from_specs(weight="posit(8,1)", activation=PositConfig(8, 1),
+                                         error="fp32", weight_grad=None)
+        assert formats.weight == PositConfig(8, 1)
+        assert formats.activation == PositConfig(8, 1)
+        assert formats.error is None and formats.weight_grad is None
+
+    def test_fp32_spec_means_no_quantizer(self):
+        formats = RoleFormats.from_dict({"weight": "fp32"})
+        assert formats.weight is None
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError, match="unknown tensor roles"):
+            RoleFormats.from_dict({"weights": "posit(8,1)"})
+
+    def test_as_dict_uses_round_trippable_specs(self):
+        formats = RoleFormats(weight=FP16, activation=FixedPointFormat(2, 5),
+                              error=PositConfig(8, 2), weight_grad=None)
+        assert formats.as_dict() == {
+            "weight": "fp16",
+            "activation": "fixed(8,5)",
+            "error": "posit(8,2)",
+            "weight_grad": "fp32",
+        }
+        assert RoleFormats.from_dict(formats.as_dict()) == formats
+
+    def test_uniform_helper(self):
+        formats = RoleFormats.uniform("fixed(16,13)")
+        assert formats.weight == FixedPointFormat(2, 13)
+        assert formats.weight == formats.activation == formats.error == formats.weight_grad
+
+
+class TestFixedPointEndToEnd:
+    """FixedPointFormat participates in a policy through PositTrainer."""
+
+    def _loaders(self):
+        points, labels = make_spirals(num_samples=96, num_classes=3, seed=0)
+        return ArrayDataLoader(points, labels, batch_size=32, seed=0)
+
+    def test_fixed_point_training_smoke_step(self):
+        policy = QuantizationPolicy.uniform_format(
+            "fixed(16,13)", use_scaling=False, rounding="stochastic", seed=3)
+        model = MLP(2, hidden=(16,), num_classes=3, rng=np.random.default_rng(1))
+        trainer = PositTrainer(model, SGD(model.parameters(), lr=0.05, momentum=0.9),
+                               CrossEntropyLoss(), policy=policy,
+                               warmup=WarmupSchedule(0))
+        loader = self._loaders()
+        history = trainer.fit(loader, epochs=1)
+
+        assert len(history) == 1
+        assert np.isfinite(history.final_train_loss)
+        assert history.records[-1].quantized
+        # The quantizers actually ran and the weights landed on the grid.
+        context = next(iter(trainer.contexts.values()))
+        assert context.stats["weight"].calls > 0
+        fmt = FixedPointFormat(2, 13)
+        weight = next(iter(model.parameters())).data
+        np.testing.assert_allclose(weight, np.asarray(fmt.quantize(weight)),
+                                   rtol=0, atol=0)
+
+    def test_fixed_point_context_formats_described(self):
+        policy = QuantizationPolicy.uniform_format(FixedPointFormat(2, 13),
+                                                   use_scaling=False)
+        model = MLP(2, hidden=(8,), num_classes=3, rng=np.random.default_rng(0))
+        contexts = policy.attach(model)
+        described = next(iter(contexts.values())).describe()
+        assert described["formats"]["weight"] == "fixed(16,13)"

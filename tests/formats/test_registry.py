@@ -1,0 +1,126 @@
+"""Spec-string parsing and round-tripping through the format registry."""
+
+import pytest
+
+from repro.formats import (
+    FixedPointFormat,
+    FormatSpecError,
+    as_format,
+    available_formats,
+    parse_format,
+)
+from repro.posit import BFLOAT16, FP8_E4M3, FP16, FP32, FloatFormat, PositConfig
+
+
+class TestRoundTrip:
+    def test_every_registered_format_round_trips(self):
+        registry = available_formats()
+        assert registry, "registry must not be empty"
+        for spec, fmt in registry.items():
+            assert parse_format(spec) == fmt
+            assert parse_format(fmt.spec()) == fmt
+
+    def test_parametric_posit_round_trips(self):
+        for cfg in (PositConfig(6, 0), PositConfig(10, 1), PositConfig(24, 2)):
+            assert parse_format(cfg.spec()) == cfg
+
+    def test_parametric_float_round_trips(self):
+        fmt = FloatFormat(5, 7)
+        assert parse_format(fmt.spec()) == fmt
+
+    def test_parametric_fixed_round_trips(self):
+        fmt = FixedPointFormat(3, 4)
+        assert parse_format(fmt.spec()) == fmt
+        assert fmt.spec() == "fixed(8,4)"
+
+
+class TestRegisteredContents:
+    def test_all_posit_module_constants_are_registered(self):
+        # Including posit(32,2), which PAPER_FORMATS deliberately omits.
+        registry = available_formats()
+        for spec in ("posit(5,1)", "posit(8,0)", "posit(8,1)", "posit(8,2)",
+                     "posit(16,1)", "posit(16,2)", "posit(32,2)", "posit(32,3)"):
+            assert spec in registry, f"{spec} missing from registry"
+
+    def test_named_float_formats(self):
+        assert parse_format("fp32") == FP32
+        assert parse_format("fp16") == FP16
+        assert parse_format("bfloat16") == BFLOAT16
+        assert parse_format("fp8_e4m3") == FP8_E4M3
+
+    def test_fixed_point_baselines_registered(self):
+        assert parse_format("fixed(16,13)") == FixedPointFormat(2, 13)
+        assert parse_format("fixed(8,5)") == FixedPointFormat(2, 5)
+
+
+class TestNormalization:
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_format("Posit(8, 1)") == PositConfig(8, 1)
+        assert parse_format("  FP16 ") == FP16
+
+    def test_dash_alias(self):
+        assert parse_format("FP8-E4M3") == FP8_E4M3
+
+    def test_cached_posit_instances(self):
+        assert parse_format("posit(8,1)") is parse_format("posit(8,1)")
+
+
+class TestErrors:
+    def test_posit_missing_argument(self):
+        with pytest.raises(FormatSpecError, match=r"posit spec takes 2 integer"):
+            parse_format("posit(8)")
+
+    def test_fixed_fraction_wider_than_word(self):
+        with pytest.raises(FormatSpecError, match=r"4-bit word cannot hold 8"):
+            parse_format("fixed(4,8)")
+
+    def test_posit_invalid_word_size(self):
+        with pytest.raises(FormatSpecError, match=r"word size"):
+            parse_format("posit(1,0)")
+
+    def test_non_integer_argument(self):
+        with pytest.raises(FormatSpecError, match=r"non-integer"):
+            parse_format("posit(8,x)")
+
+    def test_negative_arguments_report_the_real_constraint(self):
+        with pytest.raises(FormatSpecError, match=r"word size must be >= 2"):
+            parse_format("posit(-3,1)")
+
+    def test_doubled_commas_rejected(self):
+        # "posit(8,,1)" must not silently collapse to posit(8,1).
+        with pytest.raises(FormatSpecError, match=r"takes 2 integer"):
+            parse_format("posit(8,,1)")
+        with pytest.raises(FormatSpecError, match=r"takes 2 integer"):
+            parse_format("fixed(16,,13)")
+        with pytest.raises(FormatSpecError, match=r"takes 2 integer"):
+            parse_format("posit(8,1,)")
+
+    def test_unknown_family(self):
+        with pytest.raises(FormatSpecError, match=r"unknown format family"):
+            parse_format("bogus(1,2)")
+
+    def test_unknown_name_lists_candidates(self):
+        with pytest.raises(FormatSpecError, match=r"fp16"):
+            parse_format("totally_unknown")
+
+    def test_non_string_raises_type_error(self):
+        with pytest.raises(TypeError):
+            parse_format(42)
+
+
+class TestAsFormat:
+    def test_passes_format_through(self):
+        cfg = PositConfig(8, 1)
+        assert as_format(cfg) is cfg
+
+    def test_parses_strings(self):
+        assert as_format("fp16") == FP16
+
+    def test_none_requires_opt_in(self):
+        assert as_format(None, allow_none=True) is None
+        with pytest.raises(TypeError):
+            as_format(None)
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_format(3.14)
