@@ -31,6 +31,7 @@ from repro.data.loaders import test_loader as make_test_loader
 from repro.models import ResNet
 from repro.nn import CrossEntropyLoss
 from repro.optim import SGD, MultiStepLR
+from repro.sweeps import ResultStore, format_table, result_rows, run_key
 
 #: The paper's reported accuracies, stored alongside ours in the results file.
 PAPER_TABLE3 = {
@@ -58,7 +59,7 @@ def run_configuration(policy, warmup_epochs, seed=0, lr=0.05):
 
 
 @pytest.mark.slow
-def test_bench_table3_cifar_recipe(benchmark, save_result):
+def test_bench_table3_cifar_recipe(benchmark, save_result, tmp_path):
     """FP32 vs the Cifar posit policy vs the ImageNet posit policy vs no-tricks."""
     results = {}
 
@@ -76,16 +77,34 @@ def test_bench_table3_cifar_recipe(benchmark, save_result):
 
     benchmark.pedantic(train_all, rounds=1, iterations=1)
 
-    summary = {
-        name: {
-            "final_val_accuracy": history.final_val_accuracy,
-            "best_val_accuracy": history.best_val_accuracy,
-            "final_train_loss": history.final_train_loss,
-            "epochs": len(history),
-        }
-        for name, history in results.items()
-    }
+    # Feed the sweep result/aggregation layer: each configuration becomes a
+    # content-keyed store record, and the saved table is rendered by the
+    # same report code the `repro sweep report` CLI uses.
+    store = ResultStore(tmp_path / "table3.jsonl")
+    for name, history in results.items():
+        store.append({
+            "run_id": run_key({"bench": "table3", "configuration": name,
+                               "epochs": EPOCHS, "train_size": TRAIN_SIZE}),
+            "name": name,
+            "status": "ok",
+            "overrides": {"configuration": name},
+            "metrics": {
+                "final_val_accuracy": history.final_val_accuracy,
+                "best_val_accuracy": history.best_val_accuracy,
+                "final_train_loss": history.final_train_loss,
+                "epochs": len(history),
+            },
+        })
+    rows = result_rows(store)
+    summary = {row["name"]: {key: row[key] for key in
+                             ("final_val_accuracy", "best_val_accuracy",
+                              "final_train_loss", "epochs")}
+               for row in rows}
+    table = format_table(rows, columns=("configuration", "final_val_accuracy",
+                                        "best_val_accuracy", "final_train_loss",
+                                        "epochs"))
     save_result("table3_training_accuracy", {"model": summary, "paper": PAPER_TABLE3,
+                                             "table": table.splitlines(),
                                              "scale_note": "reduced-scale synthetic data"})
 
     fp32 = summary["fp32"]["final_val_accuracy"]

@@ -2,7 +2,7 @@
 """Precision study: posit vs FP16/FP8/fixed-point on the same training recipe.
 
 Trains the same small model, on the same data, with the same optimizer, under
-five number systems and prints a comparison table:
+six number systems and prints a comparison table:
 
 * FP32 (the baseline),
 * posit(8,1)/(8,2) with the paper's warm-up + shifting,
@@ -15,46 +15,57 @@ This is the comparison the paper makes qualitatively in its related-work
 discussion: posit at 8 bits retains accuracy where aggressive fixed-point
 formats fall behind.
 
-Every scheme is one :class:`~repro.api.ExperimentConfig` whose policy is a
-preset name resolved by :func:`repro.api.build_policy` — the study is a list
-of plain dicts, not six copies of training wiring.
+The whole study is one declarative :class:`~repro.sweeps.SweepConfig` —
+three *zipped* axes couple each policy with its warm-up length and loss
+scaling — executed by the sharded sweep runner.  Results land in an
+append-only JSONL store, so re-running the script resumes instead of
+retraining, and ``--workers N`` shards the schemes over processes.  The
+same study is committed as ``examples/sweeps/precision_study.json`` for the
+``repro`` CLI.
 
-Run with:  python examples/precision_study.py [--epochs N]
+Run with:  python examples/precision_study.py [--epochs N] [--workers N]
 """
 
 from __future__ import annotations
 
 import argparse
-import time
 
-from repro.api import ExperimentConfig, build_experiment
+from repro.api import ExperimentConfig
+from repro.sweeps import SweepAxis, SweepConfig, format_table, result_rows, run_sweep
+
+#: (policy preset, warm-up epochs, loss scaling) per scheme — zipped axes.
+SCHEMES = [
+    ("fp32", 0, False),
+    ("cifar_paper", 1, False),      # posit(8,1)/(8,2) + warm-up + shift
+    ("imagenet_paper", 1, False),   # posit(16,1)/(16,2) + warm-up
+    ("fp16_mixed", 0, True),        # FP16 mixed precision + loss scaling
+    ("fp8_mixed", 1, True),         # FP8 E4M3/E5M2
+    ("fixed_point", 0, False),      # fixed point Q2.13 (stochastic)
+]
 
 
-def run_one(label: str, policy, warmup: int, args, loss_scaling: bool = False) -> dict:
-    config = ExperimentConfig(
-        name=label,
+def build_sweep(args) -> SweepConfig:
+    base = ExperimentConfig(
         dataset="cifar_like",
         model="tiny_resnet",
-        policy=policy,
         epochs=args.epochs,
         batch_size=args.batch_size,
         lr=args.lr,
-        warmup_epochs=warmup,
-        loss_scaling=loss_scaling,
         train_size=args.train_size,
         test_size=args.test_size,
         data_seed=args.data_seed,
         data_kwargs={"noise_std": 0.5},
     )
-    start = time.time()
-    history = build_experiment(config).run()
-    return {
-        "scheme": label,
-        "val_accuracy": history.final_val_accuracy,
-        "best_accuracy": history.best_val_accuracy,
-        "train_loss": history.final_train_loss,
-        "seconds": time.time() - start,
-    }
+    policies, warmups, scalings = zip(*SCHEMES)
+    return SweepConfig(
+        name="precision_study",
+        base=base,
+        zipped=[
+            SweepAxis.of("policy", policies),
+            SweepAxis.of("warmup_epochs", warmups),
+            SweepAxis.of("loss_scaling", scalings),
+        ],
+    )
 
 
 def main() -> None:
@@ -65,30 +76,30 @@ def main() -> None:
     parser.add_argument("--batch-size", type=int, default=64)
     parser.add_argument("--lr", type=float, default=0.05)
     parser.add_argument("--data-seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard the schemes over N processes")
+    parser.add_argument("--store", default="sweeps/precision_study.jsonl",
+                        help="JSONL result store (reruns resume from it)")
     args = parser.parse_args()
 
-    schemes = [
-        ("FP32", "fp32", 0, False),
-        ("posit(8,1)/(8,2) + warm-up + shift", "cifar_paper", 1, False),
-        ("posit(16,1)/(16,2) + warm-up", "imagenet_paper", 1, False),
-        ("FP16 mixed precision + loss scaling", "fp16_mixed", 0, True),
-        ("FP8 E4M3/E5M2", "fp8_mixed", 1, True),
-        ("fixed point Q2.13 (stochastic)", "fixed_point", 0, False),
-    ]
+    sweep = build_sweep(args)
+    run_sweep(sweep, store=args.store, workers=args.workers, progress=print)
 
-    results = []
-    for label, policy, warmup, scaling in schemes:
-        print(f"training: {label} ...")
-        results.append(run_one(label, policy, warmup, args, loss_scaling=scaling))
+    rows = result_rows(args.store, sweep=sweep)
+    columns = ("policy", "formats", "warmup_epochs", "loss_scaling",
+               "final_val_accuracy", "best_val_accuracy", "final_train_loss",
+               "duration_s")
+    print()
+    print(format_table(rows, columns=columns))
 
-    print(f"\n{'scheme':<40} {'val acc':>8} {'best':>8} {'loss':>8} {'time(s)':>8}")
-    for row in results:
-        print(f"{row['scheme']:<40} {row['val_accuracy']:>8.3f} {row['best_accuracy']:>8.3f} "
-              f"{row['train_loss']:>8.3f} {row['seconds']:>8.0f}")
-    baseline = results[0]["val_accuracy"]
-    print("\nAccuracy gap to FP32 (negative = worse than baseline):")
-    for row in results[1:]:
-        print(f"  {row['scheme']:<40} {row['val_accuracy'] - baseline:+.3f}")
+    baseline = next((row for row in rows if row["policy"] == "fp32"), None)
+    if baseline and baseline.get("final_val_accuracy") is not None:
+        print("\nAccuracy gap to FP32 (negative = worse than baseline):")
+        for row in rows:
+            if row is baseline or row.get("final_val_accuracy") is None:
+                continue
+            gap = row["final_val_accuracy"] - baseline["final_val_accuracy"]
+            print(f"  {row['policy']:<20} {gap:+.3f}")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,21 @@
-"""Setup shim for environments without PEP 517 editable-install support."""
-from setuptools import setup
+"""Packaging for the posit DNN-training reproduction (Lu et al., SOCC 2019)."""
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-posit-training",
+    version="0.3.0",
+    description=(
+        "Reproduction of 'Training Deep Neural Networks Using Posit Number "
+        "System' (Lu et al., SOCC 2019): posit/float/fixed-point quantized "
+        "training, hardware cost models, and a declarative sweep engine."
+    ),
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

@@ -42,6 +42,11 @@ top of self-contained substrates:
 * :mod:`repro.analysis` — distribution and quantization-error analysis
   (Fig. 2 and the motivation studies).
 * :mod:`repro.api` — the high-level experiment API shown above.
+* :mod:`repro.sweeps` — the declarative sweep engine: grid/zip axes over
+  experiment configs, parallel sharded execution with resume, the
+  append-only JSONL result store, and the aggregation/report layer.
+* :mod:`repro.cli` — the ``repro`` command line (``python -m repro``):
+  ``sweep run / status / report`` and ``formats list``.
 
 Migration note (union-based formats -> NumberFormat protocol)
 -------------------------------------------------------------
@@ -90,8 +95,9 @@ from .posit import (
     quantize,
     quantize_to_bits,
 )
+from .sweeps import ResultStore, SweepAxis, SweepConfig, run_sweep, sweep_report
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "__version__",
@@ -120,4 +126,10 @@ __all__ = [
     "build_experiment",
     "build_policy",
     "run_experiment",
+    # sweep engine
+    "SweepConfig",
+    "SweepAxis",
+    "ResultStore",
+    "run_sweep",
+    "sweep_report",
 ]

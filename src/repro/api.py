@@ -221,9 +221,29 @@ class Experiment:
         return self.trainer.fit(self.train_loader, self.val_loader,
                                 epochs=epochs if epochs is not None else self.config.epochs)
 
+    def format_specs(self) -> list[str]:
+        """Sorted unique spec strings of every resolved role format.
+
+        ``["fp32"]`` for the unquantized baseline — so sweep reports and
+        logs are self-describing even when the config named the policy by
+        preset (``"cifar_paper"``) rather than by explicit formats.
+        """
+        if self.policy is None:
+            return ["fp32"]
+        specs = set()
+        for role_formats in (self.policy.conv_formats, self.policy.bn_formats,
+                             self.policy.linear_formats):
+            specs.update(role_formats.as_dict().values())
+        return sorted(specs)
+
     def describe(self) -> dict:
-        """Config + trainer summary, for reports."""
-        return {"config": self.config.to_dict(), "trainer": self.trainer.describe()}
+        """Config + resolved policy/formats + trainer summary, for reports."""
+        return {
+            "config": self.config.to_dict(),
+            "formats": self.format_specs(),
+            "policy": self.policy.describe() if self.policy is not None else None,
+            "trainer": self.trainer.describe(),
+        }
 
 
 def _build_loaders(config: ExperimentConfig) -> tuple[ArrayDataLoader, ArrayDataLoader, int]:

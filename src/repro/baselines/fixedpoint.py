@@ -1,17 +1,27 @@
-"""Compatibility shim: fixed point moved into the core format type system.
+"""Deprecated compatibility shim: fixed point lives in :mod:`repro.formats`.
 
-:class:`FixedPointFormat` is now a first-class
+:class:`FixedPointFormat` is a first-class
 :class:`~repro.formats.NumberFormat` living in
 :mod:`repro.formats.fixedpoint`, so it participates in quantization
 policies, the format registry (``"fixed(16,13)"``), and the cached
-quantizer factory exactly like posit and float formats.  This module
-re-exports the public names for existing imports; prefer
-``from repro.formats import FixedPointFormat`` in new code.
+quantizer factory exactly like posit and float formats.  Importing this
+module emits a :class:`DeprecationWarning`; use
+``from repro.formats import FixedPointFormat`` instead.  The shim will be
+removed after the deprecation window promised in ROADMAP.md.
 """
 
 from __future__ import annotations
 
-from ..formats.fixedpoint import (
+import warnings
+
+warnings.warn(
+    "repro.baselines.fixedpoint is deprecated; import FixedPointFormat and "
+    "friends from repro.formats instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from ..formats.fixedpoint import (  # noqa: E402 - the warning must fire first
     FixedPointFormat,
     FixedPointQuantizer,
     fixed_point_from_bits,

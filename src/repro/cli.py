@@ -1,0 +1,194 @@
+"""The ``repro`` command-line interface.
+
+Entry points: ``python -m repro`` (always available with ``PYTHONPATH=src``)
+and the ``repro`` console script installed by ``setup.py``.
+
+Commands::
+
+    repro sweep run    FILE [--workers N] [--store PATH] [--serial]
+    repro sweep status FILE [--store PATH]
+    repro sweep report FILE [--store PATH] [--group-by AXES] [--metric M]
+                            [--include-failed] [--json]
+    repro formats list [--family posit|float|fixed]
+
+Sweep files are committed JSON / YAML-lite documents (see
+``examples/sweeps/``); results accumulate in append-only JSONL stores, so
+``sweep run`` is restartable and incremental by construction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Posit DNN-training reproduction: sweep runner and format tools.",
+    )
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subcommands.add_parser("sweep", help="declarative experiment sweeps")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def add_sweep_common(sub):
+        sub.add_argument("file", help="sweep spec file (.json / .yaml)")
+        sub.add_argument("--store", default=None,
+                         help="JSONL result store (default: the spec's 'store' "
+                              "or sweeps/<name>.jsonl)")
+
+    run = sweep_sub.add_parser("run", help="execute missing sweep cells")
+    add_sweep_common(run)
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes (default: the spec's 'workers')")
+    run.add_argument("--serial", action="store_true",
+                     help="run inline in this process (equivalent to --workers 1)")
+    run.add_argument("--mp-context", default=None, choices=("fork", "spawn", "forkserver"),
+                     help="multiprocessing start method (default: platform)")
+    run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    status = sweep_sub.add_parser("status", help="show store coverage of a sweep")
+    add_sweep_common(status)
+    status.add_argument("--json", action="store_true", help="machine-readable output")
+
+    report = sweep_sub.add_parser("report", help="aggregate results into tables")
+    add_sweep_common(report)
+    report.add_argument("--group-by", default=None, metavar="AXES",
+                        help="one axis label ('policy') for grouped means, or two "
+                             "('policy x model') for a pivot table")
+    report.add_argument("--metric", default="final_val_accuracy",
+                        help="metric for grouped/pivot cells (default: final_val_accuracy)")
+    report.add_argument("--include-failed", action="store_true",
+                        help="include failed runs in the per-run rows")
+    report.add_argument("--json", action="store_true", help="machine-readable output")
+
+    formats = subcommands.add_parser("formats", help="number-format registry tools")
+    formats_sub = formats.add_subparsers(dest="formats_command", required=True)
+    formats_list = formats_sub.add_parser("list", help="list registered formats")
+    formats_list.add_argument("--family", default=None,
+                              choices=("posit", "float", "fixed"),
+                              help="restrict to one format family")
+    formats_list.add_argument("--json", action="store_true",
+                              help="machine-readable output")
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# Command implementations (imports deferred so `repro --help` stays fast
+# and argparse errors do not depend on numpy)
+# --------------------------------------------------------------------- #
+def _load_sweep(path: str):
+    from .sweeps import SweepConfig
+
+    return SweepConfig.from_file(path)
+
+
+def _cmd_sweep_run(args) -> int:
+    from .sweeps import run_sweep
+
+    sweep = _load_sweep(args.file)
+    workers = 1 if args.serial else args.workers
+    progress = (lambda line: None) if args.quiet else print
+    summary = run_sweep(sweep, store=args.store, workers=workers,
+                        progress=progress, mp_context=args.mp_context)
+    print(f"sweep {summary.sweep}: {summary.executed} executed, "
+          f"{summary.skipped} skipped, {summary.failed} failed "
+          f"(store: {summary.store_path})")
+    return 0 if summary.failed == 0 else 1
+
+
+def _cmd_sweep_status(args) -> int:
+    from .sweeps import sweep_status
+
+    sweep = _load_sweep(args.file)
+    status = sweep_status(sweep, store=args.store)
+    if args.json:
+        print(json.dumps(status, indent=2, default=str))
+    else:
+        print(f"sweep {status['sweep']}  (store: {status['store']})")
+        print(f"  total {status['total']}  ok {status['ok']}  "
+              f"failed {status['failed']}  pending {status['pending']}")
+        if status["skipped_lines"]:
+            print(f"  note: {status['skipped_lines']} malformed store line(s) ignored")
+        for row in status["runs"]:
+            print(f"  [{row['status']:>7}] {row['run_id']}  {row['name']}")
+    return 0 if status["pending"] == 0 and status["failed"] == 0 else 1
+
+
+def _cmd_sweep_report(args) -> int:
+    from .sweeps import format_pivot, format_table, sweep_report
+
+    sweep = _load_sweep(args.file)
+    try:
+        report = sweep_report(sweep, store=args.store, group=args.group_by,
+                              metric=args.metric, include_failed=args.include_failed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+        return 0
+    print(f"sweep {report['sweep']}: {len(report['rows'])} result row(s)")
+    if report["rows"]:
+        print()
+        print(format_table(report["rows"]))
+    if "grouped" in report:
+        print(f"\ngrouped by {args.group_by}:")
+        print(format_table(report["grouped"]))
+    if "pivot" in report:
+        print(f"\n{report['pivot']['metric']} pivot ({args.group_by}):")
+        print(format_pivot(report["pivot"]))
+    return 0
+
+
+def _cmd_formats_list(args) -> int:
+    from .formats import available_formats
+
+    families = {"posit": "PositConfig", "float": "FloatFormat", "fixed": "FixedPointFormat"}
+    rows = []
+    for key, fmt in sorted(available_formats().items()):
+        if args.family and type(fmt).__name__ != families[args.family]:
+            continue
+        rows.append({
+            "spec": key,
+            "canonical": fmt.spec(),
+            "family": type(fmt).__name__,
+            "bits": fmt.bits,
+            "maxpos": fmt.maxpos,
+            "minpos": fmt.minpos,
+        })
+    if args.json:
+        print(json.dumps(rows, indent=2, default=str))
+    else:
+        from .sweeps import format_table
+
+        print(format_table(rows, columns=("spec", "canonical", "family",
+                                          "bits", "maxpos", "minpos")))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "sweep":
+        handler = {"run": _cmd_sweep_run, "status": _cmd_sweep_status,
+                   "report": _cmd_sweep_report}[args.sweep_command]
+    else:
+        handler = _cmd_formats_list
+    from .sweeps import SweepFileError
+
+    try:
+        return handler(args)
+    except (FileNotFoundError, SweepFileError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

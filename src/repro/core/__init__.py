@@ -8,7 +8,7 @@ trainer that assembles them.
 
 from .inference import evaluate_quantized, inference_sweep, quantize_model_weights
 from .metrics import AverageMeter, EpochRecord, TrainingHistory
-from .policy import Format, QuantizationPolicy, RoleFormats
+from .policy import QuantizationPolicy, RoleFormats, TensorFormat
 from .range_analysis import (
     RangeObservation,
     RangeTracker,
@@ -28,6 +28,18 @@ from .transform import (
 )
 from .warmup import WarmupSchedule
 
+
+def __getattr__(name: str):
+    # The legacy ``Format`` union alias is deprecated: accessing it routes
+    # through repro.core.policy.__getattr__, which emits the
+    # DeprecationWarning pointing at repro.formats.NumberFormat.
+    if name == "Format":
+        from . import policy
+
+        return policy.Format
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "PositTrainer",
     "quantize_model_weights",
@@ -36,6 +48,7 @@ __all__ = [
     "QuantizationPolicy",
     "RoleFormats",
     "Format",
+    "TensorFormat",
     "WarmupSchedule",
     "ScaleEstimator",
     "ScaleFactor",

@@ -24,14 +24,14 @@ from ..data.loaders import ArrayDataLoader
 from ..formats import get_quantizer
 from ..nn import Module
 from ..tensor import Tensor, accuracy, no_grad
-from .policy import Format, QuantizationPolicy, RoleFormats, _as_role_format
+from .policy import QuantizationPolicy, RoleFormats, TensorFormat, _as_role_format
 from .scaling import compute_scale_factor
 from .transform import apply_scaled_quantization
 
 __all__ = ["quantize_model_weights", "evaluate_quantized", "inference_sweep"]
 
 #: A format argument: a NumberFormat, a registry spec string, or None (FP32).
-FormatLike = Union[Format, str]
+FormatLike = Union[TensorFormat, str]
 
 
 def quantize_model_weights(model: Module, fmt: FormatLike, rounding: str = "nearest",

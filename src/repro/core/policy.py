@@ -32,6 +32,7 @@ the cached :func:`repro.formats.get_quantizer` factory.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Optional, Union
 
@@ -43,14 +44,25 @@ from ..posit import FloatFormat, PositConfig
 from .scaling import ScaleEstimator
 from .transform import LayerQuantContext, Quantizer
 
-__all__ = ["Format", "RoleFormats", "QuantizationPolicy"]
+__all__ = ["Format", "TensorFormat", "RoleFormats", "QuantizationPolicy"]
 
 #: A tensor format: any :class:`~repro.formats.NumberFormat` or ``None`` (FP32).
-#:
-#: .. deprecated:: the ad-hoc ``Union[PositConfig, FloatFormat, None]`` this
-#:    alias used to be is superseded by the :class:`~repro.formats.NumberFormat`
-#:    protocol; the alias remains for callers that annotate with it.
-Format = Optional[NumberFormat]
+TensorFormat = Optional[NumberFormat]
+
+
+def __getattr__(name: str):
+    # ``Format`` — the pre-NumberFormat union alias — is deprecated; it is
+    # served lazily so importing it (and only importing it) warns.
+    if name == "Format":
+        warnings.warn(
+            "repro.core.Format is deprecated; annotate with "
+            "Optional[repro.formats.NumberFormat] (or repro.core.policy."
+            "TensorFormat) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return TensorFormat
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Role spec strings that mean "leave this tensor in full precision".  Note
 #: that at the *policy* level ``"fp32"`` (and its named aliases) maps to
@@ -61,7 +73,7 @@ Format = Optional[NumberFormat]
 _FULL_PRECISION_SPECS = frozenset({"", "fp32", "none", "full", "float32"})
 
 
-def _as_role_format(value: Union[NumberFormat, str, None]) -> Format:
+def _as_role_format(value: Union[NumberFormat, str, None]) -> TensorFormat:
     """Resolve one role entry: ``None``/"fp32"-style specs mean full precision."""
     if value is None:
         return None
@@ -70,7 +82,7 @@ def _as_role_format(value: Union[NumberFormat, str, None]) -> Format:
     return as_format(value)
 
 
-def _role_name(fmt: Format) -> str:
+def _role_name(fmt: TensorFormat) -> str:
     """Round-trippable name for a role format (``"fp32"`` for ``None``)."""
     if fmt is None:
         return "fp32"
@@ -90,10 +102,10 @@ def _role_name(fmt: Format) -> str:
 class RoleFormats:
     """Number formats for the four tensor roles of one layer."""
 
-    weight: Format = None
-    activation: Format = None
-    error: Format = None
-    weight_grad: Format = None
+    weight: TensorFormat = None
+    activation: TensorFormat = None
+    error: TensorFormat = None
+    weight_grad: TensorFormat = None
 
     @classmethod
     def posit(cls, forward: PositConfig, backward: PositConfig) -> "RoleFormats":
@@ -154,7 +166,7 @@ class RoleFormats:
         }
 
 
-def _make_quantizer(fmt: Format, rounding: str,
+def _make_quantizer(fmt: TensorFormat, rounding: str,
                     rng: Optional[np.random.Generator]) -> Optional[Quantizer]:
     """Instantiate the quantizer for a format descriptor.
 

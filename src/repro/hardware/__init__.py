@@ -42,7 +42,7 @@ from .energy import (
 )
 from .fpmac import FP32_SPEC, FPFormatSpec, FPMac, internal_format_for_posit
 from .gates import GENERIC_28NM, GateLibrary
-from .mac import FP32MAC, PositMAC
+from .mac import FP32MAC, FixedPointMAC, FloatMAC, PositMAC, mac_unit_for_format
 from .synthesis import (
     Calibration,
     SynthesisResult,
@@ -85,6 +85,9 @@ __all__ = [
     "internal_format_for_posit",
     "PositMAC",
     "FP32MAC",
+    "FloatMAC",
+    "FixedPointMAC",
+    "mac_unit_for_format",
     "Calibration",
     "SynthesisResult",
     "synthesize",

@@ -21,11 +21,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.policy import QuantizationPolicy
+from ..formats import NumberFormat
 from ..nn import BatchNorm2d, Conv2d, Linear, Module
-from ..posit import PositConfig
 from .energy import DRAM_PJ_PER_BYTE, format_bits, model_size_bytes
 from .gates import GENERIC_28NM, GateLibrary
-from .mac import FP32MAC, PositMAC
+from .mac import mac_unit_for_format
 from .synthesis import TABLE5_CLOCK_MHZ, Calibration, calibrate_to_reference, synthesize
 
 __all__ = ["LayerWorkload", "AcceleratorConfig", "count_training_macs",
@@ -101,10 +101,16 @@ def count_training_macs(model: Module, input_hw: tuple[int, int] = (32, 32)) -> 
     return workloads
 
 
-def _per_mac_energy_pj(config: Optional[PositConfig], calibration: Calibration,
+def _per_mac_energy_pj(fmt: Optional[NumberFormat], calibration: Calibration,
                        library: GateLibrary, clock_mhz: float) -> float:
-    """Energy per MAC operation in picojoules, from the synthesis model."""
-    unit = FP32MAC() if config is None else PositMAC(config)
+    """Energy per MAC operation in picojoules, from the synthesis model.
+
+    Accepts any :class:`~repro.formats.NumberFormat` (or ``None`` for the
+    FP32 baseline) via :func:`~repro.hardware.mac.mac_unit_for_format` —
+    posit, reduced float, and fixed point each get their own datapath cost
+    instead of being silently priced as FP32.
+    """
+    unit = mac_unit_for_format(fmt)
     result = synthesize(unit.cost(), library, clock_mhz, calibration)
     # power (mW) / frequency (MHz) = nJ per cycle; one MAC per cycle.
     return result.power_mw / clock_mhz * 1e3
@@ -130,9 +136,8 @@ def training_step_report(model: Module, policy: Optional[QuantizationPolicy],
     for workload in workloads:
         module = dict(model.named_modules())[workload.name]
         formats = policy.formats_for(module) if policy is not None else None
-        config = formats.weight if formats is not None else None
-        config = config if isinstance(config, PositConfig) else None
-        energy = _per_mac_energy_pj(config, calibration, accelerator.library,
+        fmt = formats.weight if formats is not None else None
+        energy = _per_mac_energy_pj(fmt, calibration, accelerator.library,
                                     accelerator.clock_mhz)
         compute_energy_pj += workload.total_macs * batch_size * energy
 

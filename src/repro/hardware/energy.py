@@ -19,8 +19,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.policy import QuantizationPolicy
+from ..formats import NumberFormat
 from ..nn import BatchNorm2d, Conv2d, Linear, Module
-from ..posit import FloatFormat, PositConfig
 
 __all__ = [
     "MemoryCosts",
@@ -72,13 +72,16 @@ class TrafficReport:
 
 
 def format_bits(fmt) -> int:
-    """Storage width in bits of a format descriptor (None means FP32)."""
+    """Storage width in bits of a format descriptor (None means FP32).
+
+    Any :class:`~repro.formats.NumberFormat` — posit, float, or fixed point
+    — is priced at its declared :attr:`~repro.formats.NumberFormat.bits`
+    width, so memory/traffic accounting covers every format family.
+    """
     if fmt is None:
         return 32
-    if isinstance(fmt, PositConfig):
-        return fmt.n
-    if isinstance(fmt, FloatFormat):
-        return fmt.bits
+    if isinstance(fmt, NumberFormat):
+        return int(fmt.bits)
     raise TypeError(f"unsupported format descriptor: {fmt!r}")
 
 

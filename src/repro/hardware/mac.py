@@ -16,14 +16,18 @@ Both expose
 
 from __future__ import annotations
 
-from ..posit import PositConfig
+from typing import Optional, Union
+
+from ..formats import NumberFormat
+from ..formats.fixedpoint import FixedPointFormat
+from ..posit import FloatFormat, PositConfig
 from ..posit.scalar import decode as posit_decode
-from .components import ComponentCost
+from .components import ComponentCost, adder, multiplier
 from .decoder import PositDecoder
 from .encoder import PositEncoder
-from .fpmac import FP32_SPEC, FPMac, internal_format_for_posit
+from .fpmac import FP32_SPEC, FPFormatSpec, FPMac, internal_format_for_posit
 
-__all__ = ["PositMAC", "FP32MAC"]
+__all__ = ["PositMAC", "FP32MAC", "FloatMAC", "FixedPointMAC", "mac_unit_for_format"]
 
 
 class PositMAC:
@@ -128,3 +132,87 @@ class FP32MAC:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "FP32MAC()"
+
+
+class FloatMAC:
+    """MAC unit for an arbitrary reduced-precision float format.
+
+    The datapath is the same FMA structure the FP32 baseline uses, sized to
+    the format's exponent/mantissa widths — the FP16/FP8 rows that sit next
+    to posit in an energy comparison.
+    """
+
+    def __init__(self, fmt: FloatFormat):
+        self.format = fmt
+        self.fp_mac = FPMac(FPFormatSpec(exponent_bits=fmt.exponent_bits,
+                                         mantissa_bits=fmt.mantissa_bits,
+                                         name=fmt.name or fmt.spec()))
+
+    def mac(self, a: float, b: float, c: float) -> float:
+        """Compute ``a * b + c`` with the format's mantissa rounding."""
+        return self.fp_mac.mac(a, b, c)
+
+    def cost(self) -> ComponentCost:
+        """Gate-level cost of the sized FMA datapath."""
+        cost = self.fp_mac.cost()
+        return ComponentCost(f"float-mac({self.format.spec()})",
+                             cost.area_ge, cost.delay_levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FloatMAC({self.format.spec()})"
+
+
+class FixedPointMAC:
+    """MAC unit for a signed fixed-point format (Gupta et al. [7] style).
+
+    The datapath is an integer array multiplier over the full word producing
+    an exact double-width product, a double-width accumulate adder, and a
+    truncating realignment back to the word (free — wiring).  This is the
+    structure whose small area/energy makes fixed point attractive despite
+    its narrow dynamic range.
+    """
+
+    def __init__(self, fmt: FixedPointFormat):
+        self.format = fmt
+
+    def mac(self, a: float, b: float, c: float) -> float:
+        """Compute ``a * b + c`` on the format's grid (exact internal product)."""
+        quantize = self.format.quantize
+        product = float(quantize(a)) * float(quantize(b))
+        return float(quantize(product + float(quantize(c))))
+
+    def cost(self) -> ComponentCost:
+        """Gate-level cost: word multiplier + double-width accumulator."""
+        bits = self.format.bits
+        total = multiplier(bits, bits).serial(adder(2 * bits))
+        return ComponentCost(f"fixed-mac({self.format.spec()})",
+                             total.area_ge, total.delay_levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedPointMAC({self.format.spec()})"
+
+
+def mac_unit_for_format(fmt: Optional[NumberFormat]
+                        ) -> Union[PositMAC, FP32MAC, FloatMAC, FixedPointMAC]:
+    """MAC unit modelling ``fmt`` (``None`` means the FP32 baseline).
+
+    This is the dispatch point that lets the accelerator energy model price
+    *any* :class:`~repro.formats.NumberFormat` — posit through the Fig. 4
+    codec datapath, floats through a width-sized FMA, fixed point through an
+    integer MAC — instead of silently treating non-posit formats as FP32.
+    """
+    if fmt is None:
+        return FP32MAC()
+    if isinstance(fmt, PositConfig):
+        return PositMAC(fmt)
+    if isinstance(fmt, FloatFormat):
+        if fmt.exponent_bits == FP32_SPEC.exponent_bits and \
+                fmt.mantissa_bits == FP32_SPEC.mantissa_bits:
+            return FP32MAC()
+        return FloatMAC(fmt)
+    if isinstance(fmt, FixedPointFormat):
+        return FixedPointMAC(fmt)
+    raise TypeError(
+        f"no MAC cost model for format {fmt!r} "
+        f"({type(fmt).__name__}); known families: posit, float, fixed point"
+    )

@@ -1,0 +1,65 @@
+"""Declarative sweep engine: spec -> sharded parallel runs -> JSONL results.
+
+The paper's experimental surface (Tables III-V, Figs. 2-6) is a family of
+*sweeps* over number formats, rounding modes, and models.  This package is
+the scaling substrate that runs them:
+
+* :class:`SweepConfig` / :class:`SweepAxis` — a base
+  :class:`~repro.api.ExperimentConfig` plus ``grid``/``zip`` axes over
+  dotted config fields, expanded deterministically into content-addressed
+  :class:`SweepRun` cells (:mod:`repro.sweeps.spec`);
+* :func:`SweepConfig.from_file <repro.sweeps.spec.SweepConfig.from_file>`
+  — committed JSON / YAML-lite sweep files (:mod:`repro.sweeps.files`,
+  :mod:`repro.sweeps.yamlite`);
+* :func:`run_sweep` — multiprocessing sharded execution with per-run
+  seeding, failure isolation, and resume (:mod:`repro.sweeps.runner`);
+* :class:`ResultStore` — the append-only JSONL store keyed by config
+  content hashes (:mod:`repro.sweeps.store`);
+* :func:`sweep_report` / :func:`group_by` / :func:`pivot` — the
+  aggregation layer feeding the CLI, examples, and benchmarks
+  (:mod:`repro.sweeps.aggregate`).
+
+Quickstart::
+
+    from repro.sweeps import SweepConfig, run_sweep, sweep_report
+
+    sweep = SweepConfig.from_file("examples/sweeps/precision_grid.json")
+    run_sweep(sweep, workers=2, progress=print)
+    print(sweep_report(sweep, group="policy x model"))
+
+or, from the shell: ``python -m repro sweep run examples/sweeps/precision_grid.json``.
+"""
+
+from .aggregate import (
+    format_pivot,
+    format_table,
+    group_by,
+    pivot,
+    result_rows,
+    sweep_report,
+)
+from .files import SweepFileError, load_sweep_file
+from .runner import RunOutcome, SweepSummary, execute_run, run_sweep, sweep_status
+from .spec import SweepAxis, SweepConfig, SweepRun, run_key
+from .store import ResultStore
+
+__all__ = [
+    "SweepAxis",
+    "SweepConfig",
+    "SweepRun",
+    "run_key",
+    "ResultStore",
+    "run_sweep",
+    "sweep_status",
+    "execute_run",
+    "RunOutcome",
+    "SweepSummary",
+    "result_rows",
+    "group_by",
+    "pivot",
+    "format_table",
+    "format_pivot",
+    "sweep_report",
+    "load_sweep_file",
+    "SweepFileError",
+]

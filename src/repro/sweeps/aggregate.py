@@ -1,0 +1,178 @@
+"""Aggregation and reporting over sweep result stores.
+
+Turns the flat JSONL records of a :class:`~repro.sweeps.store.ResultStore`
+into the tables the paper reports: per-run rows, group-by-axis summaries,
+and two-axis pivots (e.g. format x model -> accuracy, mirroring Table III's
+"FP32 baseline vs posit, per dataset" layout).  Everything here is plain
+data in, plain data (or formatted text) out — the CLI and the examples are
+thin shells over these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .spec import SweepConfig
+from .store import STATUS_OK, ResultStore
+
+__all__ = ["result_rows", "group_by", "pivot", "format_table", "format_pivot",
+           "sweep_report"]
+
+#: Metric keys promoted to report columns, in display order.
+DEFAULT_METRICS = ("final_val_accuracy", "best_val_accuracy", "final_train_loss")
+
+
+def _flatten(record: dict) -> dict:
+    """One store record -> one flat row (axis values + metrics + energy)."""
+    row = {
+        "run_id": record.get("run_id"),
+        "name": record.get("name"),
+        "status": record.get("status"),
+    }
+    row.update(record.get("overrides") or {})
+    row.update(record.get("metrics") or {})
+    energy = record.get("energy") or {}
+    if energy:
+        row["total_energy_uj"] = energy.get("total_energy_uj")
+        row["energy_saving_vs_fp32"] = energy.get("energy_saving_vs_fp32")
+    if record.get("formats"):
+        row["formats"] = ",".join(record["formats"])
+    row["duration_s"] = record.get("duration_s")
+    return row
+
+
+def result_rows(store: Union[ResultStore, str],
+                sweep: Optional[SweepConfig] = None,
+                include_failed: bool = False) -> list[dict]:
+    """Flatten a store into report rows, in deterministic sweep order.
+
+    With a ``sweep`` given, rows follow its expansion order and are
+    restricted to its cells; without one, every record in the store is
+    returned sorted by its recorded ``index`` then name.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    records = store.records()
+    if sweep is not None:
+        ordered = [records[run.run_id] for run in sweep.expand()
+                   if run.run_id in records]
+    else:
+        ordered = sorted(records.values(),
+                         key=lambda r: (r.get("index", 0), r.get("name", "")))
+    return [_flatten(record) for record in ordered
+            if include_failed or record.get("status") == STATUS_OK]
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    cleaned = [v for v in values if isinstance(v, (int, float))]
+    return sum(cleaned) / len(cleaned) if cleaned else None
+
+
+def group_by(rows: Sequence[dict], axis: str,
+             metrics: Sequence[str] = DEFAULT_METRICS) -> list[dict]:
+    """Aggregate rows sharing an axis value: mean of each metric + count.
+
+    Group order follows first appearance in ``rows``, so a sweep's axis
+    declaration order carries through to the report.
+    """
+    groups: dict = {}
+    for row in rows:
+        key = row.get(axis, "<unset>")
+        groups.setdefault(key, []).append(row)
+    table = []
+    for key, members in groups.items():
+        entry = {axis: key, "runs": len(members)}
+        for metric in metrics:
+            entry[metric] = _mean([member.get(metric) for member in members])
+        table.append(entry)
+    return table
+
+
+def pivot(rows: Sequence[dict], row_axis: str, col_axis: str,
+          metric: str = "final_val_accuracy") -> dict:
+    """Two-axis pivot: ``{row_value: {col_value: mean(metric)}}`` plus order.
+
+    This is the Table III shape — e.g. ``row_axis="policy"``,
+    ``col_axis="model"``, cells holding validation accuracy.
+    """
+    row_order: list = []
+    col_order: list = []
+    cells: dict = {}
+    for row in rows:
+        r_val, c_val = row.get(row_axis, "<unset>"), row.get(col_axis, "<unset>")
+        if r_val not in row_order:
+            row_order.append(r_val)
+        if c_val not in col_order:
+            col_order.append(c_val)
+        cells.setdefault(r_val, {}).setdefault(c_val, []).append(row.get(metric))
+    table = {r: {c: _mean(vals) for c, vals in cols.items()}
+             for r, cols in cells.items()}
+    return {"rows": row_order, "cols": col_order, "metric": metric, "cells": table}
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}" if abs(value) >= 1000 or 0 < abs(value) < 0.01 else f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no results)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [[_format_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(str(col)), *(len(line[i]) for line in rendered))
+              for i, col in enumerate(columns)]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join("  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+                     for line in rendered)
+    return f"{header}\n{rule}\n{body}"
+
+
+def format_pivot(pivoted: dict) -> str:
+    """Render a :func:`pivot` result as an aligned grid."""
+    rows = [dict({"": r}, **{str(c): pivoted["cells"].get(r, {}).get(c)
+                             for c in pivoted["cols"]})
+            for r in pivoted["rows"]]
+    return format_table(rows, columns=[""] + [str(c) for c in pivoted["cols"]])
+
+
+def sweep_report(sweep: SweepConfig,
+                 store: Union[ResultStore, str, None] = None,
+                 group: Optional[str] = None,
+                 metric: str = "final_val_accuracy",
+                 include_failed: bool = False) -> dict:
+    """Full report for a sweep: rows, optional grouping, optional pivot.
+
+    ``group`` may be one axis label (grouped means) or ``"rowxcol"`` with
+    two labels (a pivot) — e.g. ``"policy"`` or ``"policy x model"``.
+    """
+    if store is None:
+        store = sweep.store or f"sweeps/{sweep.name}.jsonl"
+    rows = result_rows(store, sweep=sweep, include_failed=include_failed)
+    report = {"sweep": sweep.name, "rows": rows}
+    if group:
+        parts = [part.strip() for part in group.replace("*", "x").split("x")]
+        parts = [part for part in parts if part]
+        labels = [axis.label for axis in sweep.axes]
+        for part in parts:
+            if part not in labels and not any(part in row for row in rows):
+                raise ValueError(
+                    f"unknown group axis {part!r}; sweep axes are {labels}")
+        if len(parts) == 1:
+            report["grouped"] = group_by(rows, parts[0],
+                                         metrics=(metric,) if metric else DEFAULT_METRICS)
+        elif len(parts) == 2:
+            report["pivot"] = pivot(rows, parts[0], parts[1], metric=metric)
+        else:
+            raise ValueError(f"group spec {group!r} must name one or two axes")
+    return report

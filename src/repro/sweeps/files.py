@@ -1,0 +1,65 @@
+"""Sweep-file loading: committed experiment files -> plain dicts.
+
+Sweeps live as files under version control (``examples/sweeps/``), so a
+study is reviewable and re-runnable like code.  ``.json`` files parse with
+the standard library; ``.yaml``/``.yml`` files parse with the dependency-
+free :mod:`repro.sweeps.yamlite` subset parser (the container ships no
+YAML library).  Anything else falls back to trying JSON first, then
+YAML-lite, so extensionless files still load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from . import yamlite
+
+__all__ = ["SweepFileError", "load_sweep_file"]
+
+
+class SweepFileError(ValueError):
+    """Raised when a sweep file cannot be parsed into a mapping."""
+
+
+def load_sweep_file(path: Union[str, os.PathLike]) -> dict:
+    """Read and parse a sweep file into the plain-dict sweep form."""
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SweepFileError(f"cannot read sweep file {path!r}: {exc}") from exc
+
+    extension = os.path.splitext(path)[1].lower()
+    if extension == ".json":
+        data = _parse_json(text, path)
+    elif extension in (".yaml", ".yml"):
+        data = _parse_yamlite(text, path)
+    else:
+        try:
+            data = _parse_json(text, path)
+        except SweepFileError:
+            data = _parse_yamlite(text, path)
+
+    if not isinstance(data, dict):
+        raise SweepFileError(
+            f"sweep file {path!r} must contain a mapping at the top level, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
+def _parse_json(text: str, path: str) -> dict:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SweepFileError(f"invalid JSON in sweep file {path!r}: {exc}") from exc
+
+
+def _parse_yamlite(text: str, path: str) -> dict:
+    try:
+        return yamlite.loads(text)
+    except yamlite.YamliteError as exc:
+        raise SweepFileError(f"invalid YAML-lite in sweep file {path!r}: {exc}") from exc

@@ -1,0 +1,260 @@
+"""Parallel sharded sweep execution over :func:`repro.api.build_experiment`.
+
+The runner turns an expanded :class:`~repro.sweeps.spec.SweepConfig` into
+completed result records:
+
+* **Sharding** — pending cells are distributed over a ``multiprocessing``
+  pool; each worker builds and trains one experiment per task.  Configs and
+  formats are plain picklable data (PR 1), so the pool start method does
+  not matter.
+* **Resume** — cells whose content-hashed run id already has an ``"ok"``
+  record in the :class:`~repro.sweeps.store.ResultStore` are skipped before
+  any process is spawned; a re-invoked sweep executes only missing (and
+  previously failed) cells.
+* **Failure isolation** — the worker traps any exception and returns a
+  ``"failed"`` record with the traceback instead of raising, so one
+  diverging or crashing cell cannot poison the pool or lose the other
+  shards' results.  Failed cells are retried on the next invocation.
+* **Per-run seeding** — each worker reseeds the legacy global NumPy RNG
+  from the run id before training, so anything that still draws from
+  ``np.random`` is decorrelated across cells and reproducible per cell.
+  (The experiment's own RNGs are seeded from the config, independent of
+  worker assignment or completion order.)
+
+Only the parent process appends to the store, in completion order; the
+*content* of the store is order-independent because records are keyed by
+run id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from .spec import SweepConfig, SweepRun
+from .store import STATUS_FAILED, STATUS_OK, ResultStore
+
+__all__ = ["RunOutcome", "SweepSummary", "execute_run", "run_sweep", "sweep_status"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What happened to one cell in one invocation."""
+
+    run_id: str
+    name: str
+    status: str  # "ok" | "failed" | "skipped"
+    duration_s: float = 0.0
+    error: str = ""
+
+
+@dataclass
+class SweepSummary:
+    """Aggregate result of one :func:`run_sweep` invocation."""
+
+    sweep: str
+    store_path: str
+    total: int
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell in the sweep has an ``"ok"`` record."""
+        return self.failed == 0 and self.skipped + self.executed == self.total
+
+    def as_dict(self) -> dict:
+        return {
+            "sweep": self.sweep,
+            "store": self.store_path,
+            "total": self.total,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+        }
+
+
+def _run_seed(run_id: str) -> int:
+    """Deterministic 32-bit seed derived from a run's content hash."""
+    return int(hashlib.sha256(run_id.encode()).hexdigest()[:8], 16)
+
+
+def execute_run(payload: dict) -> dict:
+    """Execute one sweep cell; always returns a record, never raises.
+
+    ``payload`` is the :meth:`SweepRun.to_dict` form plus a
+    ``"collect_energy"`` flag.  Runs in a worker process (or inline for
+    ``workers <= 1``); imports stay inside the function so a spawned
+    interpreter pays them once per worker, not per module import graph.
+    """
+    start = time.perf_counter()
+    base = {
+        "run_id": payload["run_id"],
+        "name": payload["name"],
+        "index": payload["index"],
+        "overrides": payload["overrides"],
+        "config": payload["config"],
+    }
+    try:
+        from ..api import build_experiment
+
+        np.random.seed(_run_seed(payload["run_id"]))
+        experiment = build_experiment(payload["config"])
+        history = experiment.run()
+        record = dict(base)
+        record["status"] = STATUS_OK
+        record["formats"] = experiment.format_specs()
+        record["metrics"] = {
+            "final_val_accuracy": history.final_val_accuracy,
+            "best_val_accuracy": history.best_val_accuracy,
+            "final_train_loss": history.final_train_loss,
+            "epochs": len(history),
+        }
+        if payload.get("collect_energy"):
+            record["energy"] = _energy_metrics(experiment)
+        record["duration_s"] = round(time.perf_counter() - start, 3)
+        return record
+    except Exception as exc:  # noqa: BLE001 - isolation is the contract
+        record = dict(base)
+        record["status"] = STATUS_FAILED
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["traceback"] = traceback.format_exc(limit=20)
+        record["duration_s"] = round(time.perf_counter() - start, 3)
+        return record
+
+
+def _energy_metrics(experiment) -> dict:
+    """Accelerator energy estimate for the run's model + policy (vs FP32)."""
+    from ..hardware import training_step_report
+    from ..hardware.synthesis import calibrate_to_reference
+
+    calibration = calibrate_to_reference()
+    quantized = training_step_report(
+        experiment.model, experiment.policy,
+        batch_size=experiment.config.batch_size, calibration=calibration)
+    fp32 = training_step_report(
+        experiment.model, None,
+        batch_size=experiment.config.batch_size, calibration=calibration)
+    total_ratio = (fp32["total_energy_uj"] / quantized["total_energy_uj"]
+                   if quantized["total_energy_uj"] else 1.0)
+    return {
+        "total_energy_uj": quantized["total_energy_uj"],
+        "compute_energy_uj": quantized["compute_energy_uj"],
+        "memory_energy_uj": quantized["memory_energy_uj"],
+        "fp32_total_energy_uj": fp32["total_energy_uj"],
+        "energy_saving_vs_fp32": total_ratio,
+    }
+
+
+def run_sweep(sweep: SweepConfig,
+              store: Union[ResultStore, str, None] = None,
+              workers: Optional[int] = None,
+              progress: Optional[Callable[[str], None]] = None,
+              mp_context: Optional[str] = None) -> SweepSummary:
+    """Run all missing cells of ``sweep``, sharded over worker processes.
+
+    Parameters
+    ----------
+    store:
+        A :class:`ResultStore` or path; defaults to the sweep's declared
+        store or ``sweeps/<name>.jsonl``.
+    workers:
+        Process count; ``None`` uses the sweep's default, ``<= 1`` runs
+        inline in this process (no pool — simplest to debug).
+    progress:
+        Optional callable receiving one human-readable line per event.
+    mp_context:
+        Multiprocessing start method (``"fork"``/``"spawn"``); ``None``
+        uses the platform default.
+    """
+    say = progress or (lambda message: None)
+    if store is None:
+        store = sweep.store or f"sweeps/{sweep.name}.jsonl"
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    workers = sweep.workers if workers is None else workers
+
+    runs = sweep.expand()
+    completed = store.completed_ids()
+    pending = [run for run in runs if run.run_id not in completed]
+    summary = SweepSummary(sweep=sweep.name, store_path=store.path, total=len(runs))
+
+    for run in runs:
+        if run.run_id in completed:
+            summary.skipped += 1
+            summary.outcomes.append(RunOutcome(run.run_id, run.name, "skipped"))
+    say(f"sweep {sweep.name}: {len(runs)} cells, {summary.skipped} already done, "
+        f"{len(pending)} to run ({max(workers, 1)} worker(s)) -> {store.path}")
+
+    if not pending:
+        return summary
+
+    payloads = [dict(run.to_dict(), collect_energy=sweep.collect_energy)
+                for run in pending]
+
+    def _absorb(record: dict) -> None:
+        store.append(record)
+        outcome = RunOutcome(record["run_id"], record["name"], record["status"],
+                             duration_s=record.get("duration_s", 0.0),
+                             error=record.get("error", ""))
+        summary.outcomes.append(outcome)
+        if record["status"] == STATUS_OK:
+            summary.executed += 1
+            accuracy = (record.get("metrics") or {}).get("final_val_accuracy")
+            shown = f"{accuracy:.3f}" if isinstance(accuracy, float) else "n/a"
+            say(f"  ok     {record['name']}  val_acc={shown}  "
+                f"({record.get('duration_s', 0):.1f}s)")
+        else:
+            summary.failed += 1
+            say(f"  FAILED {record['name']}: {record.get('error', 'unknown error')}")
+
+    if workers <= 1:
+        for payload in payloads:
+            _absorb(execute_run(payload))
+        return summary
+
+    context = multiprocessing.get_context(mp_context)
+    pool_size = min(workers, len(payloads))
+    with context.Pool(processes=pool_size) as pool:
+        for record in pool.imap_unordered(execute_run, payloads):
+            _absorb(record)
+    return summary
+
+
+def sweep_status(sweep: SweepConfig,
+                 store: Union[ResultStore, str, None] = None) -> dict:
+    """Summarize store coverage of ``sweep`` without executing anything."""
+    if store is None:
+        store = sweep.store or f"sweeps/{sweep.name}.jsonl"
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    runs = sweep.expand()
+    completed = store.completed_ids()
+    failed = store.failed_ids()
+    rows = []
+    for run in runs:
+        if run.run_id in completed:
+            state = STATUS_OK
+        elif run.run_id in failed:
+            state = STATUS_FAILED
+        else:
+            state = "pending"
+        rows.append({"run_id": run.run_id, "name": run.name, "status": state})
+    return {
+        "sweep": sweep.name,
+        "store": store.path,
+        "total": len(runs),
+        "ok": sum(1 for row in rows if row["status"] == STATUS_OK),
+        "failed": sum(1 for row in rows if row["status"] == STATUS_FAILED),
+        "pending": sum(1 for row in rows if row["status"] == "pending"),
+        "skipped_lines": store.skipped_lines,
+        "runs": rows,
+    }

@@ -1,0 +1,350 @@
+"""Declarative sweep specifications: a base config plus axes -> named runs.
+
+The paper's headline results are all *sweeps*: the same training pipeline
+executed across a grid of number formats, rounding modes, and models
+(Tables III-V, Figs. 2-6).  A :class:`SweepConfig` captures one such study
+as plain data — a base :class:`~repro.api.ExperimentConfig` plus a list of
+:class:`SweepAxis` entries — and expands it deterministically into
+:class:`SweepRun` cells.
+
+Axes come in two combination modes:
+
+* ``grid`` axes form a cartesian product (every combination is a run);
+* ``zip`` axes advance together, like :func:`zip` — all zipped axes must
+  have the same length, and together they contribute one dimension to the
+  product.  This expresses coupled settings (e.g. each policy with its own
+  warm-up length) without a quadratic blow-up.
+
+An axis targets a **dotted config field** — any :class:`ExperimentConfig`
+field name, with ``.`` descending into dict-valued fields
+(``"model_kwargs.base_width"``, ``"data_kwargs.noise_std"``).  Values are
+whatever the field accepts; the ``policy`` field in particular takes format
+spec strings (``"posit(8,1)"``, ``"fixed(16,13)"``), preset names, or
+policy dicts, all resolved later by :func:`repro.api.build_policy`.
+
+Every expanded run gets a **content-keyed run id**: a short SHA-256 digest
+of the canonical JSON form of its resolved config (minus cosmetic fields).
+The id is a pure function of *what the run computes*, so the result store
+can recognise completed cells across invocations, renamed sweep files, and
+reordered axes — re-running a sweep never recomputes a finished cell.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from ..api import ExperimentConfig
+
+__all__ = ["SweepAxis", "SweepRun", "SweepConfig", "run_key", "apply_override"]
+
+#: Config fields that do not change what a run computes; excluded from the
+#: content hash so relabelled or re-described sweeps still resume.
+_COSMETIC_FIELDS = ("name", "verbose")
+
+
+def run_key(config: Union[ExperimentConfig, Mapping]) -> str:
+    """Content hash identifying one run's work (stable across relabelling).
+
+    The key is the first 16 hex digits of the SHA-256 of the config's
+    canonical JSON form with cosmetic fields (``name``, ``verbose``)
+    removed.  Two configs with the same key train the same model on the
+    same data with the same policy.
+    """
+    data = config.to_dict() if isinstance(config, ExperimentConfig) else dict(config)
+    for cosmetic in _COSMETIC_FIELDS:
+        data.pop(cosmetic, None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def apply_override(data: dict, dotted_field: str, value: Any) -> None:
+    """Set ``dotted_field`` to ``value`` inside a config dict, in place.
+
+    ``"lr"`` assigns a top-level field; ``"model_kwargs.base_width"``
+    descends into the dict-valued field, creating intermediate dicts as
+    needed.  Only the *first* segment must be an existing config field —
+    the nested segments address free-form kwargs.
+    """
+    head, _, rest = dotted_field.partition(".")
+    if head not in data:
+        known = ", ".join(sorted(data))
+        raise KeyError(
+            f"axis field {dotted_field!r} does not name an ExperimentConfig "
+            f"field (known fields: {known})"
+        )
+    if not rest:
+        data[head] = value
+        return
+    node = data[head]
+    if not isinstance(node, dict):
+        raise TypeError(
+            f"axis field {dotted_field!r} descends into {head!r}, "
+            f"which is {type(node).__name__}, not a dict"
+        )
+    parts = rest.split(".")
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+        if not isinstance(node, dict):
+            raise TypeError(f"axis field {dotted_field!r} crosses non-dict value at {part!r}")
+    node[parts[-1]] = value
+
+
+def _short_value(value: Any) -> str:
+    """Compact, filename-safe rendering of an axis value for run names."""
+    if isinstance(value, str):
+        text = value
+    elif isinstance(value, bool) or value is None:
+        text = str(value).lower()
+    elif isinstance(value, (int, float)):
+        text = repr(value)
+    elif isinstance(value, Mapping):
+        # Dict-valued axis points (e.g. whole policy dicts) get a stable
+        # short digest unless they carry a "name" of their own.
+        name = value.get("name")
+        if name:
+            text = str(name)
+        else:
+            canonical = json.dumps(value, sort_keys=True, default=str)
+            text = "dict" + hashlib.sha256(canonical.encode()).hexdigest()[:6]
+    else:
+        text = str(value)
+    return text.replace(" ", "").replace("/", "_")
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept dimension: a dotted config field and its values.
+
+    Parameters
+    ----------
+    field:
+        Dotted :class:`~repro.api.ExperimentConfig` field name
+        (``"policy"``, ``"lr"``, ``"model_kwargs.base_width"``).
+    values:
+        The values the field takes, in sweep order.
+    label:
+        Short name used in run names and report columns; defaults to the
+        last dotted segment of ``field``.
+    """
+
+    field: str
+    values: tuple
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError(f"axis {self.field!r} has no values")
+        if not self.label:
+            object.__setattr__(self, "label", self.field.rsplit(".", 1)[-1])
+
+    @classmethod
+    def of(cls, field: str, values: Iterable, label: str = "") -> "SweepAxis":
+        """Build an axis, coercing ``values`` to a tuple."""
+        return cls(field=field, values=tuple(values), label=label)
+
+
+@dataclass(frozen=True)
+class SweepRun:
+    """One expanded sweep cell: a concrete config plus its provenance."""
+
+    run_id: str
+    name: str
+    index: int
+    overrides: dict
+    config: ExperimentConfig
+
+    def to_dict(self) -> dict:
+        """JSON-able record form (the shape stored per result row)."""
+        return {
+            "run_id": self.run_id,
+            "name": self.name,
+            "index": self.index,
+            "overrides": dict(self.overrides),
+            "config": self.config.to_dict(),
+        }
+
+
+class SweepConfig:
+    """A declarative sweep: base experiment config plus grid/zip axes.
+
+    Parameters
+    ----------
+    name:
+        Sweep name; becomes the run-name prefix and the default store stem.
+    base:
+        The :class:`~repro.api.ExperimentConfig` every cell starts from
+        (also accepts its dict form).
+    grid:
+        Axes combined as a cartesian product, in declaration order (the
+        last axis varies fastest, like nested loops).
+    zipped:
+        Axes advanced together; all must share one length.  The zipped
+        block contributes a single trailing dimension to the product.
+    collect_energy:
+        Whether the runner attaches the accelerator energy estimate
+        (:func:`repro.hardware.training_step_report`) to each result row.
+    store:
+        Default result-store path (used by the CLI when ``--store`` is not
+        given); ``None`` derives ``sweeps/<name>.jsonl``.
+    workers:
+        Default worker count for the CLI.
+    """
+
+    def __init__(self, name: str, base: Union[ExperimentConfig, Mapping],
+                 grid: Sequence[SweepAxis] = (), zipped: Sequence[SweepAxis] = (),
+                 collect_energy: bool = False, store: Optional[str] = None,
+                 workers: int = 1):
+        if isinstance(base, Mapping):
+            base = ExperimentConfig.from_dict(base)
+        self.name = name
+        self.base = base
+        self.grid = tuple(grid)
+        self.zipped = tuple(zipped)
+        self.collect_energy = collect_energy
+        self.store = store
+        self.workers = workers
+        if self.zipped:
+            lengths = {len(axis.values) for axis in self.zipped}
+            if len(lengths) != 1:
+                detail = ", ".join(f"{a.label}={len(a.values)}" for a in self.zipped)
+                raise ValueError(f"zip axes must have equal lengths; got {detail}")
+        if not self.grid and not self.zipped:
+            raise ValueError(f"sweep {name!r} declares no axes")
+        labels = [a.label for a in self.grid + self.zipped]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate axis labels in sweep {name!r}: {labels}")
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    @property
+    def axes(self) -> tuple:
+        """All axes, grid first then zipped (report/label order)."""
+        return self.grid + self.zipped
+
+    def __len__(self) -> int:
+        total = 1
+        for axis in self.grid:
+            total *= len(axis.values)
+        if self.zipped:
+            total *= len(self.zipped[0].values)
+        return total
+
+    def expand(self) -> list[SweepRun]:
+        """Expand into the full, deterministically ordered run list.
+
+        Order is the nested-loop order of the grid axes (last declared
+        varies fastest) with the zipped block as the innermost dimension.
+        Expansion is a pure function of the spec: the same file yields the
+        same run ids in the same order on every invocation.
+        """
+        grid_choices = [[(axis, value) for value in axis.values] for axis in self.grid]
+        if self.zipped:
+            zip_block = [
+                [(axis, axis.values[i]) for axis in self.zipped]
+                for i in range(len(self.zipped[0].values))
+            ]
+        else:
+            zip_block = [[]]
+
+        runs: list[SweepRun] = []
+        for combo in itertools.product(*grid_choices, zip_block):
+            assignments = []
+            for entry in combo:
+                if isinstance(entry, list):  # the zipped block
+                    assignments.extend(entry)
+                else:
+                    assignments.append(entry)
+            overrides = {axis.label: value for axis, value in assignments}
+            # Deep copy: to_dict() only shallow-copies dict-valued fields, and
+            # nested dotted overrides must not alias state across cells (or
+            # mutate the caller's base config).
+            data = copy.deepcopy(self.base.to_dict())
+            for axis, value in assignments:
+                apply_override(data, axis.field, value)
+            cell = ",".join(f"{axis.label}={_short_value(value)}"
+                            for axis, value in assignments)
+            data["name"] = f"{self.name}/{cell}" if cell else self.name
+            config = ExperimentConfig.from_dict(data)
+            runs.append(SweepRun(run_id=run_key(config), name=data["name"],
+                                 index=len(runs), overrides=overrides, config=config))
+
+        ids = [run.run_id for run in runs]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(
+                f"sweep {self.name!r} expands to duplicate run configs "
+                f"(ids {dupes}); two cells would compute identical work"
+            )
+        return runs
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-able form; inverse of :meth:`from_dict`."""
+        data = {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "grid": {axis.field: list(axis.values) for axis in self.grid},
+            "zip": {axis.field: list(axis.values) for axis in self.zipped},
+            "collect_energy": self.collect_energy,
+            "workers": self.workers,
+        }
+        if self.store:
+            data["store"] = self.store
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepConfig":
+        """Build a sweep from its plain-dict (file) form.
+
+        Expected shape::
+
+            {"name": ..., "base": {...ExperimentConfig fields...},
+             "grid": {"policy": ["posit(8,1)", "fixed(16,13)"], ...},
+             "zip": {"lr": [...], "warmup_epochs": [...]},
+             "collect_energy": false, "workers": 2, "store": "..."}
+
+        ``grid``/``zip`` map dotted field names to value lists (declaration
+        order is sweep order).  Unknown top-level keys are rejected so
+        typos fail loudly instead of silently not sweeping.
+        """
+        options = dict(data)
+        name = options.pop("name", None)
+        base = options.pop("base", None)
+        if not name or base is None:
+            raise ValueError("sweep dict requires 'name' and 'base' entries")
+        grid = [SweepAxis.of(fld, values)
+                for fld, values in dict(options.pop("grid", {})).items()]
+        zipped = [SweepAxis.of(fld, values)
+                  for fld, values in dict(options.pop("zip", {})).items()]
+        known = {"collect_energy", "workers", "store"}
+        unknown = set(options) - known
+        if unknown:
+            raise ValueError(
+                f"unknown sweep keys {sorted(unknown)}; expected "
+                f"'name', 'base', 'grid', 'zip', {sorted(known)}"
+            )
+        return cls(name=name, base=base, grid=grid, zipped=zipped,
+                   collect_energy=bool(options.get("collect_energy", False)),
+                   store=options.get("store"),
+                   workers=int(options.get("workers", 1)))
+
+    @classmethod
+    def from_file(cls, path) -> "SweepConfig":
+        """Load a sweep spec from a JSON or YAML-lite file (by extension)."""
+        from .files import load_sweep_file
+
+        return cls.from_dict(load_sweep_file(path))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(len(a.values)) for a in self.grid)
+        if self.zipped:
+            dims = f"{dims}x{len(self.zipped[0].values)}(zip)" if dims else f"{len(self.zipped[0].values)}(zip)"
+        return f"SweepConfig({self.name!r}, {dims or '1'} = {len(self)} runs)"

@@ -1,0 +1,175 @@
+"""Append-only JSONL result store keyed by content-hashed run ids.
+
+One sweep maps to one ``.jsonl`` file: each completed (or failed) run
+appends exactly one JSON object line.  Append-only is the whole design —
+the store never rewrites history, so
+
+* a killed sweep loses at most the line being written (a truncated final
+  line is detected and ignored on load);
+* re-invoking a sweep *resumes*: runs whose ``run_id`` already has an
+  ``"ok"`` record are skipped, failed runs are retried, and the retry's
+  record simply supersedes the old one (latest record per run id wins);
+* two sweeps over overlapping grids can share a store — run ids are
+  content hashes of the resolved config, not positions in a grid.
+
+Only the parent (runner) process writes; workers hand records back over
+the pool, which keeps appends single-writer and atomic enough without
+file locking.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from typing import Iterator, Optional, Union
+
+__all__ = ["ResultStore"]
+
+#: Record status values: a run either produced metrics or an error.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+class ResultStore:
+    """Append-only JSONL store of per-run sweep records.
+
+    Each record is a JSON object with at least ``run_id`` and ``status``
+    (``"ok"`` or ``"failed"``); ``"ok"`` records carry ``metrics``, failed
+    ones carry ``error``.  The store keeps the *latest* record per run id
+    in memory and appends every record it is given to disk.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = os.fspath(path)
+        self._records: dict[str, dict] = {}
+        self._skipped_lines = 0
+        self._loaded = False
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def load(self) -> dict[str, dict]:
+        """Read the file (if any); returns ``{run_id: latest record}``.
+
+        Unparseable lines — a truncated tail from a killed writer, or
+        manual editing damage — are counted in :attr:`skipped_lines` and
+        skipped, never fatal: losing one record only means recomputing one
+        cell.
+        """
+        self._records = {}
+        self._skipped_lines = 0
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        self._skipped_lines += 1
+                        continue
+                    run_id = record.get("run_id")
+                    if not isinstance(record, dict) or not run_id:
+                        self._skipped_lines += 1
+                        continue
+                    self._records[run_id] = record
+        self._loaded = True
+        return dict(self._records)
+
+    @property
+    def skipped_lines(self) -> int:
+        """Number of malformed lines ignored by the last :meth:`load`."""
+        return self._skipped_lines
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    def records(self) -> dict[str, dict]:
+        """Latest record per run id (loads lazily)."""
+        self._ensure_loaded()
+        return dict(self._records)
+
+    def completed_ids(self) -> set[str]:
+        """Run ids with an ``"ok"`` record (these are never recomputed)."""
+        self._ensure_loaded()
+        return {run_id for run_id, record in self._records.items()
+                if record.get("status") == STATUS_OK}
+
+    def failed_ids(self) -> set[str]:
+        """Run ids whose latest record is a failure (retried on re-run)."""
+        self._ensure_loaded()
+        return {run_id for run_id, record in self._records.items()
+                if record.get("status") == STATUS_FAILED}
+
+    def get(self, run_id: str) -> Optional[dict]:
+        """Latest record for ``run_id``, or None."""
+        self._ensure_loaded()
+        return self._records.get(run_id)
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict]:
+        self._ensure_loaded()
+        return iter(list(self._records.values()))
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(self, record: dict) -> None:
+        """Append one record line and fold it into the in-memory view.
+
+        The line is written with an explicit flush + fsync so a crash
+        immediately after return cannot lose it.
+        """
+        if "run_id" not in record or "status" not in record:
+            raise ValueError("store records require 'run_id' and 'status' fields")
+        self._ensure_loaded()
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records[record["run_id"]] = json.loads(line)
+
+    def compact(self) -> int:
+        """Rewrite the file keeping only the latest record per run id.
+
+        Returns the number of superseded/malformed lines dropped.  Uses an
+        atomic replace so a crash mid-compaction leaves the original file
+        intact.
+        """
+        self._ensure_loaded()
+        kept = list(self._records.values())
+        dropped = 0
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as handle:
+                total_lines = sum(1 for line in handle if line.strip())
+            dropped = total_lines - len(kept)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".jsonl.tmp")
+        try:
+            with io.open(fd, "w", encoding="utf-8") as handle:
+                for record in kept:
+                    handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        self._skipped_lines = 0
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({self.path!r}, {len(self)} records)"

@@ -1,0 +1,204 @@
+"""A dependency-free loader for the YAML subset sweep files actually use.
+
+The container image deliberately ships no YAML library, and a full YAML
+implementation is wildly out of scope for experiment files that are 90 %
+mappings of scalars.  This module parses the pragmatic subset:
+
+* nested **mappings** via 2+-space indentation (``key: value`` / ``key:``);
+* **block lists** (``- item``) and **flow lists** (``[a, b, c]``);
+* scalars: integers, floats (incl. ``1e-3``), ``true``/``false``,
+  ``null``/``~``, and strings (bare, ``'single'``- or ``"double"``-quoted —
+  quoting is how you keep ``posit(8,1)`` or ``"8"`` a string);
+* full-line and trailing ``#`` comments, blank lines.
+
+Anchors, aliases, multi-line strings, flow mappings, and tabs are rejected
+with a :class:`YamliteError` naming the offending line, so files that need
+real YAML fail loudly instead of being half-parsed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = ["YamliteError", "loads"]
+
+
+class YamliteError(ValueError):
+    """Raised for input outside the supported YAML subset."""
+
+    def __init__(self, message: str, line_no: int, line: str = ""):
+        detail = f"line {line_no}: {message}"
+        if line:
+            detail += f"  [{line.strip()!r}]"
+        super().__init__(detail)
+        self.line_no = line_no
+
+
+_INT = re.compile(r"^[+-]?\d+$")
+_FLOAT = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+_NAMED = {"true": True, "false": False, "null": None, "~": None}
+
+
+def _parse_scalar(token: str, line_no: int) -> Any:
+    token = token.strip()
+    if token.startswith(("'", '"')):
+        if len(token) < 2 or token[-1] != token[0]:
+            raise YamliteError("unterminated quoted string", line_no, token)
+        return token[1:-1]
+    if token.startswith("[") :
+        if not token.endswith("]"):
+            raise YamliteError("unterminated flow list", line_no, token)
+        body = token[1:-1].strip()
+        if not body:
+            return []
+        return [_parse_scalar(part, line_no) for part in _split_flow(body, line_no)]
+    if token.startswith(("&", "*", "{", "|", ">")):
+        raise YamliteError(
+            f"unsupported YAML feature {token[0]!r} (yamlite handles plain "
+            f"mappings, lists, and scalars only)", line_no, token)
+    lowered = token.lower()
+    if lowered in _NAMED:
+        return _NAMED[lowered]
+    if _INT.match(token):
+        return int(token)
+    if _FLOAT.match(token):
+        return float(token)
+    return token
+
+
+def _split_flow(body: str, line_no: int) -> list[str]:
+    """Split a flow-list body on top-level commas (respecting quotes/parens)."""
+    parts, depth, quote, current = [], 0, "", []
+    for char in body:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = ""
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+        elif char in "([":
+            depth += 1
+            current.append(char)
+        elif char in ")]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if quote:
+        raise YamliteError("unterminated quoted string in flow list", line_no, body)
+    parts.append("".join(current))
+    return [part for part in (p.strip() for p in parts) if part]
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment that is not inside quotes."""
+    quote = ""
+    for index, char in enumerate(line):
+        if quote:
+            if char == quote:
+                quote = ""
+        elif char in "'\"":
+            quote = char
+        elif char == "#" and (index == 0 or line[index - 1] in " \t"):
+            return line[:index]
+    return line
+
+
+_KEY = re.compile(r"^([A-Za-z0-9_.\-]+|'[^']*'|\"[^\"]*\")\s*:(\s|$)")
+
+
+def loads(text: str) -> Any:
+    """Parse YAML-lite ``text`` into plain Python data."""
+    lines = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[:len(raw) - len(raw.lstrip())]:
+            raise YamliteError("tabs are not allowed in indentation", line_no, raw)
+        stripped = _strip_comment(raw).rstrip()
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append((line_no, indent, stripped.strip()))
+    if not lines:
+        return {}
+    value, next_index = _parse_block(lines, 0, lines[0][1])
+    if next_index != len(lines):
+        line_no, _, content = lines[next_index]
+        raise YamliteError("unexpected de-indented content", line_no, content)
+    return value
+
+
+def _parse_block(lines: list, index: int, indent: int) -> tuple[Any, int]:
+    """Parse one block (mapping or list) at the given indentation level."""
+    line_no, line_indent, content = lines[index]
+    if line_indent != indent:
+        raise YamliteError(f"unexpected indent {line_indent} (expected {indent})",
+                           line_no, content)
+    if content.startswith("- "):
+        return _parse_list(lines, index, indent)
+    return _parse_mapping(lines, index, indent)
+
+
+def _parse_list(lines: list, index: int, indent: int) -> tuple[list, int]:
+    items: list[Any] = []
+    while index < len(lines):
+        line_no, line_indent, content = lines[index]
+        if line_indent < indent:
+            break
+        if line_indent > indent:
+            raise YamliteError("unexpected indent inside list", line_no, content)
+        if not content.startswith("- ") and content != "-":
+            break
+        body = content[1:].strip()
+        if not body:
+            # A bare "-" introduces a nested block on the following lines.
+            if index + 1 >= len(lines) or lines[index + 1][1] <= indent:
+                raise YamliteError("empty list item", line_no, content)
+            value, index = _parse_block(lines, index + 1, lines[index + 1][1])
+            items.append(value)
+        elif _KEY.match(body):
+            raise YamliteError(
+                "mappings inside list items are not supported by yamlite; "
+                "use a nested mapping under a named key instead", line_no, content)
+        else:
+            items.append(_parse_scalar(body, line_no))
+            index += 1
+    return items, index
+
+
+def _parse_mapping(lines: list, index: int, indent: int) -> tuple[dict, int]:
+    mapping: dict[str, Any] = {}
+    while index < len(lines):
+        line_no, line_indent, content = lines[index]
+        if line_indent < indent:
+            break
+        if line_indent > indent:
+            raise YamliteError("unexpected indent (missing parent key?)", line_no, content)
+        match = _KEY.match(content)
+        if match is None:
+            if content.startswith("- "):
+                break  # parent list continues
+            raise YamliteError("expected 'key: value'", line_no, content)
+        key_token = match.group(1)
+        key = key_token[1:-1] if key_token[0] in "'\"" else key_token
+        if key in mapping:
+            raise YamliteError(f"duplicate key {key!r}", line_no, content)
+        rest = content[match.end():].strip() if match.group(2) else content[len(key_token) + 1:].strip()
+        if rest:
+            mapping[key] = _parse_scalar(rest, line_no)
+            index += 1
+        else:
+            # Value is the nested block on the following, deeper lines —
+            # or an empty mapping if the next line is not deeper.
+            if index + 1 < len(lines) and lines[index + 1][1] > indent:
+                value, index = _parse_block(lines, index + 1, lines[index + 1][1])
+                mapping[key] = value
+            else:
+                mapping[key] = {}
+                index += 1
+    return mapping, index

@@ -1,0 +1,42 @@
+"""Tests for Experiment.describe() / format_specs() self-description."""
+
+from repro.api import ExperimentConfig, build_experiment
+
+
+def tiny_config(**overrides):
+    defaults = dict(dataset="blobs", model="mlp", epochs=1, train_size=48,
+                    test_size=16, batch_size=16, num_classes=3,
+                    model_kwargs={"hidden": [8]})
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestFormatSpecs:
+    def test_preset_policy_resolves_to_spec_strings(self):
+        experiment = build_experiment(tiny_config(policy="cifar_paper"))
+        assert experiment.format_specs() == [
+            "posit(16,1)", "posit(16,2)", "posit(8,1)", "posit(8,2)"]
+
+    def test_bare_format_spec(self):
+        experiment = build_experiment(tiny_config(policy="fixed(16,13)"))
+        assert experiment.format_specs() == ["fixed(16,13)"]
+
+    def test_fp32_baseline(self):
+        experiment = build_experiment(tiny_config(policy="fp32"))
+        assert experiment.format_specs() == ["fp32"]
+
+
+class TestDescribe:
+    def test_describe_is_self_describing(self):
+        experiment = build_experiment(tiny_config(policy="fp8_mixed"))
+        description = experiment.describe()
+        assert description["config"]["policy"] == "fp8_mixed"
+        # The resolved spec strings are present without reconstructing the
+        # policy: the point of the field is that reports/logs carry them.
+        assert "fp8_e4m3" in description["formats"]
+        assert description["policy"]["conv"]["weight"] == "fp8_e4m3"
+
+    def test_describe_fp32(self):
+        description = build_experiment(tiny_config(policy=None)).describe()
+        assert description["formats"] == ["fp32"]
+        assert description["policy"] is None

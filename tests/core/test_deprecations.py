@@ -1,0 +1,65 @@
+"""Tests for the PR-2 deprecation window (legacy Format alias, shims)."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+from repro.formats import NumberFormat
+
+
+class TestFormatAlias:
+    def test_core_format_warns(self):
+        import repro.core
+
+        with pytest.warns(DeprecationWarning, match="repro.core.Format is deprecated"):
+            alias = repro.core.Format
+        # The alias is still usable: it is Optional[NumberFormat].
+        from typing import Optional
+
+        assert alias == Optional[NumberFormat]
+
+    def test_policy_module_format_warns(self):
+        from repro.core import policy
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            policy.Format
+
+    def test_tensor_format_replacement_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core import TensorFormat  # noqa: F401
+            from repro.core.policy import TensorFormat as _  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.core
+
+        with pytest.raises(AttributeError):
+            repro.core.no_such_attribute
+        with pytest.raises(AttributeError):
+            from repro.core import policy
+
+            policy.no_such_attribute
+
+
+class TestFixedPointShim:
+    def test_importing_shim_warns(self):
+        sys.modules.pop("repro.baselines.fixedpoint", None)
+        with pytest.warns(DeprecationWarning, match="repro.baselines.fixedpoint"):
+            importlib.import_module("repro.baselines.fixedpoint")
+
+    def test_shim_still_exports_the_names(self):
+        shim = importlib.import_module("repro.baselines.fixedpoint")
+        from repro.formats import FixedPointFormat
+
+        assert shim.FixedPointFormat is FixedPointFormat
+
+    def test_package_import_is_silent(self):
+        """`import repro.baselines` must not trip the shim's warning."""
+        sys.modules.pop("repro.baselines.fixedpoint", None)
+        sys.modules.pop("repro.baselines", None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            baselines = importlib.import_module("repro.baselines")
+            assert baselines.FixedPointFormat is not None

@@ -1,0 +1,118 @@
+"""Tests for the generalized (any-NumberFormat) hardware energy path."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuantizationPolicy
+from repro.formats import FixedPointFormat, parse_format
+from repro.hardware import (
+    FP32MAC,
+    FixedPointMAC,
+    FloatMAC,
+    PositMAC,
+    format_bits,
+    mac_unit_for_format,
+    training_step_report,
+)
+from repro.hardware.accelerator import _per_mac_energy_pj
+from repro.hardware.gates import GENERIC_28NM
+from repro.hardware.synthesis import TABLE5_CLOCK_MHZ, calibrate_to_reference
+from repro.models import tiny_resnet
+from repro.posit import FP16, FP32, PositConfig
+
+
+class TestMacUnitDispatch:
+    def test_none_is_fp32(self):
+        assert isinstance(mac_unit_for_format(None), FP32MAC)
+
+    def test_posit(self):
+        unit = mac_unit_for_format(PositConfig(8, 1))
+        assert isinstance(unit, PositMAC)
+        assert unit.config == PositConfig(8, 1)
+
+    def test_float(self):
+        unit = mac_unit_for_format(FP16)
+        assert isinstance(unit, FloatMAC)
+
+    def test_fp32_float_format_uses_baseline_unit(self):
+        assert isinstance(mac_unit_for_format(FP32), FP32MAC)
+
+    def test_fixed_point(self):
+        unit = mac_unit_for_format(FixedPointFormat(2, 13))
+        assert isinstance(unit, FixedPointMAC)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="no MAC cost model"):
+            mac_unit_for_format(object())
+
+
+class TestFunctionalModels:
+    def test_fixed_point_mac_exact_grid(self):
+        unit = FixedPointMAC(FixedPointFormat(2, 13))
+        assert unit.mac(0.5, 0.5, 0.25) == pytest.approx(0.5)
+
+    def test_fixed_point_mac_saturates(self):
+        unit = FixedPointMAC(FixedPointFormat(2, 13))
+        fmt = unit.format
+        assert unit.mac(3.9, 3.9, 0.0) <= fmt.max_value
+
+    def test_float_mac_matches_fp32_at_full_width(self):
+        float_unit = FloatMAC(FP32)
+        fp32_unit = FP32MAC()
+        rng = np.random.default_rng(0)
+        for _ in range(16):
+            a, b, c = rng.normal(size=3)
+            assert float_unit.mac(a, b, c) == fp32_unit.mac(a, b, c)
+
+
+class TestCostOrdering:
+    def per_mac(self, fmt):
+        calibration = calibrate_to_reference(GENERIC_28NM)
+        return _per_mac_energy_pj(fmt, calibration, GENERIC_28NM, TABLE5_CLOCK_MHZ)
+
+    def test_narrow_formats_cost_less_than_fp32(self):
+        fp32 = self.per_mac(None)
+        assert self.per_mac(PositConfig(8, 1)) < fp32
+        assert self.per_mac(FP16) < fp32
+        assert self.per_mac(FixedPointFormat(2, 13)) < fp32
+
+    def test_each_family_prices_distinctly(self):
+        """The old path priced every non-posit format exactly as FP32."""
+        fp32 = self.per_mac(None)
+        for spec in ("fp16", "fp8_e4m3", "fixed(16,13)", "fixed(8,5)"):
+            assert self.per_mac(parse_format(spec)) != fp32
+
+
+class TestTrainingStepReport:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return tiny_resnet(num_classes=10, rng=np.random.default_rng(0))
+
+    def test_fixed_point_policy_now_saves_energy(self, model):
+        """Regression: fixed/float policies used to be priced as FP32 compute."""
+        fp32 = training_step_report(model, None, batch_size=8)
+        fixed = training_step_report(
+            model, QuantizationPolicy.uniform_format("fixed(16,13)"), batch_size=8)
+        fp16 = training_step_report(
+            model, QuantizationPolicy.uniform_format("fp16"), batch_size=8)
+        assert fixed["compute_energy_uj"] < fp32["compute_energy_uj"]
+        assert fp16["compute_energy_uj"] < fp32["compute_energy_uj"]
+        assert fixed["memory_energy_uj"] < fp32["memory_energy_uj"]
+
+    def test_posit_path_unchanged(self, model):
+        posit = training_step_report(
+            model, QuantizationPolicy.cifar_paper(), batch_size=8)
+        fp32 = training_step_report(model, None, batch_size=8)
+        assert posit["compute_energy_uj"] < fp32["compute_energy_uj"]
+
+
+class TestFormatBits:
+    def test_all_families(self):
+        assert format_bits(None) == 32
+        assert format_bits(PositConfig(8, 1)) == 8
+        assert format_bits(FP16) == 16
+        assert format_bits(FixedPointFormat(2, 13)) == 16
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TypeError):
+            format_bits("posit(8,1)")

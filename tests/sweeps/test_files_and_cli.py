@@ -1,0 +1,132 @@
+"""Tests for sweep-file loading and the ``repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sweeps import SweepConfig, SweepFileError, load_sweep_file
+
+SWEEP_DICT = {
+    "name": "cli",
+    "base": {"dataset": "blobs", "model": "mlp", "epochs": 1, "train_size": 48,
+             "test_size": 16, "batch_size": 16, "num_classes": 3,
+             "model_kwargs": {"hidden": [8]}},
+    "grid": {"policy": ["posit(8,1)", "fp32"]},
+    "workers": 1,
+}
+
+SWEEP_YAML = """\
+# the same sweep, as YAML-lite
+name: cli
+base:
+  dataset: blobs
+  model: mlp
+  epochs: 1
+  train_size: 48
+  test_size: 16
+  batch_size: 16
+  num_classes: 3
+  model_kwargs:
+    hidden: [8]
+grid:
+  policy: [posit(8,1), fp32]
+workers: 1
+"""
+
+
+@pytest.fixture
+def sweep_json(tmp_path):
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(SWEEP_DICT))
+    return path
+
+
+class TestSweepFiles:
+    def test_json_and_yaml_load_identically(self, tmp_path, sweep_json):
+        yaml_path = tmp_path / "sweep.yaml"
+        yaml_path.write_text(SWEEP_YAML)
+        from_json = SweepConfig.from_file(sweep_json)
+        from_yaml = SweepConfig.from_file(yaml_path)
+        assert [r.run_id for r in from_json.expand()] \
+            == [r.run_id for r in from_yaml.expand()]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SweepFileError, match="cannot read"):
+            load_sweep_file(tmp_path / "absent.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SweepFileError, match="invalid JSON"):
+            load_sweep_file(path)
+
+    def test_non_mapping_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(SweepFileError, match="mapping"):
+            load_sweep_file(path)
+
+
+class TestCli:
+    def test_sweep_run_status_report(self, tmp_path, sweep_json, capsys):
+        store = tmp_path / "out.jsonl"
+
+        # status before running: pending cells -> nonzero exit.
+        assert main(["sweep", "status", str(sweep_json), "--store", str(store)]) == 1
+        assert "pending 2" in capsys.readouterr().out
+
+        assert main(["sweep", "run", str(sweep_json), "--store", str(store),
+                     "--serial", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out
+
+        # resume: nothing to do.
+        assert main(["sweep", "run", str(sweep_json), "--store", str(store),
+                     "--serial", "--quiet"]) == 0
+        assert "0 executed, 2 skipped" in capsys.readouterr().out
+
+        assert main(["sweep", "status", str(sweep_json), "--store", str(store)]) == 0
+        assert "ok 2" in capsys.readouterr().out
+
+        assert main(["sweep", "report", str(sweep_json), "--store", str(store),
+                     "--group-by", "policy"]) == 0
+        out = capsys.readouterr().out
+        assert "posit(8,1)" in out and "fp32" in out
+        assert "grouped by policy" in out
+
+    def test_report_json_output(self, tmp_path, sweep_json, capsys):
+        store = tmp_path / "out.jsonl"
+        main(["sweep", "run", str(sweep_json), "--store", str(store),
+              "--serial", "--quiet"])
+        capsys.readouterr()
+        assert main(["sweep", "report", str(sweep_json), "--store", str(store),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"] == "cli"
+        assert len(payload["rows"]) == 2
+
+    def test_report_unknown_axis_fails_cleanly(self, tmp_path, sweep_json, capsys):
+        store = tmp_path / "out.jsonl"
+        main(["sweep", "run", str(sweep_json), "--store", str(store),
+              "--serial", "--quiet"])
+        capsys.readouterr()
+        assert main(["sweep", "report", str(sweep_json), "--store", str(store),
+                     "--group-by", "bogus"]) == 2
+        assert "unknown group axis" in capsys.readouterr().err
+
+    def test_formats_list(self, capsys):
+        assert main(["formats", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "posit(8,1)" in out
+        assert "fp8_e4m3" in out
+        assert "fixed(16,13)" in out
+
+    def test_formats_list_family_filter(self, capsys):
+        assert main(["formats", "list", "--family", "fixed", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and all(row["family"] == "FixedPointFormat" for row in rows)
+
+    def test_missing_sweep_file_exit_code(self, tmp_path, capsys):
+        assert main(["sweep", "status", str(tmp_path / "none.json")]) == 2
+        assert "error" in capsys.readouterr().err

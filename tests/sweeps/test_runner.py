@@ -1,0 +1,215 @@
+"""Tests for sweep execution: determinism, resume, failure isolation.
+
+The training cells use the tiny blobs/MLP configuration (one epoch, a few
+dozen samples) so the whole module stays fast while still exercising the
+real :func:`repro.api.build_experiment` path end to end.
+"""
+
+import pytest
+
+from repro.api import ExperimentConfig
+from repro.sweeps import (
+    ResultStore,
+    SweepAxis,
+    SweepConfig,
+    result_rows,
+    run_sweep,
+    sweep_report,
+    sweep_status,
+)
+
+
+def tiny_base():
+    return ExperimentConfig(dataset="blobs", model="mlp", epochs=1,
+                            train_size=48, test_size=16, batch_size=16,
+                            num_classes=3, model_kwargs={"hidden": [8]})
+
+
+def tiny_sweep(name="runner", values=("posit(8,1)", "fp32"), lrs=(0.05, 0.1)):
+    return SweepConfig(
+        name=name,
+        base=tiny_base(),
+        grid=[SweepAxis.of("policy", values), SweepAxis.of("lr", lrs)],
+    )
+
+
+class TestSerialExecution:
+    def test_all_cells_complete(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        summary = run_sweep(tiny_sweep(), store=store, workers=1)
+        assert summary.total == 4
+        assert summary.executed == 4
+        assert summary.skipped == 0
+        assert summary.failed == 0
+        assert summary.ok
+        assert store.completed_ids() == {r.run_id for r in tiny_sweep().expand()}
+
+    def test_records_carry_metrics_and_formats(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        run_sweep(tiny_sweep(), store=store, workers=1)
+        for record in store:
+            assert record["status"] == "ok"
+            assert record["metrics"]["epochs"] == 1
+            assert record["metrics"]["final_val_accuracy"] is not None
+            assert record["formats"] in (["posit(8,1)"], ["fp32"])
+
+    def test_identical_cells_produce_identical_metrics(self, tmp_path):
+        """Same spec -> same results, regardless of which invocation ran it."""
+        first = ResultStore(tmp_path / "a.jsonl")
+        second = ResultStore(tmp_path / "b.jsonl")
+        run_sweep(tiny_sweep(), store=first, workers=1)
+        run_sweep(tiny_sweep(), store=second, workers=1)
+        left = {rid: rec["metrics"] for rid, rec in first.records().items()}
+        right = {rid: rec["metrics"] for rid, rec in second.records().items()}
+        assert left == right
+
+
+class TestResume:
+    def test_second_invocation_executes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        run_sweep(tiny_sweep(), store=store, workers=1)
+        again = run_sweep(tiny_sweep(), store=store, workers=1)
+        assert again.executed == 0
+        assert again.skipped == 4
+        assert again.ok
+
+    def test_kill_and_rerun_completes_only_missing(self, tmp_path):
+        """A store holding a prefix of the records resumes the remainder."""
+        full = ResultStore(tmp_path / "full.jsonl")
+        run_sweep(tiny_sweep(), store=full, workers=1)
+        all_records = full.records()
+        runs = tiny_sweep().expand()
+
+        partial = ResultStore(tmp_path / "partial.jsonl")
+        survivors = [runs[0].run_id, runs[2].run_id]
+        for run_id in survivors:
+            partial.append(all_records[run_id])
+
+        summary = run_sweep(tiny_sweep(), store=partial, workers=1)
+        assert summary.skipped == 2
+        assert summary.executed == 2
+        executed_ids = {o.run_id for o in summary.outcomes if o.status == "ok"}
+        assert executed_ids == {runs[1].run_id, runs[3].run_id}
+        # And the resumed store converges to the same records as the full run.
+        assert {rid: rec["metrics"] for rid, rec in partial.records().items()} \
+            == {rid: rec["metrics"] for rid, rec in all_records.items()}
+
+    def test_failed_runs_are_retried(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        runs = tiny_sweep().expand()
+        store.append({"run_id": runs[0].run_id, "name": runs[0].name,
+                      "status": "failed", "error": "previous crash"})
+        summary = run_sweep(tiny_sweep(), store=store, workers=1)
+        assert summary.executed == 4  # the failed cell ran again
+        assert store.completed_ids() == {r.run_id for r in runs}
+
+
+class TestFailureIsolation:
+    def bad_sweep(self, name="faulty"):
+        # "no_such_model" fails inside build_experiment; the other cells
+        # must be unaffected.
+        return SweepConfig(
+            name=name,
+            base=tiny_base(),
+            grid=[SweepAxis.of("model", ["mlp", "no_such_model"]),
+                  SweepAxis.of("lr", [0.05, 0.1])],
+        )
+
+    def test_one_bad_cell_does_not_poison_serial_run(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        summary = run_sweep(self.bad_sweep(), store=store, workers=1)
+        assert summary.executed == 2
+        assert summary.failed == 2
+        failed = [store.get(o.run_id) for o in summary.outcomes if o.status == "failed"]
+        assert all("no_such_model" in record["error"] for record in failed)
+        assert all("traceback" in record for record in failed)
+
+    def test_one_bad_cell_does_not_poison_the_pool(self, tmp_path):
+        """The multiprocessing path records failures and finishes the rest."""
+        store = ResultStore(tmp_path / "s.jsonl")
+        summary = run_sweep(self.bad_sweep(), store=store, workers=2)
+        assert summary.executed == 2
+        assert summary.failed == 2
+        assert store.completed_ids() != set()
+        # Retrying with the model fixed completes only the failed cells.
+        fixed = SweepConfig(name="faulty", base=tiny_base(),
+                            grid=[SweepAxis.of("model", ["mlp"]),
+                                  SweepAxis.of("lr", [0.05, 0.1])])
+        resumed = run_sweep(fixed, store=store, workers=1)
+        assert resumed.executed == 0
+        assert resumed.skipped == 2
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = ResultStore(tmp_path / "serial.jsonl")
+        parallel = ResultStore(tmp_path / "parallel.jsonl")
+        run_sweep(tiny_sweep(), store=serial, workers=1)
+        summary = run_sweep(tiny_sweep(), store=parallel, workers=2)
+        assert summary.executed == 4
+        left = {rid: rec["metrics"] for rid, rec in serial.records().items()}
+        right = {rid: rec["metrics"] for rid, rec in parallel.records().items()}
+        assert left == right
+
+
+class TestStatusAndReport:
+    def test_status_counts(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        sweep = tiny_sweep()
+        status = sweep_status(sweep, store=store)
+        assert status["pending"] == 4 and status["ok"] == 0
+        run_sweep(sweep, store=store, workers=1)
+        status = sweep_status(sweep, store=store)
+        assert status["ok"] == 4 and status["pending"] == 0
+
+    def test_report_rows_follow_sweep_order(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        sweep = tiny_sweep()
+        run_sweep(sweep, store=store, workers=1)
+        rows = result_rows(store, sweep=sweep)
+        assert [row["run_id"] for row in rows] == [r.run_id for r in sweep.expand()]
+        assert all("final_val_accuracy" in row for row in rows)
+
+    def test_grouped_report(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        sweep = tiny_sweep()
+        run_sweep(sweep, store=store, workers=1)
+        report = sweep_report(sweep, store=store, group="policy")
+        assert {entry["policy"] for entry in report["grouped"]} == {"posit(8,1)", "fp32"}
+        assert all(entry["runs"] == 2 for entry in report["grouped"])
+
+    def test_pivot_report(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        sweep = tiny_sweep()
+        run_sweep(sweep, store=store, workers=1)
+        report = sweep_report(sweep, store=store, group="policy x lr")
+        pivoted = report["pivot"]
+        assert pivoted["rows"] == ["posit(8,1)", "fp32"]
+        assert pivoted["cols"] == [0.05, 0.1]
+        for row in pivoted["rows"]:
+            for col in pivoted["cols"]:
+                assert pivoted["cells"][row][col] is not None
+
+    def test_unknown_group_axis_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        sweep = tiny_sweep()
+        run_sweep(sweep, store=store, workers=1)
+        with pytest.raises(ValueError, match="unknown group axis"):
+            sweep_report(sweep, store=store, group="nonsense")
+
+
+class TestEnergyCollection:
+    def test_energy_metrics_attached(self, tmp_path):
+        sweep = SweepConfig(
+            name="energy", base=tiny_base(), collect_energy=True,
+            grid=[SweepAxis.of("policy", ["posit(8,1)", "fixed(16,13)", "fp32"])])
+        store = ResultStore(tmp_path / "s.jsonl")
+        summary = run_sweep(sweep, store=store, workers=1)
+        assert summary.failed == 0
+        by_policy = {rec["overrides"]["policy"]: rec for rec in store}
+        for record in by_policy.values():
+            assert record["energy"]["total_energy_uj"] > 0
+        # FP32 saves nothing over itself; quantized formats save energy.
+        assert by_policy["fp32"]["energy"]["energy_saving_vs_fp32"] == pytest.approx(1.0)
+        assert by_policy["posit(8,1)"]["energy"]["energy_saving_vs_fp32"] > 1.0
+        assert by_policy["fixed(16,13)"]["energy"]["energy_saving_vs_fp32"] > 1.0

@@ -1,0 +1,176 @@
+"""Tests for sweep specs: expansion determinism, axes, run keys."""
+
+import pytest
+
+from repro.api import ExperimentConfig
+from repro.sweeps import SweepAxis, SweepConfig, run_key
+from repro.sweeps.spec import apply_override
+
+
+def tiny_base(**overrides):
+    defaults = dict(dataset="blobs", model="mlp", epochs=1, train_size=48,
+                    test_size=16, batch_size=16, num_classes=3,
+                    model_kwargs={"hidden": [8]})
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def grid_sweep(**kwargs):
+    return SweepConfig(
+        name="unit",
+        base=tiny_base(),
+        grid=[SweepAxis.of("policy", ["posit(8,1)", "fp32"]),
+              SweepAxis.of("lr", [0.05, 0.1])],
+        **kwargs,
+    )
+
+
+class TestExpansion:
+    def test_grid_size_and_order(self):
+        runs = grid_sweep().expand()
+        assert len(runs) == 4
+        # Nested-loop order: last axis varies fastest.
+        assert [run.overrides for run in runs] == [
+            {"policy": "posit(8,1)", "lr": 0.05},
+            {"policy": "posit(8,1)", "lr": 0.1},
+            {"policy": "fp32", "lr": 0.05},
+            {"policy": "fp32", "lr": 0.1},
+        ]
+
+    def test_expansion_is_deterministic(self):
+        first = grid_sweep().expand()
+        second = grid_sweep().expand()
+        assert [run.run_id for run in first] == [run.run_id for run in second]
+        assert [run.name for run in first] == [run.name for run in second]
+        assert [run.config for run in first] == [run.config for run in second]
+
+    def test_run_ids_are_content_hashes(self):
+        runs = grid_sweep().expand()
+        for run in runs:
+            assert run.run_id == run_key(run.config)
+        assert len({run.run_id for run in runs}) == 4
+
+    def test_run_names_are_self_describing(self):
+        names = [run.name for run in grid_sweep().expand()]
+        assert names[0] == "unit/policy=posit(8,1),lr=0.05"
+        assert all(name.startswith("unit/") for name in names)
+
+    def test_zip_axes_advance_together(self):
+        sweep = SweepConfig(
+            name="zipped",
+            base=tiny_base(),
+            grid=[SweepAxis.of("model", ["mlp", "lenet"])],
+            zipped=[SweepAxis.of("policy", ["posit(8,1)", "fp32"]),
+                    SweepAxis.of("warmup_epochs", [1, 0])],
+        )
+        runs = sweep.expand()
+        assert len(runs) == 4  # 2 grid x 2 zip, not 2 x 2 x 2
+        combos = {(r.overrides["model"], r.overrides["policy"],
+                   r.overrides["warmup_epochs"]) for r in runs}
+        assert combos == {("mlp", "posit(8,1)", 1), ("mlp", "fp32", 0),
+                          ("lenet", "posit(8,1)", 1), ("lenet", "fp32", 0)}
+
+    def test_zip_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            SweepConfig(name="bad", base=tiny_base(),
+                        zipped=[SweepAxis.of("lr", [0.1, 0.2]),
+                                SweepAxis.of("warmup_epochs", [0])])
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ValueError, match="no axes"):
+            SweepConfig(name="empty", base=tiny_base())
+
+    def test_duplicate_cells_rejected(self):
+        sweep = SweepConfig(
+            name="dupes", base=tiny_base(),
+            grid=[SweepAxis.of("lr", [0.1, 0.1])])
+        with pytest.raises(ValueError, match="duplicate run configs"):
+            sweep.expand()
+
+    def test_dotted_field_override(self):
+        sweep = SweepConfig(
+            name="dotted", base=tiny_base(),
+            grid=[SweepAxis.of("model_kwargs.hidden", [[8], [8, 8]])])
+        runs = sweep.expand()
+        assert runs[0].config.model_kwargs["hidden"] == [8]
+        assert runs[1].config.model_kwargs["hidden"] == [8, 8]
+        # The axis label is the last dotted segment.
+        assert runs[0].overrides == {"hidden": [8]}
+
+    def test_nested_overrides_do_not_alias_across_cells(self):
+        """Regression: 3+-segment dotted axes must not share inner dicts."""
+        base = tiny_base(model_kwargs={"opt": {"width": 1}})
+        sweep = SweepConfig(
+            name="nested", base=base,
+            grid=[SweepAxis.of("model_kwargs.opt.width", [1, 2])])
+        runs = sweep.expand()
+        assert runs[0].config.model_kwargs["opt"]["width"] == 1
+        assert runs[1].config.model_kwargs["opt"]["width"] == 2
+        # The caller's base config is untouched, and every run's content
+        # hash still matches its actual config.
+        assert base.model_kwargs == {"opt": {"width": 1}}
+        for run in runs:
+            assert run.run_id == run_key(run.config)
+
+    def test_unknown_field_rejected(self):
+        sweep = SweepConfig(name="typo", base=tiny_base(),
+                            grid=[SweepAxis.of("leanring_rate", [0.1])])
+        with pytest.raises(KeyError, match="leanring_rate"):
+            sweep.expand()
+
+    def test_len_matches_expansion(self):
+        sweep = grid_sweep()
+        assert len(sweep) == len(sweep.expand())
+
+
+class TestRunKey:
+    def test_cosmetic_fields_do_not_change_key(self):
+        base = tiny_base()
+        renamed = base.with_overrides(name="other", verbose=True)
+        assert run_key(base) == run_key(renamed)
+
+    def test_substantive_fields_change_key(self):
+        base = tiny_base()
+        assert run_key(base) != run_key(base.with_overrides(lr=0.123))
+        assert run_key(base) != run_key(base.with_overrides(policy="posit(8,1)"))
+
+    def test_key_is_stable_across_dict_roundtrip(self):
+        base = tiny_base()
+        assert run_key(base) == run_key(ExperimentConfig.from_dict(base.to_dict()))
+
+
+class TestApplyOverride:
+    def test_top_level(self):
+        data = tiny_base().to_dict()
+        apply_override(data, "lr", 0.5)
+        assert data["lr"] == 0.5
+
+    def test_nested_creates_intermediate(self):
+        data = tiny_base().to_dict()
+        apply_override(data, "data_kwargs.noise_std", 0.7)
+        assert data["data_kwargs"]["noise_std"] == 0.7
+
+    def test_non_dict_descent_rejected(self):
+        data = tiny_base().to_dict()
+        with pytest.raises(TypeError, match="not a dict"):
+            apply_override(data, "lr.nested", 1)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        sweep = grid_sweep(collect_energy=True, workers=3, store="out.jsonl")
+        rebuilt = SweepConfig.from_dict(sweep.to_dict())
+        assert [r.run_id for r in rebuilt.expand()] == [r.run_id for r in sweep.expand()]
+        assert rebuilt.collect_energy is True
+        assert rebuilt.workers == 3
+        assert rebuilt.store == "out.jsonl"
+
+    def test_unknown_keys_rejected(self):
+        data = grid_sweep().to_dict()
+        data["grdi"] = {"lr": [0.1]}
+        with pytest.raises(ValueError, match="grdi"):
+            SweepConfig.from_dict(data)
+
+    def test_missing_name_or_base_rejected(self):
+        with pytest.raises(ValueError, match="'name' and 'base'"):
+            SweepConfig.from_dict({"grid": {"lr": [0.1]}})

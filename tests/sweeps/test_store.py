@@ -1,0 +1,88 @@
+"""Tests for the append-only JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.sweeps import ResultStore
+
+
+def make_record(run_id, status="ok", **extra):
+    record = {"run_id": run_id, "status": status, "name": f"run-{run_id}"}
+    record.update(extra)
+    return record
+
+
+class TestAppendLoad:
+    def test_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(make_record("a", metrics={"final_val_accuracy": 0.5}))
+        store.append(make_record("b", status="failed", error="boom"))
+
+        fresh = ResultStore(tmp_path / "r.jsonl")
+        records = fresh.load()
+        assert set(records) == {"a", "b"}
+        assert records["a"]["metrics"]["final_val_accuracy"] == 0.5
+        assert fresh.completed_ids() == {"a"}
+        assert fresh.failed_ids() == {"b"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "nope.jsonl")
+        assert store.load() == {}
+        assert store.completed_ids() == set()
+
+    def test_latest_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(make_record("a", status="failed", error="first try"))
+        store.append(make_record("a", status="ok"))
+        fresh = ResultStore(tmp_path / "r.jsonl")
+        assert fresh.completed_ids() == {"a"}
+        assert fresh.failed_ids() == set()
+
+    def test_append_requires_identity_fields(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        with pytest.raises(ValueError, match="run_id"):
+            store.append({"status": "ok"})
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = ResultStore(tmp_path / "deep" / "nested" / "r.jsonl")
+        store.append(make_record("a"))
+        assert (tmp_path / "deep" / "nested" / "r.jsonl").exists()
+
+
+class TestCorruptionTolerance:
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(make_record("a"))
+        store.append(make_record("b"))
+        # Simulate a writer killed mid-line.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"run_id": "c", "stat')
+        fresh = ResultStore(path)
+        assert set(fresh.load()) == {"a", "b"}
+        assert fresh.skipped_lines == 1
+
+    def test_records_without_run_id_are_skipped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"status": "ok"}) + "\n")
+            handle.write(json.dumps(make_record("a")) + "\n")
+        store = ResultStore(path)
+        assert set(store.load()) == {"a"}
+        assert store.skipped_lines == 1
+
+
+class TestCompact:
+    def test_compact_drops_superseded_lines(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(make_record("a", status="failed", error="x"))
+        store.append(make_record("a", status="ok"))
+        store.append(make_record("b"))
+        dropped = store.compact()
+        assert dropped == 1
+        lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert {line["run_id"] for line in lines} == {"a", "b"}
+        assert len(lines) == 2
+        assert ResultStore(path).completed_ids() == {"a", "b"}

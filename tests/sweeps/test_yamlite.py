@@ -1,0 +1,82 @@
+"""Tests for the YAML-lite subset parser behind sweep files."""
+
+import pytest
+
+from repro.sweeps.yamlite import YamliteError, loads
+
+
+class TestScalars:
+    def test_typed_scalars(self):
+        text = """
+        an_int: 42
+        a_float: 0.05
+        scientific: 1e-3
+        negative: -7
+        truthy: true
+        falsy: false
+        nothing: null
+        tilde: ~
+        bare: posit(8,1)
+        quoted_number: "8"
+        single: 'hash # not a comment'
+        """
+        data = loads("\n".join(line[8:] for line in text.splitlines()))
+        assert data == {
+            "an_int": 42, "a_float": 0.05, "scientific": 1e-3, "negative": -7,
+            "truthy": True, "falsy": False, "nothing": None, "tilde": None,
+            "bare": "posit(8,1)", "quoted_number": "8",
+            "single": "hash # not a comment",
+        }
+
+    def test_comments_and_blank_lines(self):
+        data = loads("# header\n\nkey: 1  # trailing\nother: two\n")
+        assert data == {"key": 1, "other": "two"}
+
+
+class TestStructures:
+    def test_nested_mappings(self):
+        data = loads("base:\n  model: mlp\n  model_kwargs:\n    hidden: [8, 8]\nname: x\n")
+        assert data == {"base": {"model": "mlp", "model_kwargs": {"hidden": [8, 8]}},
+                        "name": "x"}
+
+    def test_flow_lists(self):
+        data = loads("grid:\n  policy: [posit(8,1), 'fixed(16,13)', fp32]\n  lr: [0.05, 0.1]\n")
+        assert data["grid"]["policy"] == ["posit(8,1)", "fixed(16,13)", "fp32"]
+        assert data["grid"]["lr"] == [0.05, 0.1]
+
+    def test_block_lists(self):
+        data = loads("values:\n  - 1\n  - 2.5\n  - posit(8,1)\n")
+        assert data == {"values": [1, 2.5, "posit(8,1)"]}
+
+    def test_empty_input(self):
+        assert loads("") == {}
+        assert loads("# only comments\n") == {}
+
+    def test_empty_flow_list(self):
+        assert loads("empty: []\n") == {"empty": []}
+
+
+class TestErrors:
+    def test_tabs_rejected(self):
+        with pytest.raises(YamliteError, match="tabs"):
+            loads("key:\n\tvalue: 1\n")
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(YamliteError, match="duplicate key"):
+            loads("a: 1\na: 2\n")
+
+    def test_anchors_rejected(self):
+        with pytest.raises(YamliteError, match="unsupported"):
+            loads("a: &anchor 1\n")
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(YamliteError, match="unterminated"):
+            loads("a: 'oops\n")
+
+    def test_unterminated_flow_list_rejected(self):
+        with pytest.raises(YamliteError, match="unterminated flow list"):
+            loads("a: [1, 2\n")
+
+    def test_error_names_line(self):
+        with pytest.raises(YamliteError, match="line 2"):
+            loads("a: 1\nb &bad\n")
