@@ -16,9 +16,12 @@ a CPU, but every methodological ingredient is the same:
 The quantity to compare is the *gap* between the FP32 row and the posit row,
 which the paper reports as ~0.5 % (93.40 vs 92.87).
 
-The wiring is fully declarative through :mod:`repro.api`: each run is an
-:class:`~repro.api.ExperimentConfig` whose policy is a preset name
-("cifar_paper") or spec — the same config could come from a JSON file.
+The study is expressed as a :class:`~repro.sweeps.SweepConfig` — a base
+:class:`~repro.api.ExperimentConfig` plus one zipped (policy, warmup) axis —
+and executed through :func:`~repro.sweeps.run_sweep`, so it shares the sweep
+engine's resume (re-running skips finished cells), store, and reporting
+machinery with every other study.  The same sweep could live in a JSON file
+and run as ``repro sweep run``.
 
 Run with:  python examples/train_cifar_like.py [--epochs N] [--train-size N]
 """
@@ -26,42 +29,11 @@ Run with:  python examples/train_cifar_like.py [--epochs N] [--train-size N]
 from __future__ import annotations
 
 import argparse
-import time
+import os
+import tempfile
 
-from repro.api import ExperimentConfig, build_experiment, build_policy
-
-
-def run_experiment(label: str, policy, warmup_epochs: int, args) -> dict:
-    config = ExperimentConfig(
-        name=label,
-        dataset="cifar_like",
-        model="cifar_resnet",
-        policy=policy,
-        epochs=args.epochs,
-        batch_size=args.batch_size,
-        lr=args.lr,
-        weight_decay=5e-4,
-        warmup_epochs=warmup_epochs,
-        scheduler="multistep",
-        train_size=args.train_size,
-        test_size=args.test_size,
-        data_seed=args.data_seed,
-        verbose=args.verbose,
-        data_kwargs={"noise_std": 0.5},
-    )
-    start = time.time()
-    history = build_experiment(config).run()
-    elapsed = time.time() - start
-    result = {
-        "label": label,
-        "final_val_accuracy": history.final_val_accuracy,
-        "best_val_accuracy": history.best_val_accuracy,
-        "final_train_loss": history.final_train_loss,
-        "seconds": elapsed,
-    }
-    print(f"{label:<40} val acc {result['final_val_accuracy']:.3f} "
-          f"(best {result['best_val_accuracy']:.3f})  [{elapsed:.0f}s]")
-    return result
+from repro.api import ExperimentConfig, build_policy
+from repro.sweeps import SweepAxis, SweepConfig, format_table, result_rows, run_sweep
 
 
 def main() -> None:
@@ -72,30 +44,77 @@ def main() -> None:
     parser.add_argument("--batch-size", type=int, default=64)
     parser.add_argument("--lr", type=float, default=0.05)
     parser.add_argument("--data-seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the three runs")
+    parser.add_argument("--store", default=None,
+                        help="JSONL result store (default: a temp file; pass a "
+                             "path to make re-runs resume)")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args()
 
+    base = ExperimentConfig(
+        dataset="cifar_like",
+        model="cifar_resnet",
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        weight_decay=5e-4,
+        scheduler="multistep",
+        train_size=args.train_size,
+        test_size=args.test_size,
+        data_seed=args.data_seed,
+        verbose=args.verbose,
+        data_kwargs={"noise_std": 0.5},
+    )
+    # Policies are data: the third cell takes the uniform(8) preset and
+    # switches off the stabilizing shift via its dict form.  Each policy is
+    # zipped with its warm-up length (the paper warms posit runs up in FP32).
+    sweep = SweepConfig(
+        name="train_cifar_like",
+        base=base,
+        zipped=(
+            SweepAxis.of("policy",
+                         ["fp32",
+                          "cifar_paper",
+                          {**build_policy("uniform(8)").to_dict(),
+                           "use_scaling": False}]),
+            SweepAxis.of("warmup_epochs", [0, 1, 0], label="warmup"),
+        ),
+    )
+
     print("Cifar-like experiment (Table III, reduced scale)")
-    print(f"  dataset: {args.train_size} train / {args.test_size} test synthetic 32x32 images")
+    print(f"  dataset: {args.train_size} train / {args.test_size} test "
+          f"synthetic 32x32 images")
     print(f"  model:   Cifar ResNet (3 stages, width 8), {args.epochs} epochs\n")
 
-    results = [
-        run_experiment("FP32 baseline", "fp32", 0, args),
-        run_experiment("posit CONV(8,1)/(8,2) + BN(16,1)/(16,2)", "cifar_paper", 1, args),
-        run_experiment(
-            "posit(8,*) everywhere, no warm-up, no shifting",
-            # Policies are data: take the uniform(8) preset and switch off
-            # the stabilizing shift via its dict form.
-            {**build_policy("uniform(8)").to_dict(), "use_scaling": False},
-            0, args),
-    ]
+    if args.store:
+        store, temp_store = args.store, None
+    else:
+        fd, temp_store = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        store = temp_store
+    try:
+        summary = run_sweep(sweep, store=store, workers=args.workers,
+                            progress=print)
+        if summary.failed:
+            # Keep the store: it holds the failed cells' tracebacks.
+            temp_store = None
+            raise SystemExit(f"{summary.failed} run(s) failed (store: {store})")
 
-    print("\nSummary (compare the FP32-vs-posit gap, as in Table III):")
-    baseline = results[0]["final_val_accuracy"]
-    for result in results:
-        gap = baseline - result["final_val_accuracy"]
-        print(f"  {result['label']:<45} accuracy {result['final_val_accuracy']:.3f} "
-              f"(gap to FP32: {gap:+.3f})")
+        rows = result_rows(store, sweep=sweep)
+        print()
+        print(format_table(rows, columns=("name", "warmup", "final_val_accuracy",
+                                          "best_val_accuracy", "duration_s")))
+
+        baseline = next(row for row in rows if row["policy"] == "fp32")
+        print("\nSummary (compare the FP32-vs-posit gap, as in Table III):")
+        for row in rows:
+            gap = baseline["final_val_accuracy"] - row["final_val_accuracy"]
+            print(f"  {row['name']:<60} accuracy {row['final_val_accuracy']:.3f} "
+                  f"(gap to FP32: {gap:+.3f})")
+    finally:
+        if temp_store is not None and os.path.exists(temp_store):
+            os.unlink(temp_store)
 
 
 if __name__ == "__main__":

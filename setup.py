@@ -3,11 +3,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-posit-training",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of 'Training Deep Neural Networks Using Posit Number "
         "System' (Lu et al., SOCC 2019): posit/float/fixed-point quantized "
-        "training, hardware cost models, and a declarative sweep engine."
+        "training, hardware cost models, a declarative sweep engine, and a "
+        "packed-artifact inference-serving subsystem."
     ),
     packages=find_packages("src"),
     package_dir={"": "src"},

@@ -44,9 +44,16 @@ top of self-contained substrates:
 * :mod:`repro.api` — the high-level experiment API shown above.
 * :mod:`repro.sweeps` — the declarative sweep engine: grid/zip axes over
   experiment configs, parallel sharded execution with resume, the
-  append-only JSONL result store, and the aggregation/report layer.
+  append-only JSONL result store, and the aggregation/report layer
+  (including energy/accuracy Pareto fronts).
+* :mod:`repro.serve` — the deployment subsystem: packed n-bit model
+  artifacts (``save_model``/``load_model``), the micro-batching
+  :class:`~repro.serve.InferenceEngine`, the stdlib HTTP transport
+  (``/predict``, ``/healthz``, ``/stats``), sweep-winner export
+  (``serve_best``), and the closed-loop load generator.
 * :mod:`repro.cli` — the ``repro`` command line (``python -m repro``):
-  ``sweep run / status / report`` and ``formats list``.
+  ``sweep run / status / report / pareto``, ``formats list``,
+  ``export``, and ``serve``.
 
 Migration note (union-based formats -> NumberFormat protocol)
 -------------------------------------------------------------

@@ -29,6 +29,7 @@ preset (``"uniform(8)"``), a bare format spec (``"posit(8,1)"``,
 from __future__ import annotations
 
 import re
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional, Union
 
@@ -58,6 +59,8 @@ __all__ = [
     "build_experiment",
     "run_experiment",
     "POLICY_PRESETS",
+    "clear_dataset_cache",
+    "dataset_cache_info",
 ]
 
 #: Named policy presets resolvable by :func:`build_policy`.  Values are
@@ -246,6 +249,54 @@ class Experiment:
         }
 
 
+#: Per-process memo of dataset construction, keyed by the JSON form of the
+#: dataset-determining config fields.  Sweep grids typically vary the policy
+#: or learning rate while sharing one dataset, so every worker process would
+#: otherwise regenerate identical synthetic data once per cell — the
+#: generated arrays are deterministic in the key and treated as read-only
+#: (loaders copy batches out via fancy indexing / transforms), so sharing
+#: them across runs in one process is safe.  Bounded FIFO to keep a long
+#: multi-dataset sweep from accumulating every dataset it ever touched.
+_DATASET_CACHE: dict = {}
+_DATASET_CACHE_LIMIT = 8
+_DATASET_CACHE_STATS = {"hits": 0, "misses": 0}
+_DATASET_CACHE_LOCK = threading.Lock()
+
+
+def _cached_dataset(kind: str, builder, kwargs: dict):
+    """Memoize ``builder(**kwargs)`` per process (see ``_DATASET_CACHE``)."""
+    import json as _json
+
+    key = (kind, _json.dumps(kwargs, sort_keys=True, default=str))
+    with _DATASET_CACHE_LOCK:
+        if key in _DATASET_CACHE:
+            _DATASET_CACHE_STATS["hits"] += 1
+            return _DATASET_CACHE[key]
+        _DATASET_CACHE_STATS["misses"] += 1
+    # Build outside the lock: dataset generation is the expensive part and
+    # builders are deterministic, so a rare duplicate build is harmless.
+    value = builder(**kwargs)
+    with _DATASET_CACHE_LOCK:
+        while len(_DATASET_CACHE) >= _DATASET_CACHE_LIMIT:
+            _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)), None)
+        _DATASET_CACHE[key] = value
+    return value
+
+
+def clear_dataset_cache() -> None:
+    """Drop all memoized datasets (tests; long-lived servers changing data)."""
+    with _DATASET_CACHE_LOCK:
+        _DATASET_CACHE.clear()
+        _DATASET_CACHE_STATS["hits"] = 0
+        _DATASET_CACHE_STATS["misses"] = 0
+
+
+def dataset_cache_info() -> dict:
+    """Introspection: cache size, hit/miss counters."""
+    with _DATASET_CACHE_LOCK:
+        return {"size": len(_DATASET_CACHE), **_DATASET_CACHE_STATS}
+
+
 def _build_loaders(config: ExperimentConfig) -> tuple[ArrayDataLoader, ArrayDataLoader, int]:
     """Build (train_loader, val_loader, input_features) for the config."""
     shuffle_seed = config.shuffle_seed if config.shuffle_seed is not None else config.seed
@@ -254,7 +305,7 @@ def _build_loaders(config: ExperimentConfig) -> tuple[ArrayDataLoader, ArrayData
         kwargs = dict(num_train=config.train_size, num_test=config.test_size,
                       num_classes=config.num_classes, seed=config.data_seed)
         kwargs.update(config.data_kwargs)
-        dataset = builder(**kwargs)
+        dataset = _cached_dataset(config.dataset, builder, kwargs)
         train = train_loader(dataset, batch_size=config.batch_size, seed=shuffle_seed)
         val = test_loader(dataset, batch_size=max(config.batch_size, 128))
         image_shape = dataset.train_images.shape[1:]
@@ -272,7 +323,7 @@ def _build_loaders(config: ExperimentConfig) -> tuple[ArrayDataLoader, ArrayData
         kwargs = dict(num_samples=per_class * config.num_classes,
                       num_classes=config.num_classes, seed=config.data_seed)
         kwargs.update(config.data_kwargs)
-        points, labels = builder(**kwargs)
+        points, labels = _cached_dataset(config.dataset, builder, kwargs)
         order = np.random.default_rng(config.data_seed).permutation(len(points))
         points, labels = points[order][:total], labels[order][:total]
         split = config.train_size

@@ -9,17 +9,28 @@ Commands::
     repro sweep status FILE [--store PATH]
     repro sweep report FILE [--store PATH] [--group-by AXES] [--metric M]
                             [--include-failed] [--json]
+    repro sweep pareto FILE [--store PATH] [--cost M] [--benefit M]
+                            [--all] [--csv | --json]
     repro formats list [--family posit|float|fixed]
+    repro export (--config FILE | --store FILE [--objective accuracy|energy])
+                 --output PATH [--format SPEC] [--no-scaling] [--no-calibrate]
+    repro serve  ARTIFACT [--host H] [--port P] [--max-batch N]
+                 [--max-wait-ms F] [--no-activation-quant]
 
 Sweep files are committed JSON / YAML-lite documents (see
 ``examples/sweeps/``); results accumulate in append-only JSONL stores, so
-``sweep run`` is restartable and incremental by construction.
+``sweep run`` is restartable and incremental by construction.  ``export``
+packs a trained model into an n-bit artifact (training it first when given
+a config, re-training the store's best cell when given a sweep store), and
+``serve`` exposes it over HTTP with dynamic micro-batching
+(:mod:`repro.serve`).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -67,6 +78,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="include failed runs in the per-run rows")
     report.add_argument("--json", action="store_true", help="machine-readable output")
 
+    pareto = sweep_sub.add_parser(
+        "pareto", help="energy/accuracy Pareto front over a sweep's results")
+    add_sweep_common(pareto)
+    pareto.add_argument("--cost", default="total_energy_uj",
+                        help="metric to minimize (default: total_energy_uj)")
+    pareto.add_argument("--benefit", default="final_val_accuracy",
+                        help="metric to maximize (default: final_val_accuracy)")
+    pareto.add_argument("--all", action="store_true",
+                        help="include dominated rows (flagged pareto=False)")
+    pareto.add_argument("--csv", action="store_true", help="CSV output")
+    pareto.add_argument("--json", action="store_true", help="machine-readable output")
+
     formats = subcommands.add_parser("formats", help="number-format registry tools")
     formats_sub = formats.add_subparsers(dest="formats_command", required=True)
     formats_list = formats_sub.add_parser("list", help="list registered formats")
@@ -75,6 +98,41 @@ def build_parser() -> argparse.ArgumentParser:
                               help="restrict to one format family")
     formats_list.add_argument("--json", action="store_true",
                               help="machine-readable output")
+
+    export = subcommands.add_parser(
+        "export", help="train/pick a model and pack it into a serving artifact")
+    source = export.add_mutually_exclusive_group(required=True)
+    source.add_argument("--config", default=None,
+                        help="experiment config JSON file to train and export")
+    source.add_argument("--store", default=None,
+                        help="sweep result store; re-trains and exports its best run")
+    export.add_argument("--output", "-o", required=True,
+                        help="artifact output path (e.g. model.rpak)")
+    export.add_argument("--format", dest="fmt", default=None, metavar="SPEC",
+                        help="storage format spec (default: inferred from the "
+                             "policy's weight format)")
+    export.add_argument("--objective", default="accuracy",
+                        choices=("accuracy", "energy"),
+                        help="best-run criterion for --store (default: accuracy)")
+    export.add_argument("--rounding", default="nearest",
+                        help="rounding mode for weight encoding (default: nearest)")
+    export.add_argument("--no-scaling", action="store_true",
+                        help="disable Eq. (2) per-tensor weight scaling")
+    export.add_argument("--no-calibrate", action="store_true",
+                        help="skip the activation-scale calibration pass")
+
+    serve = subcommands.add_parser(
+        "serve", help="serve a packed artifact over HTTP with micro-batching")
+    serve.add_argument("artifact", help="packed artifact file (repro export output)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch size cap (default: 32)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="max coalescing wait after the first request (default: 2)")
+    serve.add_argument("--no-activation-quant", action="store_true",
+                       help="run activations in FP32 (weights stay in the "
+                            "artifact format)")
     return parser
 
 
@@ -146,6 +204,85 @@ def _cmd_sweep_report(args) -> int:
     return 0
 
 
+def _cmd_sweep_pareto(args) -> int:
+    from .sweeps import format_csv, format_table, pareto_front, result_rows
+
+    sweep = _load_sweep(args.file)
+    store = args.store or sweep.store or f"sweeps/{sweep.name}.jsonl"
+    rows = result_rows(store, sweep=sweep)
+    front = pareto_front(rows, cost=args.cost, benefit=args.benefit,
+                         keep_dominated=args.all)
+    if not front:
+        print(f"error: no result rows carry both {args.cost!r} and "
+              f"{args.benefit!r} (run the sweep with collect_energy for "
+              f"energy metrics)", file=sys.stderr)
+        return 2
+    axis_labels = [axis.label for axis in sweep.axes]
+    columns = ([label for label in axis_labels if any(label in row for row in front)]
+               + [args.cost, args.benefit, "pareto"])
+    if args.json:
+        print(json.dumps(front, indent=2, default=str))
+    elif args.csv:
+        print(format_csv(front, columns=columns), end="")
+    else:
+        on_front = sum(1 for row in front if row.get("pareto"))
+        print(f"sweep {sweep.name}: pareto front over "
+              f"{args.cost} (min) x {args.benefit} (max) — "
+              f"{on_front} of {len(rows)} run(s) on the front")
+        print()
+        print(format_table(front, columns=columns))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .serve import serve_best, train_and_export
+
+    if args.store:
+        manifest, record = serve_best(args.store, args.output,
+                                      objective=args.objective, fmt=args.fmt,
+                                      rounding=args.rounding,
+                                      use_scaling=not args.no_scaling,
+                                      calibrate=not args.no_calibrate)
+        print(f"exported best run {record.get('name')} "
+              f"({args.objective}={manifest['metadata'].get('objective_value')})")
+    else:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+        manifest, history = train_and_export(
+            config, args.output, fmt=args.fmt, rounding=args.rounding,
+            use_scaling=not args.no_scaling, calibrate=not args.no_calibrate)
+        print(f"trained {config.get('name', 'experiment')}: "
+              f"val_acc={history.final_val_accuracy:.3f}")
+
+    size = os.path.getsize(args.output)
+    fp32 = manifest["fp32_state_nbytes"]
+    line = f"artifact: {args.output}  format={manifest['format']}  {size} bytes"
+    if size < fp32:
+        line += f" (fp32 state: {fp32} bytes, {fp32 / size:.2f}x smaller)"
+    print(line)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import BatchingConfig, InferenceEngine, ModelServer
+
+    engine = InferenceEngine(
+        args.artifact,
+        BatchingConfig(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms),
+        quantize_activations=not args.no_activation_quant)
+    server = ModelServer(engine, host=args.host, port=args.port)
+    print(f"serving {args.artifact} [{engine.format.spec()}] on {server.url}")
+    print(f"  POST {server.url}/predict   GET {server.url}/healthz|/stats")
+    print(f"  micro-batching: max_batch={args.max_batch} "
+          f"max_wait_ms={args.max_wait_ms}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        engine.stop()
+    return 0
+
+
 def _cmd_formats_list(args) -> int:
     from .formats import available_formats
 
@@ -178,14 +315,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "sweep":
         handler = {"run": _cmd_sweep_run, "status": _cmd_sweep_status,
-                   "report": _cmd_sweep_report}[args.sweep_command]
+                   "report": _cmd_sweep_report,
+                   "pareto": _cmd_sweep_pareto}[args.sweep_command]
+    elif args.command == "export":
+        handler = _cmd_export
+    elif args.command == "serve":
+        handler = _cmd_serve
     else:
         handler = _cmd_formats_list
     from .sweeps import SweepFileError
 
     try:
         return handler(args)
-    except (FileNotFoundError, SweepFileError) as exc:
+    except (FileNotFoundError, SweepFileError, ValueError) as exc:
+        # ValueError covers the domain errors the commands raise on bad
+        # input — ArtifactError, unknown objectives/metrics, empty stores.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -132,6 +132,15 @@ class ScaleEstimator:
         """The frozen/averaged log2 center, or None if never calibrated."""
         return self._calibrated_center
 
+    def set_center(self, center: Optional[float]) -> None:
+        """Install a precomputed log2 center (e.g. restored from a checkpoint).
+
+        The serving path (:mod:`repro.serve`) freezes activation centers at
+        export time and re-installs them at load time so that serving-side
+        quantization is independent of batch composition.
+        """
+        self._calibrated_center = None if center is None else float(center)
+
     def scale_for(self, x: np.ndarray) -> float:
         """Return the scale factor to use when quantizing ``x``."""
         if not self.enabled:

@@ -11,6 +11,7 @@ from .accelerator import (
     LayerWorkload,
     accelerator_comparison,
     count_training_macs,
+    inference_step_report,
     training_step_report,
 )
 from .components import (
@@ -58,6 +59,7 @@ __all__ = [
     "LayerWorkload",
     "count_training_macs",
     "training_step_report",
+    "inference_step_report",
     "accelerator_comparison",
     "GateLibrary",
     "GENERIC_28NM",

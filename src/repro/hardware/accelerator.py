@@ -29,7 +29,8 @@ from .mac import mac_unit_for_format
 from .synthesis import TABLE5_CLOCK_MHZ, Calibration, calibrate_to_reference, synthesize
 
 __all__ = ["LayerWorkload", "AcceleratorConfig", "count_training_macs",
-           "training_step_report", "accelerator_comparison"]
+           "training_step_report", "inference_step_report",
+           "accelerator_comparison"]
 
 
 @dataclass(frozen=True)
@@ -150,6 +151,44 @@ def training_step_report(model: Module, policy: Optional[QuantizationPolicy],
         "label": label or ("fp32" if policy is None else "posit"),
         "total_macs": total_macs,
         "step_seconds": total_macs / accelerator.macs_per_second,
+        "compute_energy_uj": compute_energy_pj * 1e-6,
+        "memory_energy_uj": memory_energy_pj * 1e-6,
+        "total_energy_uj": (compute_energy_pj + memory_energy_pj) * 1e-6,
+    }
+
+
+def inference_step_report(model: Module, fmt: Optional[NumberFormat] = None,
+                          batch_size: int = 1, input_hw: tuple[int, int] = (32, 32),
+                          accelerator: Optional[AcceleratorConfig] = None,
+                          calibration: Optional[Calibration] = None) -> dict:
+    """Estimate time and energy of one *inference* batch on the accelerator.
+
+    The forward-only counterpart of :func:`training_step_report`, used by the
+    serving engine (:mod:`repro.serve`) to price each coalesced batch: only
+    the forward MACs run, priced at ``fmt``'s MAC datapath
+    (:func:`~repro.hardware.mac.mac_unit_for_format`; ``None`` means FP32),
+    and the memory term reads the packed weights once per batch at ``fmt``'s
+    storage width — the §V deployment claim that an 8-bit posit model moves
+    4x fewer weight bytes than FP32.
+    """
+    accelerator = accelerator or AcceleratorConfig()
+    calibration = calibration or calibrate_to_reference(accelerator.library)
+    workloads = count_training_macs(model, input_hw)
+    forward_macs = sum(w.forward_macs for w in workloads) * batch_size
+    energy_per_mac = _per_mac_energy_pj(fmt, calibration, accelerator.library,
+                                        accelerator.clock_mhz)
+    compute_energy_pj = forward_macs * energy_per_mac
+
+    parameter_scalars = sum(p.size for p in model.parameters())
+    weight_bytes = parameter_scalars * format_bits(fmt) / 8.0
+    memory_energy_pj = weight_bytes * DRAM_PJ_PER_BYTE
+
+    return {
+        "label": "fp32" if fmt is None else fmt.spec(),
+        "batch_size": batch_size,
+        "forward_macs": forward_macs,
+        "step_seconds": forward_macs / accelerator.macs_per_second,
+        "weight_bytes": weight_bytes,
         "compute_energy_uj": compute_energy_pj * 1e-6,
         "memory_energy_uj": memory_energy_pj * 1e-6,
         "total_energy_uj": (compute_energy_pj + memory_energy_pj) * 1e-6,

@@ -267,6 +267,11 @@ def float_to_bits(x, fmt: FloatFormat, rounding: str = "nearest",
 
     sign = (np.signbit(arr)).astype(np.int64)
     mag = np.abs(arr)
+    # Canonical zero: values that quantize to zero encode as the all-zero
+    # pattern regardless of which side they approached from, so the codec
+    # is a stable fixed point (encode(decode(code)) == code) — the packed
+    # artifact layer relies on this for byte-identical re-exports.
+    sign[mag == 0] = 0
     exp_field = np.zeros(arr.shape, dtype=np.int64)
     mant_field = np.zeros(arr.shape, dtype=np.int64)
 

@@ -1,0 +1,88 @@
+"""repro.serve — packed posit model artifacts + batched inference serving.
+
+The deployment subsystem the paper's §V outlook points at: a model trained
+in posit is *served* in posit.  Four layers, composable separately:
+
+* :mod:`repro.serve.packing` / :mod:`repro.serve.artifact` — the storage
+  format: every parameter packed through its
+  :class:`~repro.formats.NumberFormat` ``to_bits`` into dense n-bit buffers
+  (sub-byte widths included) behind a checksummed JSON manifest;
+  bit-identical round trips, and the paper's 4x-vs-FP32 memory claim made
+  measurable on real checkpoints (:func:`~repro.serve.artifact.save_model`,
+  :func:`~repro.serve.artifact.load_model`).
+* :mod:`repro.serve.engine` — :class:`InferenceEngine`: loads one artifact,
+  caches decoded weights + activation quantizers, and serves through
+  dynamic micro-batching (coalesce up to ``max_batch`` requests within
+  ``max_wait_ms``) with per-request latency and hardware-model energy
+  accounting.
+* :mod:`repro.serve.transport` — a stdlib JSON-over-HTTP server
+  (``/predict``, ``/healthz``, ``/stats``) plus in-process and urllib
+  clients sharing one request contract.
+* :mod:`repro.serve.export` — training-stack integration:
+  :func:`export_experiment`, :func:`train_and_export`, and
+  :func:`serve_best` (promote a sweep store's winner to an artifact);
+  :mod:`repro.serve.loadgen` closes the loop with a concurrent
+  load-generator for benchmarks and CI.
+
+Quickstart::
+
+    from repro.api import ExperimentConfig
+    from repro.serve import train_and_export, InferenceEngine
+
+    config = ExperimentConfig(dataset="blobs", model="mlp", policy="posit(8,1)")
+    train_and_export(config, "model.rpak")
+    with InferenceEngine("model.rpak") as engine:
+        logits = engine.predict(sample)
+
+or, from the shell: ``repro export --config exp.json --output model.rpak``
+then ``repro serve model.rpak --port 8000``.
+"""
+
+from .artifact import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    artifact_info,
+    fp32_state_nbytes,
+    load_model,
+    load_state,
+    save_model,
+)
+from .engine import BatchingConfig, InferenceEngine
+from .export import (
+    calibrate_activation_centers,
+    default_export_format,
+    export_experiment,
+    pick_best_record,
+    serve_best,
+    train_and_export,
+)
+from .loadgen import LoadReport, run_load
+from .packing import pack_codes, packed_nbytes, unpack_codes
+from .transport import HTTPClient, LocalClient, ModelServer, ServeClientError
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "save_model",
+    "load_model",
+    "load_state",
+    "artifact_info",
+    "fp32_state_nbytes",
+    "pack_codes",
+    "unpack_codes",
+    "packed_nbytes",
+    "BatchingConfig",
+    "InferenceEngine",
+    "ModelServer",
+    "LocalClient",
+    "HTTPClient",
+    "ServeClientError",
+    "export_experiment",
+    "train_and_export",
+    "serve_best",
+    "pick_best_record",
+    "default_export_format",
+    "calibrate_activation_centers",
+    "run_load",
+    "LoadReport",
+]

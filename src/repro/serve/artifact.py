@@ -1,0 +1,314 @@
+"""Packed posit model artifacts: a versioned, self-describing checkpoint format.
+
+The paper's deployment story (inherited from Deep Positron, its ref. [12]) is
+that a model trained in posit is *served* in posit: parameters live in memory
+as n-bit posit words, decoded by the hardware codec on the way into the MAC
+array.  This module is the software realization of that storage format:
+
+* :func:`save_model` packs every parameter through its format's ``to_bits``
+  into a dense n-bit buffer (:mod:`repro.serve.packing`) with the layer-wise
+  Eq. (2)/(3) scale factor recorded per tensor, so decoding is exactly
+  ``from_bits(codes) * scale``;
+* non-trainable buffers (BatchNorm running statistics) are stored as raw
+  little-endian ``float32`` — they are not part of the paper's quantized
+  state and are negligibly small;
+* a JSON manifest carries the format specs, shapes, scales, byte offsets,
+  model-architecture description, and a SHA-256 over the packed blob, so a
+  corrupted or truncated artifact is rejected at load time;
+* :func:`load_model` rebuilds the architecture from the manifest (via
+  :mod:`repro.api`'s model zoo) and restores the decoded weights —
+  bit-identical across save/load/save round trips for every registry format,
+  including sub-byte widths like posit(6,1).
+
+File layout (single file, magic ``RPAK`` + one version byte)::
+
+    b"RPAK" | version:u8 | manifest_len:u32-LE | manifest JSON | packed blob
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from ..core.scaling import compute_scale_factor
+from ..formats import NumberFormat, parse_format
+from ..nn import Module
+from .packing import pack_codes, packed_nbytes, unpack_codes
+
+__all__ = [
+    "ArtifactError",
+    "save_model",
+    "load_model",
+    "load_state",
+    "artifact_info",
+    "fp32_state_nbytes",
+    "ARTIFACT_VERSION",
+]
+
+MAGIC = b"RPAK"
+ARTIFACT_VERSION = 1
+
+#: Manifest ``format`` value for raw little-endian float32 buffer tensors.
+RAW_FP32 = "raw_fp32"
+
+
+class ArtifactError(ValueError):
+    """Raised for malformed, corrupted, or unsupported artifact files."""
+
+
+def fp32_state_nbytes(model: Module) -> int:
+    """Bytes the model's parameters + buffers occupy as dense FP32 arrays.
+
+    The reference point for the artifact's memory-savings claim: an n-bit
+    packed artifact should approach ``n/32`` of this (plus the manifest).
+    """
+    scalars = sum(p.size for p in model.parameters())
+    scalars += sum(np.asarray(b).size for _, b in model.named_buffers())
+    return scalars * 4
+
+
+def _blob_sha256(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def save_model(model: Module, path: Union[str, os.PathLike],
+               fmt: Union[NumberFormat, str] = "posit(8,1)",
+               rounding: str = "nearest",
+               use_scaling: bool = True, sigma: int = 2,
+               model_info: Optional[Mapping] = None,
+               metadata: Optional[Mapping] = None,
+               activation_calibration: Optional[Mapping] = None,
+               scales: Optional[Mapping] = None) -> dict:
+    """Write ``model`` to ``path`` as a packed artifact; returns the manifest.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module`.  Parameters are quantized through
+        ``fmt``; buffers are stored raw (FP32).
+    fmt:
+        The storage :class:`~repro.formats.NumberFormat` (or registry spec
+        string) every parameter is packed in.
+    rounding:
+        Rounding mode handed to ``to_bits``.
+    use_scaling / sigma:
+        Apply the paper's Eq. (2) layer-wise scale before encoding
+        (``codes = to_bits(w / S_f)``, decoded as ``from_bits(codes) * S_f``).
+    model_info:
+        Architecture description enabling :func:`load_model` to rebuild the
+        model without caller help: ``{"model": ..., "model_kwargs": ...,
+        "num_classes": ..., "in_features": ..., "seed": ...}`` (the shape
+        :func:`repro.serve.export.export_experiment` records).  Optional —
+        without it :func:`load_state` still works against a caller-built
+        model.
+    metadata:
+        Free-form JSON-able dict stored under ``"metadata"`` (training
+        accuracy, sweep run id, ...).
+    activation_calibration:
+        Optional ``{"sigma": ..., "centers": {layer: log2_center}}`` block
+        (see :func:`repro.serve.export.calibrate_activation_centers`); the
+        serving engine re-installs these frozen centers so activation
+        quantization is independent of micro-batch composition.
+    scales:
+        Optional ``{parameter_name: scale}`` overriding the Eq. (2)
+        computation.  Re-exporting a loaded artifact with its manifest's
+        recorded scales reproduces the file byte for byte — recomputing
+        Eq. (2) on already-quantized weights could round to a different
+        center (quantization perturbs the log2 mean), silently changing
+        the stored codes.
+    """
+    fmt = parse_format(fmt) if isinstance(fmt, str) else fmt
+    if not isinstance(fmt, NumberFormat):
+        raise TypeError(f"fmt must be a NumberFormat or spec string, got {fmt!r}")
+
+    tensors = []
+    chunks = []
+    offset = 0
+    for name, param in model.named_parameters():
+        values = np.asarray(param.data, dtype=np.float64)
+        if scales is not None and name in scales:
+            scale = float(scales[name])
+        elif use_scaling:
+            scale = compute_scale_factor(values, sigma=sigma)
+        else:
+            scale = 1.0
+        codes = fmt.to_bits(values / scale, mode=rounding)
+        packed = pack_codes(codes, fmt.bits)
+        expected = packed_nbytes(values.size, fmt.bits)
+        assert len(packed) == expected, (name, len(packed), expected)
+        tensors.append({
+            "name": name,
+            "kind": "param",
+            "format": fmt.spec(),
+            "bits": fmt.bits,
+            "shape": list(values.shape),
+            "scale": float(scale),
+            "offset": offset,
+            "nbytes": len(packed),
+        })
+        chunks.append(packed)
+        offset += len(packed)
+    for name, buffer in model.named_buffers():
+        raw = np.asarray(buffer, dtype="<f4").tobytes()
+        tensors.append({
+            "name": name,
+            "kind": "buffer",
+            "format": RAW_FP32,
+            "bits": 32,
+            "shape": list(np.asarray(buffer).shape),
+            "scale": 1.0,
+            "offset": offset,
+            "nbytes": len(raw),
+        })
+        chunks.append(raw)
+        offset += len(raw)
+
+    blob = b"".join(chunks)
+    manifest = {
+        "artifact": "repro.serve packed model",
+        "version": ARTIFACT_VERSION,
+        "format": fmt.spec(),
+        "rounding": rounding,
+        "use_scaling": bool(use_scaling),
+        "sigma": int(sigma),
+        "tensors": tensors,
+        "blob_nbytes": len(blob),
+        "blob_sha256": _blob_sha256(blob),
+        "fp32_state_nbytes": fp32_state_nbytes(model),
+    }
+    if model_info is not None:
+        manifest["model"] = dict(model_info)
+    if metadata is not None:
+        manifest["metadata"] = dict(metadata)
+    if activation_calibration is not None:
+        manifest["activation_calibration"] = dict(activation_calibration)
+
+    manifest_bytes = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(struct.pack("<B", ARTIFACT_VERSION))
+        handle.write(struct.pack("<I", len(manifest_bytes)))
+        handle.write(manifest_bytes)
+        handle.write(blob)
+    return manifest
+
+
+def _read_artifact(path: Union[str, os.PathLike]) -> tuple[dict, bytes]:
+    """Parse and validate an artifact file; returns ``(manifest, blob)``."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    header_len = len(MAGIC) + 1 + 4
+    if len(data) < header_len or data[:len(MAGIC)] != MAGIC:
+        raise ArtifactError(f"{path}: not a repro.serve artifact (bad magic)")
+    version = data[len(MAGIC)]
+    if version != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"{path}: unsupported artifact version {version} "
+            f"(this build reads version {ARTIFACT_VERSION})"
+        )
+    (manifest_len,) = struct.unpack_from("<I", data, len(MAGIC) + 1)
+    if header_len + manifest_len > len(data):
+        raise ArtifactError(f"{path}: truncated manifest")
+    try:
+        manifest = json.loads(data[header_len:header_len + manifest_len])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ArtifactError(f"{path}: corrupted manifest ({exc})") from exc
+    if not isinstance(manifest, dict) or "tensors" not in manifest:
+        raise ArtifactError(f"{path}: manifest missing 'tensors'")
+    blob = data[header_len + manifest_len:]
+    declared = manifest.get("blob_nbytes")
+    if declared is not None and declared != len(blob):
+        raise ArtifactError(
+            f"{path}: blob length mismatch (manifest says {declared} bytes, "
+            f"file holds {len(blob)})"
+        )
+    digest = manifest.get("blob_sha256")
+    if digest is not None and digest != _blob_sha256(blob):
+        raise ArtifactError(f"{path}: blob checksum mismatch (corrupted weights)")
+    return manifest, blob
+
+
+def _decode_tensor(entry: dict, blob: bytes) -> np.ndarray:
+    """Decode one manifest tensor entry from the blob to a float array."""
+    offset, nbytes = int(entry["offset"]), int(entry["nbytes"])
+    if offset < 0 or offset + nbytes > len(blob):
+        raise ArtifactError(
+            f"tensor {entry.get('name')!r} spans [{offset}, {offset + nbytes}) "
+            f"outside the {len(blob)}-byte blob"
+        )
+    shape = tuple(int(dim) for dim in entry["shape"])
+    count = int(np.prod(shape)) if shape else 1
+    raw = blob[offset:offset + nbytes]
+    if entry["format"] == RAW_FP32:
+        values = np.frombuffer(raw, dtype="<f4", count=count).astype(np.float64)
+        return values.reshape(shape)
+    fmt = parse_format(entry["format"])
+    codes = unpack_codes(raw, fmt.bits, count)
+    values = np.asarray(fmt.from_bits(codes), dtype=np.float64) * float(entry["scale"])
+    return values.reshape(shape)
+
+
+def load_state(path: Union[str, os.PathLike]) -> tuple[dict, dict]:
+    """Decode an artifact into ``(state_dict, manifest)``.
+
+    The state dict maps tensor names to float64 arrays, directly loadable
+    with :meth:`repro.nn.Module.load_state_dict`.
+    """
+    manifest, blob = _read_artifact(path)
+    state = {}
+    for entry in manifest["tensors"]:
+        state[entry["name"]] = _decode_tensor(entry, blob)
+    return state, manifest
+
+
+def _rebuild_model(manifest: dict) -> Module:
+    """Construct the architecture named by the manifest's ``model`` block."""
+    info = manifest.get("model")
+    if not info:
+        raise ArtifactError(
+            "artifact has no 'model' architecture block; load it with "
+            "load_state(path) into a model you construct yourself"
+        )
+    from ..api import ExperimentConfig, _build_model
+
+    config = ExperimentConfig(
+        model=info["model"],
+        model_kwargs=dict(info.get("model_kwargs") or {}),
+        num_classes=int(info.get("num_classes", 10)),
+        seed=int(info.get("seed", 0)),
+    )
+    return _build_model(config, int(info.get("in_features", 0) or 1))
+
+
+def load_model(path: Union[str, os.PathLike],
+               model: Optional[Module] = None) -> tuple[Module, dict]:
+    """Load an artifact into a model; returns ``(model, manifest)``.
+
+    With ``model=None`` the architecture is rebuilt from the manifest's
+    ``model`` block; otherwise the decoded state is loaded into the given
+    module (shapes and names must match).  The returned model is in eval
+    mode with weights decoded onto the artifact format's value grid.
+    """
+    state, manifest = load_state(path)
+    if model is None:
+        model = _rebuild_model(manifest)
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise ArtifactError(f"artifact state does not fit the model: {exc}") from exc
+    model.eval()
+    return model, manifest
+
+
+def artifact_info(path: Union[str, os.PathLike]) -> dict:
+    """Validate ``path`` and return its manifest (no model construction)."""
+    manifest, _ = _read_artifact(path)
+    return manifest

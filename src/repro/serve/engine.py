@@ -1,0 +1,407 @@
+"""Batched inference engine over packed posit artifacts.
+
+The serving counterpart of :func:`repro.core.inference.evaluate_quantized`:
+an :class:`InferenceEngine` loads one packed artifact
+(:mod:`repro.serve.artifact`), keeps the decoded weights and the activation
+quantizer cached for its lifetime, and serves predictions through **dynamic
+micro-batching** — single-sample requests are queued and coalesced into
+batches of up to ``max_batch`` samples, waiting at most ``max_wait_ms``
+after the first request arrives.  One forward pass then serves the whole
+batch, which is where the throughput comes from: the NumPy forward pass and
+the posit quantization kernels are vectorized, so a batch of 32 costs far
+less than 32 single-sample passes.
+
+Correctness invariant: the model runs in eval mode (BatchNorm uses frozen
+running statistics, Dropout is identity), so every sample's logits are
+independent of which batch it landed in — batched predictions are
+bit-identical to single-sample ones, which the test suite and the CI smoke
+job assert.
+
+Accounting: each request records queue + compute latency; each coalesced
+batch is priced through the hardware model
+(:func:`repro.hardware.inference_step_report` — the artifact format's MAC
+datapath and packed-weight memory traffic), giving the per-request energy
+column of :meth:`InferenceEngine.stats`.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.policy import QuantizationPolicy, RoleFormats
+from ..formats import NumberFormat, parse_format
+from ..nn import Module
+from ..tensor import Tensor, no_grad
+from .artifact import load_model
+
+__all__ = ["BatchingConfig", "InferenceEngine"]
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Micro-batching knobs.
+
+    ``max_batch`` bounds the coalesced batch size; ``max_wait_ms`` bounds
+    how long the first request of a batch waits for company (the
+    latency/throughput trade-off); ``queue_size`` bounds admission
+    (a full queue rejects instead of buffering unboundedly).
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    queue_size: int = 4096
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+
+
+class _Request:
+    """One queued sample: input array + future + enqueue timestamp."""
+
+    __slots__ = ("inputs", "future", "enqueued_at")
+
+    def __init__(self, inputs: np.ndarray):
+        self.inputs = inputs
+        self.future: Future = Future()
+        self.enqueued_at = time.perf_counter()
+
+
+_SHUTDOWN = object()
+
+#: Latency samples retained for the percentile columns of ``stats()``.
+_LATENCY_WINDOW = 65536
+
+
+class InferenceEngine:
+    """Serve predictions from a packed artifact with dynamic micro-batching.
+
+    Parameters
+    ----------
+    artifact:
+        Path to a packed artifact file (``save_model``/``export_experiment``
+        output).
+    batching:
+        A :class:`BatchingConfig`; ``None`` uses the defaults.
+    quantize_activations:
+        Quantize layer activations in the artifact's format during the
+        forward pass (the Fig. 3a inference path).  The stored weights are
+        already on the format grid, so no weight re-quantization happens at
+        serving time.
+    input_hw:
+        Spatial size assumed by the hardware energy model for conv layers.
+
+    Use as a context manager (or call :meth:`start`/:meth:`stop`)::
+
+        with InferenceEngine("model.rpak") as engine:
+            logits = engine.predict(sample)
+    """
+
+    def __init__(self, artifact: Union[str, os.PathLike],
+                 batching: Optional[BatchingConfig] = None,
+                 quantize_activations: bool = True,
+                 input_hw: tuple[int, int] = (32, 32)):
+        self.artifact_path = os.fspath(artifact)
+        self.batching = batching or BatchingConfig()
+        self.model, self.manifest = load_model(self.artifact_path)
+        self.format: NumberFormat = parse_format(self.manifest["format"])
+        self.quantize_activations = quantize_activations
+        self._policy: Optional[QuantizationPolicy] = None
+        if quantize_activations:
+            self._attach_serving_policy()
+        self.model.eval()
+
+        self._queue: queue.Queue = queue.Queue(maxsize=self.batching.queue_size)
+        self._stop_event = threading.Event()
+        self._worker: Optional[threading.Thread] = None
+        model_block = self.manifest.get("model") or {}
+        shape = model_block.get("input_shape")
+        self._input_shape = tuple(int(dim) for dim in shape) if shape else None
+        self._started_at = time.perf_counter()
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+        self._requests = 0
+        self._rejected = 0
+        self._batches = 0
+        self._batched_samples = 0
+        self._max_observed_batch = 0
+        self._energy_uj = 0.0
+        self._compute_uj_per_sample, self._memory_uj_per_batch = (
+            self._price_sample(input_hw))
+
+    def _attach_serving_policy(self) -> None:
+        """Attach batch-invariant activation quantization in the artifact format.
+
+        Serving-side scales must be frozen constants: a dynamically computed
+        Eq. (2) scale depends on the whole activation tensor, i.e. on which
+        requests the micro-batcher happened to coalesce.  When the manifest
+        carries export-time calibration centers they are installed into
+        calibrated-mode estimators; otherwise activations quantize unscaled
+        (pure element-wise), which is equally batch-invariant.
+        """
+        calibration = self.manifest.get("activation_calibration") or {}
+        centers = calibration.get("centers") or {}
+        formats = RoleFormats(weight=None, activation=self.format)
+        # Rounding must be deterministic at serving time whatever the
+        # artifact was encoded with — stochastic activation rounding would
+        # break both repeatability and the batched == single invariant.
+        rounding = self.manifest.get("rounding", "nearest")
+        if rounding == "stochastic":
+            rounding = "nearest"
+        policy = QuantizationPolicy(
+            conv_formats=formats, bn_formats=formats, linear_formats=formats,
+            rounding=rounding,
+            use_scaling=bool(centers),
+            sigma=int(calibration.get("sigma", self.manifest.get("sigma", 2))),
+            scale_mode="calibrated")
+        contexts = policy.attach(self.model)
+        for name, context in contexts.items():
+            scaler = context.scalers.get("activation")
+            if scaler is None:
+                continue
+            if name in centers:
+                scaler.set_center(float(centers[name]))
+            else:
+                # No frozen center for this layer: unscaled beats dynamic
+                # (dynamic would re-introduce batch dependence).
+                scaler.enabled = False
+        self._policy = policy
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "InferenceEngine":
+        """Start the micro-batcher thread (idempotent)."""
+        if self._worker is None or not self._worker.is_alive():
+            self._stop_event.clear()
+            self._worker = threading.Thread(target=self._batch_loop,
+                                            name="repro-serve-batcher", daemon=True)
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain already-queued requests, then stop the micro-batcher thread."""
+        if self._worker is not None and self._worker.is_alive():
+            self._stop_event.set()
+            try:
+                # Best-effort wake-up for a batcher blocked on an empty
+                # queue; a full queue needs no nudge (the batcher is busy
+                # and polls the event between batches).
+                self._queue.put_nowait(_SHUTDOWN)
+            except queue.Full:
+                pass
+            self._worker.join(timeout=10.0)
+        self._worker = None
+
+    def __enter__(self) -> "InferenceEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Prediction paths
+    # ------------------------------------------------------------------ #
+    def submit(self, inputs) -> Future:
+        """Enqueue one sample; returns a future resolving to its logits row.
+
+        Raises ``RuntimeError`` when the admission queue is full (the
+        closed-loop clients treat this as back-pressure) or the engine is
+        not started.
+        """
+        if self._worker is None or not self._worker.is_alive():
+            raise RuntimeError("engine is not started; use start() or a with-block")
+        sample = np.asarray(inputs, dtype=np.float64)
+        if self._input_shape is not None and sample.shape != self._input_shape:
+            # Reject at admission: a malformed sample must fail its own
+            # request, never the batch-mates it would be coalesced with.
+            raise ValueError(
+                f"sample shape {sample.shape} does not match the model's "
+                f"input shape {self._input_shape}")
+        request = _Request(sample)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._lock:
+                self._rejected += 1
+            raise RuntimeError(
+                f"request queue full ({self.batching.queue_size} in flight)"
+            ) from None
+        return request.future
+
+    def predict(self, inputs, timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Blocking single-sample prediction through the micro-batcher."""
+        return self.submit(inputs).result(timeout=timeout)
+
+    def predict_batch(self, inputs) -> np.ndarray:
+        """Direct synchronous batch prediction, bypassing the queue.
+
+        The reference path: the micro-batcher produces exactly these logits
+        for each member row, whatever batch it coalesced.
+        """
+        batch = np.asarray(inputs, dtype=np.float64)
+        return self._forward(batch)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _forward(self, batch: np.ndarray) -> np.ndarray:
+        with no_grad():
+            logits = self.model(Tensor(batch))
+        return np.asarray(logits.data, dtype=np.float64)
+
+    def _price_sample(self, input_hw: tuple[int, int]) -> tuple[float, float]:
+        """Hardware-model energy split: (compute uJ/sample, memory uJ/batch).
+
+        Compute energy scales with every sample in a batch; the packed
+        weights are read from memory once per coalesced *batch* — which is
+        exactly the energy argument for micro-batching, and why
+        ``stats()['energy_uj_total']`` drops as the realized batch size
+        grows.
+        """
+        from ..hardware import inference_step_report
+
+        report = inference_step_report(self.model, self.format, batch_size=1,
+                                       input_hw=input_hw)
+        return (float(report["compute_energy_uj"]),
+                float(report["memory_energy_uj"]))
+
+    def _collect_batch(self) -> Optional[list]:
+        """Block for the first request, then coalesce until size/deadline.
+
+        Returns ``None`` when the engine is stopping and the queue has been
+        drained — already-queued requests are always served before exit.
+        The shutdown sentinel is only a wake-up nudge; the stop event is
+        the source of truth (a sentinel re-queue could block forever on a
+        saturated queue).
+        """
+        first = None
+        while first is None:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop_event.is_set():
+                    return None
+                continue
+            if first is _SHUTDOWN:
+                first = None
+        batch = [first]
+        deadline = time.perf_counter() + self.batching.max_wait_ms / 1000.0
+        while len(batch) < self.batching.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                # Deadline passed: still sweep anything already queued, so a
+                # burst that landed during the forward pass coalesces even
+                # with max_wait_ms=0.
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            else:
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+            if item is _SHUTDOWN:
+                continue
+            batch.append(item)
+        return batch
+
+    def _serve_batch(self, batch: list) -> Optional[np.ndarray]:
+        """Forward one coalesced batch; isolate a poisoned member on failure.
+
+        Shapes are validated at admission, so the fallback only triggers on
+        genuinely exceptional inputs — each request is then run alone and
+        only the offending one receives the exception.
+        """
+        try:
+            return self._forward(np.stack([request.inputs for request in batch]))
+        except Exception:  # noqa: BLE001 - re-run individually to isolate
+            rows = []
+            for request in batch:
+                try:
+                    rows.append(self._forward(request.inputs[None])[0])
+                except Exception as exc:  # noqa: BLE001 - this request's fault
+                    request.future.set_exception(exc)
+                    rows.append(None)
+            return rows
+
+    def _batch_loop(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            logits = self._serve_batch(batch)
+            if not isinstance(logits, np.ndarray):
+                # Fallback path: drop requests whose future already failed.
+                survivors = [(request, row)
+                             for request, row in zip(batch, logits)
+                             if row is not None]
+                if not survivors:
+                    continue
+                batch = [request for request, _ in survivors]
+                logits = np.stack([row for _, row in survivors])
+            done = time.perf_counter()
+            with self._lock:
+                self._requests += len(batch)
+                self._batches += 1
+                self._batched_samples += len(batch)
+                self._max_observed_batch = max(self._max_observed_batch, len(batch))
+                self._energy_uj += (self._compute_uj_per_sample * len(batch)
+                                    + self._memory_uj_per_batch)
+                for request in batch:
+                    self._latencies.append(done - request.enqueued_at)
+                if len(self._latencies) > _LATENCY_WINDOW:
+                    del self._latencies[:-_LATENCY_WINDOW]
+            for row, request in enumerate(batch):
+                request.future.set_result(logits[row])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Counters + latency percentiles + hardware-model energy totals."""
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            requests, batches = self._requests, self._batches
+            batched, rejected = self._batched_samples, self._rejected
+            max_batch_seen = self._max_observed_batch
+            energy = self._energy_uj
+        percentile = (lambda q: float(np.percentile(latencies, q) * 1000.0)
+                      if latencies.size else 0.0)
+        return {
+            "artifact": self.artifact_path,
+            "format": self.format.spec(),
+            "model": (self.manifest.get("model") or {}).get("model"),
+            "requests": requests,
+            "rejected": rejected,
+            "batches": batches,
+            "mean_batch_size": (batched / batches) if batches else 0.0,
+            "max_batch_seen": max_batch_seen,
+            "max_batch": self.batching.max_batch,
+            "max_wait_ms": self.batching.max_wait_ms,
+            "latency_p50_ms": percentile(50),
+            "latency_p99_ms": percentile(99),
+            "energy_uj_per_sample": (self._compute_uj_per_sample
+                                     + self._memory_uj_per_batch),
+            "energy_uj_compute_per_sample": self._compute_uj_per_sample,
+            "energy_uj_memory_per_batch": self._memory_uj_per_batch,
+            "energy_uj_total": energy,
+            "energy_uj_per_request_observed": (energy / requests) if requests else 0.0,
+            "uptime_s": time.perf_counter() - self._started_at,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"InferenceEngine({self.artifact_path!r}, "
+                f"format={self.format.spec()}, "
+                f"max_batch={self.batching.max_batch})")

@@ -1,0 +1,251 @@
+"""Export trained experiments — and sweep winners — as packed artifacts.
+
+Bridges the training stack to the serving stack:
+
+* :func:`export_experiment` — snapshot a built/trained
+  :class:`repro.api.Experiment` into a packed artifact, recording enough
+  architecture metadata for :func:`repro.serve.artifact.load_model` to
+  rebuild the model unaided;
+* :func:`train_and_export` — one-call train-then-export from an
+  :class:`~repro.api.ExperimentConfig` (the ``repro export --config`` path);
+* :func:`serve_best` — pick the best ``"ok"`` record of a sweep
+  :class:`~repro.sweeps.store.ResultStore` by accuracy or energy,
+  deterministically re-train its config (run ids are content hashes, and
+  experiments seed every RNG from the config, so the re-run reproduces the
+  sweep cell), and export it — the "promote the sweep winner to a serving
+  artifact" path behind ``repro export --store``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from ..core.policy import QuantizationPolicy, RoleFormats
+from ..core.scaling import ScaleEstimator
+from ..formats import NumberFormat, parse_format
+from ..sweeps.store import STATUS_OK, ResultStore
+from ..tensor import Tensor, no_grad
+from .artifact import save_model
+
+__all__ = ["export_experiment", "train_and_export", "serve_best",
+           "default_export_format", "calibrate_activation_centers", "OBJECTIVES"]
+
+#: Objective name -> (record metric extractor, pick-max?).
+OBJECTIVES = {
+    "accuracy": (lambda record: (record.get("metrics") or {}).get("final_val_accuracy"),
+                 True),
+    "energy": (lambda record: (record.get("energy") or {}).get("total_energy_uj"),
+               False),
+}
+
+
+def default_export_format(policy) -> str:
+    """Storage format spec inferred from a policy's forward weight formats.
+
+    Picks the first non-None weight format in conv -> linear -> bn order
+    (the widest-coverage role first); an unquantized policy (or ``None``)
+    exports as ``"fp32"``.
+    """
+    if policy is not None:
+        for role_formats in (policy.conv_formats, policy.linear_formats,
+                             policy.bn_formats):
+            if role_formats.weight is not None:
+                return role_formats.weight.spec()
+    return "fp32"
+
+
+class _ObservingEstimator(ScaleEstimator):
+    """Calibrated-mode estimator that observes every tensor it scales.
+
+    Used only for the export-time calibration pass: the EMA center it
+    accumulates becomes the frozen serving-side activation scale.
+    """
+
+    def scale_for(self, x: np.ndarray) -> float:
+        self.observe(x)
+        return super().scale_for(x)
+
+
+def calibrate_activation_centers(model, fmt: Union[NumberFormat, str], loader,
+                                 rounding: str = "nearest", sigma: int = 2,
+                                 max_batches: int = 1) -> dict[str, float]:
+    """Freeze per-layer activation log2 centers from a calibration pass.
+
+    Runs up to ``max_batches`` batches of ``loader`` through ``model`` with
+    activation quantization in ``fmt`` attached, recording each quantized
+    layer's Eq. (2) center.  The paper's remark that "based on the warm-up
+    trained model, the scaling factor of each layer can be calculated" is
+    exactly this: at serving time the scale must be a frozen constant — a
+    dynamically computed Eq. (2) scale would make predictions depend on
+    which micro-batch a request landed in.
+    """
+    fmt = parse_format(fmt) if isinstance(fmt, str) else fmt
+    formats = RoleFormats(weight=None, activation=fmt)
+    policy = QuantizationPolicy(conv_formats=formats, bn_formats=formats,
+                                linear_formats=formats, rounding=rounding,
+                                use_scaling=True, sigma=sigma,
+                                scale_mode="calibrated")
+    # The model may belong to a live experiment whose trainer attached its
+    # own policy contexts at construction time; snapshot them and restore
+    # afterwards (a blanket detach would silently de-quantize any further
+    # training/evaluation the caller does).
+    previous_contexts = {name: module.quant
+                         for name, module in model.named_modules()}
+    was_training = model.training
+    contexts = policy.attach(model)
+    estimators: dict[str, _ObservingEstimator] = {}
+    for name, context in contexts.items():
+        if context.scalers.get("activation") is not None:
+            observer = _ObservingEstimator(sigma=sigma, mode="calibrated")
+            context.scalers["activation"] = observer
+            estimators[name] = observer
+    try:
+        model.train(False)
+        with no_grad():
+            for index, (inputs, _labels) in enumerate(loader):
+                model(Tensor(inputs))
+                if index + 1 >= max_batches:
+                    break
+    finally:
+        for name, module in model.named_modules():
+            module.quant = previous_contexts.get(name)
+        model.train(was_training)
+    return {name: float(estimator.calibrated_center)
+            for name, estimator in estimators.items()
+            if estimator.calibrated_center is not None}
+
+
+def _model_info(experiment) -> dict:
+    """Architecture block stored in the manifest (see ``_rebuild_model``)."""
+    config = experiment.config
+    sample_shape = experiment.train_loader.inputs.shape[1:]
+    return {
+        "model": config.model,
+        "model_kwargs": dict(config.model_kwargs),
+        "num_classes": config.num_classes,
+        "seed": config.seed,
+        "in_features": int(np.prod(sample_shape)) if sample_shape else 1,
+        "input_shape": [int(dim) for dim in sample_shape],
+    }
+
+
+def export_experiment(experiment, path: Union[str, os.PathLike],
+                      fmt: Union[NumberFormat, str, None] = None,
+                      rounding: str = "nearest",
+                      use_scaling: bool = True, sigma: int = 2,
+                      calibrate: bool = True,
+                      calibration_batches: int = 1,
+                      metadata: Optional[Mapping] = None) -> dict:
+    """Export a built (usually trained) experiment's model to ``path``.
+
+    ``fmt=None`` infers the storage format from the experiment's policy via
+    :func:`default_export_format` — a posit(8,1)-trained model exports as
+    posit(8,1) without the caller restating it.  With ``calibrate=True``
+    (default) a calibration pass over the experiment's validation loader
+    freezes per-layer activation scales into the manifest
+    (:func:`calibrate_activation_centers`).  Returns the manifest.
+    """
+    if fmt is None:
+        fmt = default_export_format(experiment.policy)
+    fmt = parse_format(fmt) if isinstance(fmt, str) else fmt
+    extra = {"experiment": experiment.config.name,
+             "formats": experiment.format_specs()}
+    if metadata:
+        extra.update(metadata)
+    calibration = None
+    if calibrate:
+        centers = calibrate_activation_centers(
+            experiment.model, fmt, experiment.val_loader, rounding=rounding,
+            sigma=sigma, max_batches=calibration_batches)
+        calibration = {"sigma": sigma, "centers": centers}
+    return save_model(experiment.model, path, fmt=fmt, rounding=rounding,
+                      use_scaling=use_scaling, sigma=sigma,
+                      model_info=_model_info(experiment), metadata=extra,
+                      activation_calibration=calibration)
+
+
+def train_and_export(config, path: Union[str, os.PathLike],
+                     fmt: Union[NumberFormat, str, None] = None,
+                     rounding: str = "nearest", use_scaling: bool = True,
+                     sigma: int = 2, calibrate: bool = True,
+                     metadata: Optional[Mapping] = None) -> tuple[dict, object]:
+    """Train the experiment described by ``config``, then export it.
+
+    ``config`` is an :class:`~repro.api.ExperimentConfig` or its dict form.
+    Returns ``(manifest, history)``.
+    """
+    from ..api import build_experiment
+
+    experiment = build_experiment(config)
+    history = experiment.run()
+    extra = {"final_val_accuracy": history.final_val_accuracy,
+             "best_val_accuracy": history.best_val_accuracy}
+    if metadata:
+        extra.update(metadata)
+    manifest = export_experiment(experiment, path, fmt=fmt, rounding=rounding,
+                                 use_scaling=use_scaling, sigma=sigma,
+                                 calibrate=calibrate, metadata=extra)
+    return manifest, history
+
+
+def pick_best_record(store: Union[ResultStore, str],
+                     objective: str = "accuracy") -> dict:
+    """Best ``"ok"`` record of a result store under the given objective.
+
+    ``"accuracy"`` maximizes ``final_val_accuracy``; ``"energy"`` minimizes
+    the accelerator estimate ``energy.total_energy_uj`` (requires the sweep
+    to have run with ``collect_energy``).  Ties break toward the record
+    with the lower recorded ``index`` (sweep declaration order).
+    """
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; expected one of {sorted(OBJECTIVES)}")
+    metric_of, maximize = OBJECTIVES[objective]
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    candidates = []
+    for record in store.records().values():
+        if record.get("status") != STATUS_OK:
+            continue
+        value = metric_of(record)
+        if isinstance(value, (int, float)):
+            candidates.append((record, float(value)))
+    if not candidates:
+        raise ValueError(
+            f"store {store.path!r} has no ok records with the "
+            f"{objective!r} metric (did the sweep run with collect_energy "
+            f"for objective='energy'?)")
+    sign = -1.0 if maximize else 1.0
+    candidates.sort(key=lambda pair: (sign * pair[1],
+                                      pair[0].get("index", 0),
+                                      pair[0].get("run_id", "")))
+    return candidates[0][0]
+
+
+def serve_best(store: Union[ResultStore, str], path: Union[str, os.PathLike],
+               objective: str = "accuracy",
+               fmt: Union[NumberFormat, str, None] = None,
+               rounding: str = "nearest", use_scaling: bool = True,
+               sigma: int = 2, calibrate: bool = True) -> tuple[dict, dict]:
+    """Re-train and export the best run of a sweep store.
+
+    Returns ``(manifest, record)`` — the written artifact's manifest and the
+    winning store record.  The record's stored config is re-trained
+    deterministically (config-seeded RNGs), so the exported weights realize
+    the sweep cell the store reported.  The encoding knobs (``rounding``,
+    ``use_scaling``, ``sigma``, ``calibrate``) mirror
+    :func:`train_and_export`.
+    """
+    record = pick_best_record(store, objective=objective)
+    metric_of, _ = OBJECTIVES[objective]
+    manifest, _history = train_and_export(
+        record["config"], path, fmt=fmt, rounding=rounding,
+        use_scaling=use_scaling, sigma=sigma, calibrate=calibrate,
+        metadata={"sweep_run_id": record.get("run_id"),
+                  "sweep_run_name": record.get("name"),
+                  "objective": objective,
+                  "objective_value": metric_of(record)})
+    return manifest, record

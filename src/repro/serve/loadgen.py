@@ -1,0 +1,123 @@
+"""Closed-loop load generator for serving benchmarks and smoke tests.
+
+Models the paper's target deployment — many independent clients each waiting
+for their own answer — as ``concurrency`` closed-loop workers: every worker
+repeatedly sends one single-sample request and blocks for the reply, so at
+steady state exactly ``concurrency`` requests are in flight and the
+micro-batcher (:mod:`repro.serve.engine`) sees the coalescing opportunity a
+real request mix would offer.
+
+Works against any client with the transport ``predict`` contract
+(:class:`~repro.serve.transport.LocalClient` in process,
+:class:`~repro.serve.transport.HTTPClient` over sockets), and reports
+throughput plus client-observed p50/p99 latency — the numbers
+``benchmarks/test_bench_serve_throughput.py`` records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["run_load", "LoadReport"]
+
+
+class LoadReport(dict):
+    """Plain-dict load report (attribute access for the common fields)."""
+
+    @property
+    def throughput_rps(self) -> float:
+        return self["throughput_rps"]
+
+    @property
+    def p50_ms(self) -> float:
+        return self["latency_p50_ms"]
+
+    @property
+    def p99_ms(self) -> float:
+        return self["latency_p99_ms"]
+
+
+def run_load(client, samples: Sequence, concurrency: int = 64,
+             requests_per_client: int = 8,
+             client_factory: Optional[Callable[[], object]] = None) -> LoadReport:
+    """Drive ``client`` with closed-loop single-sample requests.
+
+    Parameters
+    ----------
+    client:
+        Any object with ``predict(samples) -> {"predictions": ...}``; used
+        by every worker unless ``client_factory`` supplies per-worker
+        clients (e.g. separate HTTP connections).
+    samples:
+        Pool of input samples; workers round-robin over it.
+    concurrency:
+        Number of closed-loop workers (in-flight requests at steady state).
+    requests_per_client:
+        Requests each worker issues before exiting.
+
+    Returns a :class:`LoadReport` with totals, throughput, latency
+    percentiles, and per-worker failure counts (failed requests raise
+    inside workers and are counted, not propagated).
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    samples = [np.asarray(sample, dtype=np.float64) for sample in samples]
+    if not samples:
+        raise ValueError("need at least one sample to send")
+
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    start_barrier = threading.Barrier(concurrency + 1)
+    predictions = 0
+
+    def _worker(worker_index: int) -> None:
+        nonlocal predictions
+        worker_client = client_factory() if client_factory is not None else client
+        start_barrier.wait()
+        for request_index in range(requests_per_client):
+            sample = samples[(worker_index + request_index) % len(samples)]
+            begin = time.perf_counter()
+            try:
+                response = worker_client.predict([sample])
+            except Exception as exc:  # noqa: BLE001 - count, don't kill the run
+                with lock:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                continue
+            elapsed = time.perf_counter() - begin
+            with lock:
+                latencies.append(elapsed)
+                predictions += len(response.get("predictions", ()))
+
+    threads = [threading.Thread(target=_worker, args=(index,), daemon=True)
+               for index in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    observed = np.asarray(latencies, dtype=np.float64)
+    completed = int(observed.size)
+    return LoadReport(
+        concurrency=concurrency,
+        requests_per_client=requests_per_client,
+        requests_total=concurrency * requests_per_client,
+        completed=completed,
+        failed=len(errors),
+        errors=errors[:10],
+        predictions=predictions,
+        wall_seconds=wall,
+        throughput_rps=(completed / wall) if wall > 0 else 0.0,
+        latency_p50_ms=(float(np.percentile(observed, 50)) * 1000.0
+                        if completed else 0.0),
+        latency_p99_ms=(float(np.percentile(observed, 99)) * 1000.0
+                        if completed else 0.0),
+        latency_mean_ms=(float(observed.mean()) * 1000.0 if completed else 0.0),
+    )

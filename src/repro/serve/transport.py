@@ -1,0 +1,252 @@
+"""Dependency-free JSON-over-HTTP transport for the inference engine.
+
+A thin stdlib (:mod:`http.server`) shell around
+:class:`~repro.serve.engine.InferenceEngine` — no web framework, so the
+server runs anywhere the library does:
+
+``POST /predict``
+    Body ``{"inputs": [[...sample...], ...]}`` (always a *list of samples*;
+    one sample is a one-element list).  Every sample is submitted to the
+    engine individually, so concurrent HTTP clients coalesce in the
+    micro-batcher exactly like in-process callers.  Response:
+    ``{"predictions": [argmax...], "logits": [[...]...]}``.
+``GET /healthz``
+    ``{"status": "ok", "artifact": ..., "format": ...}`` — liveness.
+``GET /stats``
+    The engine's :meth:`~repro.serve.engine.InferenceEngine.stats` dict.
+
+:class:`LocalClient` exposes the same request/response contract in process
+(tests and the load generator run against either transport unchanged), and
+:class:`HTTPClient` is the matching :mod:`urllib` client.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import TimeoutError as FuturesTimeout
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .engine import InferenceEngine
+
+__all__ = ["ModelServer", "LocalClient", "HTTPClient", "ServeClientError"]
+
+
+class ServeClientError(RuntimeError):
+    """A client-visible request failure (HTTP status + server message)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def _predict_payload(engine: InferenceEngine, samples: Sequence) -> dict:
+    """Shared request semantics for both transports: fan out, gather, reply."""
+    if not isinstance(samples, (list, tuple)) or not samples:
+        raise ValueError("'inputs' must be a non-empty list of samples")
+    futures = [engine.submit(np.asarray(sample, dtype=np.float64))
+               for sample in samples]
+    logits = [future.result(timeout=60.0) for future in futures]
+    return {
+        "predictions": [int(np.argmax(row)) for row in logits],
+        "logits": [np.asarray(row, dtype=np.float64).tolist() for row in logits],
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # Silence per-request stderr logging; stats live in /stats.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    @property
+    def engine(self) -> InferenceEngine:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib signature
+        if self.path == "/healthz":
+            self._reply(200, {
+                "status": "ok",
+                "artifact": self.engine.artifact_path,
+                "format": self.engine.format.spec(),
+            })
+        elif self.path == "/stats":
+            self._reply(200, self.engine.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib signature
+        if self.path != "/predict":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            document = json.loads(self.rfile.read(length) or b"")
+            if not isinstance(document, dict):
+                raise ValueError("request body must be a JSON object")
+            payload = _predict_payload(self.engine, document.get("inputs"))
+        except FuturesTimeout as exc:  # wedged/overloaded batcher
+            self._reply(504, {"error": f"prediction timed out: {exc}"})
+            return
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        except RuntimeError as exc:  # queue full / engine stopped
+            self._reply(503, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 - a JSON 500 beats a dropped
+            # connection: unexpected engine failures must still honour the
+            # transport's error contract.
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        self._reply(200, payload)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # The socketserver default backlog (5) drops connections the moment a
+    # few dozen closed-loop clients connect at once; size it for the
+    # concurrency the micro-batcher is built to absorb.
+    request_queue_size = 256
+
+
+class ModelServer:
+    """Threaded HTTP server wrapping one :class:`InferenceEngine`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
+    after construction) — the test- and CI-friendly default.  The server
+    owns the engine lifecycle: :meth:`start` starts the micro-batcher,
+    :meth:`stop` shuts both down.
+    """
+
+    def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.engine = engine
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.engine = engine  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ModelServer":
+        """Start the engine and serve requests on a background thread."""
+        self.engine.start()
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                            name="repro-serve-http", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests, then stop the engine."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._thread = None
+        self._httpd.server_close()
+        self.engine.stop()
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop (the ``repro serve`` CLI path)."""
+        self.engine.start()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+            self.engine.stop()
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class LocalClient:
+    """In-process client speaking the transport's request contract.
+
+    Drives the engine's micro-batcher directly — the load generator and the
+    tests use it to exercise batching without socket overhead.
+    """
+
+    def __init__(self, engine: InferenceEngine):
+        self.engine = engine
+
+    def predict(self, samples: Sequence) -> dict:
+        try:
+            return _predict_payload(self.engine, list(samples))
+        except FuturesTimeout as exc:
+            raise ServeClientError(504, f"prediction timed out: {exc}") from exc
+        except (ValueError, TypeError) as exc:
+            raise ServeClientError(400, str(exc)) from exc
+        except RuntimeError as exc:
+            raise ServeClientError(503, str(exc)) from exc
+
+    def healthz(self) -> dict:
+        return {"status": "ok", "artifact": self.engine.artifact_path,
+                "format": self.engine.format.spec()}
+
+    def stats(self) -> dict:
+        return self.engine.stats()
+
+
+class HTTPClient:
+    """Minimal :mod:`urllib` client for a running :class:`ModelServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=data,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", "")
+            except Exception:  # noqa: BLE001 - best-effort error body
+                message = exc.reason
+            raise ServeClientError(exc.code, str(message)) from exc
+
+    def predict(self, samples: Sequence) -> dict:
+        samples = [np.asarray(sample, dtype=np.float64).tolist()
+                   for sample in samples]
+        return self._request("/predict", {"inputs": samples})
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        return self._request("/stats")

@@ -31,9 +31,11 @@ or, from the shell: ``python -m repro sweep run examples/sweeps/precision_grid.j
 """
 
 from .aggregate import (
+    format_csv,
     format_pivot,
     format_table,
     group_by,
+    pareto_front,
     pivot,
     result_rows,
     sweep_report,
@@ -59,6 +61,8 @@ __all__ = [
     "pivot",
     "format_table",
     "format_pivot",
+    "format_csv",
+    "pareto_front",
     "sweep_report",
     "load_sweep_file",
     "SweepFileError",

@@ -16,7 +16,7 @@ from .spec import SweepConfig
 from .store import STATUS_OK, ResultStore
 
 __all__ = ["result_rows", "group_by", "pivot", "format_table", "format_pivot",
-           "sweep_report"]
+           "sweep_report", "pareto_front", "format_csv"]
 
 #: Metric keys promoted to report columns, in display order.
 DEFAULT_METRICS = ("final_val_accuracy", "best_val_accuracy", "final_train_loss")
@@ -110,6 +110,16 @@ def pivot(rows: Sequence[dict], row_axis: str, col_axis: str,
     return {"rows": row_order, "cols": col_order, "metric": metric, "cells": table}
 
 
+def _union_columns(rows: Sequence[dict]) -> list:
+    """Column order shared by the table and CSV renderers: first appearance."""
+    columns: list = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
 def _format_cell(value) -> str:
     if value is None:
         return "-"
@@ -123,11 +133,7 @@ def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) 
     if not rows:
         return "(no results)"
     if columns is None:
-        columns = []
-        for row in rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(key)
+        columns = _union_columns(rows)
     rendered = [[_format_cell(row.get(col)) for col in columns] for row in rows]
     widths = [max(len(str(col)), *(len(line[i]) for line in rendered))
               for i, col in enumerate(columns)]
@@ -144,6 +150,59 @@ def format_pivot(pivoted: dict) -> str:
                              for c in pivoted["cols"]})
             for r in pivoted["rows"]]
     return format_table(rows, columns=[""] + [str(c) for c in pivoted["cols"]])
+
+
+def pareto_front(rows: Sequence[dict],
+                 cost: str = "total_energy_uj",
+                 benefit: str = "final_val_accuracy",
+                 keep_dominated: bool = False) -> list[dict]:
+    """Energy/accuracy Pareto front over flattened result rows.
+
+    A row is *dominated* when another row is at least as good on both axes
+    (``cost`` lower-or-equal, ``benefit`` higher-or-equal) and strictly
+    better on at least one.  Returns copies of the surviving rows sorted by
+    ascending cost, each annotated with ``"pareto": True``; with
+    ``keep_dominated=True`` every comparable row is returned (dominated ones
+    flagged ``"pareto": False``) — the shape the CLI table and CSV print.
+
+    Rows missing either metric are excluded (e.g. a sweep run without
+    ``collect_energy`` has no energy column — rerun it with the flag).
+    """
+    comparable = [row for row in rows
+                  if isinstance(row.get(cost), (int, float))
+                  and isinstance(row.get(benefit), (int, float))]
+    annotated = []
+    for row in comparable:
+        dominated = any(
+            other is not row
+            and other[cost] <= row[cost] and other[benefit] >= row[benefit]
+            and (other[cost] < row[cost] or other[benefit] > row[benefit])
+            for other in comparable
+        )
+        entry = dict(row)
+        entry["pareto"] = not dominated
+        annotated.append(entry)
+    annotated.sort(key=lambda entry: (entry[cost], -entry[benefit]))
+    if keep_dominated:
+        return annotated
+    return [entry for entry in annotated if entry["pareto"]]
+
+
+def format_csv(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as CSV text (stdlib :mod:`csv`, RFC-4180 quoting)."""
+    import csv
+    import io
+
+    if not rows:
+        return ""
+    if columns is None:
+        columns = _union_columns(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: row.get(col, "") for col in columns})
+    return buffer.getvalue()
 
 
 def sweep_report(sweep: SweepConfig,

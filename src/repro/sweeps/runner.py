@@ -20,6 +20,13 @@ completed result records:
   ``np.random`` is decorrelated across cells and reproducible per cell.
   (The experiment's own RNGs are seeded from the config, independent of
   worker assignment or completion order.)
+* **Worker-level dataset caching** — ``build_experiment`` memoizes dataset
+  construction per process, keyed by the dataset-determining config fields
+  (:func:`repro.api.dataset_cache_info`).  A grid that sweeps policies or
+  learning rates over one dataset therefore generates the data once per
+  worker, not once per cell; datasets are deterministic in the key and
+  treated as read-only, so cells sharing a worker cannot observe each
+  other through the cache.
 
 Only the parent process appends to the store, in completion order; the
 *content* of the store is order-independent because records are keyed by

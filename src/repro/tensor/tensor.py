@@ -22,6 +22,7 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
@@ -29,14 +30,25 @@ import numpy as np
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
 
 
-class _GradMode:
-    """Module-level switch for gradient recording (mirrors ``torch.no_grad``)."""
+class _GradMode(threading.local):
+    """Per-thread switch for gradient recording (mirrors ``torch.no_grad``).
 
-    enabled: bool = True
+    Thread-local like PyTorch's grad mode: the serving engine
+    (:mod:`repro.serve`) runs inference under ``no_grad`` on its batcher
+    thread while other threads may be training or calling
+    ``predict_batch`` — a process-global flag would let one thread's
+    save/restore clobber another's mid-forward.
+    """
+
+    def __init__(self):
+        self.enabled: bool = True
+
+
+_GRAD_MODE = _GradMode()
 
 
 class no_grad:
-    """Context manager that disables graph construction.
+    """Context manager that disables graph construction (this thread only).
 
     Examples
     --------
@@ -49,18 +61,18 @@ class no_grad:
     """
 
     def __enter__(self):
-        self._previous = _GradMode.enabled
-        _GradMode.enabled = False
+        self._previous = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        _GradMode.enabled = self._previous
+        _GRAD_MODE.enabled = self._previous
         return False
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record the autograd graph."""
-    return _GradMode.enabled
+    """Return whether operations on this thread record the autograd graph."""
+    return _GRAD_MODE.enabled
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:

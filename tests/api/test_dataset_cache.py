@@ -1,0 +1,75 @@
+"""Tests for the per-process dataset-construction cache used by sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ExperimentConfig,
+    build_experiment,
+    clear_dataset_cache,
+    dataset_cache_info,
+    run_experiment,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+def blob_config(**overrides) -> ExperimentConfig:
+    base = dict(dataset="blobs", model="mlp", policy=None, epochs=1,
+                train_size=48, test_size=24, batch_size=16, num_classes=3,
+                model_kwargs={"hidden": [4]})
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def test_same_dataset_config_hits_cache():
+    build_experiment(blob_config(policy="posit(8,1)"))
+    build_experiment(blob_config(policy="posit(16,1)"))  # same data, new policy
+    info = dataset_cache_info()
+    assert info["misses"] == 1
+    assert info["hits"] == 1
+
+
+def test_different_data_seed_misses():
+    build_experiment(blob_config())
+    build_experiment(blob_config(data_seed=99))
+    assert dataset_cache_info()["misses"] == 2
+
+
+def test_different_data_kwargs_miss():
+    build_experiment(blob_config(dataset="cifar_like", model="tiny_resnet",
+                                 model_kwargs={}, train_size=16, test_size=8))
+    build_experiment(blob_config(dataset="cifar_like", model="tiny_resnet",
+                                 model_kwargs={}, train_size=16, test_size=8,
+                                 data_kwargs={"noise_std": 0.9}))
+    assert dataset_cache_info()["misses"] == 2
+
+
+def test_cached_run_is_deterministic():
+    """A warm cache must not change training results (read-only sharing)."""
+    config = blob_config(policy="posit(8,1)")
+    cold = run_experiment(config)
+    assert dataset_cache_info()["misses"] == 1
+    warm = run_experiment(config)
+    assert dataset_cache_info()["hits"] >= 1
+    assert warm.final_val_accuracy == cold.final_val_accuracy
+    assert warm.final_train_loss == cold.final_train_loss
+
+
+def test_cache_is_bounded():
+    from repro.api import _DATASET_CACHE_LIMIT
+
+    for seed in range(_DATASET_CACHE_LIMIT + 3):
+        build_experiment(blob_config(data_seed=seed))
+    assert dataset_cache_info()["size"] <= _DATASET_CACHE_LIMIT
+
+
+def test_clear_resets_counters():
+    build_experiment(blob_config())
+    clear_dataset_cache()
+    assert dataset_cache_info() == {"size": 0, "hits": 0, "misses": 0}

@@ -1,0 +1,225 @@
+"""Tests for the HTTP transport, the load generator, and the serve/export CLI."""
+
+import json
+import os
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentConfig
+from repro.cli import main as cli_main
+from repro.serve import (
+    BatchingConfig,
+    HTTPClient,
+    InferenceEngine,
+    LocalClient,
+    ModelServer,
+    ServeClientError,
+    load_model,
+    pick_best_record,
+    run_load,
+    serve_best,
+    train_and_export,
+)
+from repro.sweeps import ResultStore
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    base = dict(name="transport_test", dataset="blobs", model="mlp",
+                policy="posit(8,1)", epochs=1, train_size=64, test_size=32,
+                batch_size=16, num_classes=3, model_kwargs={"hidden": [16]})
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("transport") / "model.rpak"
+    train_and_export(small_config(), path)
+    return str(path)
+
+
+@pytest.fixture
+def server(artifact):
+    engine = InferenceEngine(artifact, BatchingConfig(max_batch=16,
+                                                      max_wait_ms=5.0))
+    with ModelServer(engine) as running:
+        yield running
+
+
+@pytest.fixture
+def samples():
+    return np.random.default_rng(5).normal(size=(12, 2))
+
+
+# --------------------------------------------------------------------- #
+# HTTP endpoints
+# --------------------------------------------------------------------- #
+def test_healthz_and_stats(server):
+    client = HTTPClient(server.url)
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["format"] == "posit(8,1)"
+    stats = client.stats()
+    assert stats["requests"] == 0
+
+
+def test_predict_matches_in_process(server, samples):
+    client = HTTPClient(server.url)
+    response = client.predict(samples[:5])
+    direct = server.engine.predict_batch(samples[:5])
+    assert np.array_equal(np.asarray(response["logits"]), direct)
+    assert response["predictions"] == [int(np.argmax(row)) for row in direct]
+
+
+def test_local_client_same_contract(server, samples):
+    local = LocalClient(server.engine)
+    http = HTTPClient(server.url)
+    assert local.predict(samples[:3]) == http.predict(samples[:3])
+
+
+def test_malformed_request_is_400(server):
+    client = HTTPClient(server.url)
+    with pytest.raises(ServeClientError) as excinfo:
+        client._request("/predict", {"inputs": []})
+    assert excinfo.value.status == 400
+    request = urllib.request.Request(
+        f"{server.url}/predict", data=b"{not json",
+        headers={"Content-Type": "application/json"})
+    with pytest.raises(urllib.error.HTTPError) as http_error:
+        urllib.request.urlopen(request, timeout=10)
+    assert http_error.value.code == 400
+
+
+def test_unknown_path_is_404(server):
+    with pytest.raises(ServeClientError) as excinfo:
+        HTTPClient(server.url)._request("/nope")
+    assert excinfo.value.status == 404
+
+
+def test_concurrent_http_load(server, samples):
+    """64 concurrent closed-loop HTTP clients: all 200s, batching engaged."""
+    report = run_load(HTTPClient(server.url), samples, concurrency=64,
+                      requests_per_client=2,
+                      client_factory=lambda: HTTPClient(server.url))
+    assert report["failed"] == 0, report["errors"]
+    assert report["completed"] == 128
+    assert report["throughput_rps"] > 0
+    stats = server.engine.stats()
+    assert stats["requests"] >= 128
+    assert stats["mean_batch_size"] > 1.0
+
+
+# --------------------------------------------------------------------- #
+# serve_best over a sweep store
+# --------------------------------------------------------------------- #
+def fake_store(tmp_path, rows) -> ResultStore:
+    store = ResultStore(tmp_path / "store.jsonl")
+    for row in rows:
+        store.append(row)
+    return store
+
+
+def record(run_id, accuracy=None, energy=None, status="ok", index=0):
+    entry = {"run_id": run_id, "status": status, "index": index,
+             "name": f"run/{run_id}",
+             "config": small_config(name=f"run/{run_id}").to_dict()}
+    if accuracy is not None:
+        entry["metrics"] = {"final_val_accuracy": accuracy}
+    if energy is not None:
+        entry["energy"] = {"total_energy_uj": energy}
+    return entry
+
+
+def test_pick_best_record_objectives(tmp_path):
+    store = fake_store(tmp_path, [
+        record("a", accuracy=0.7, energy=3.0),
+        record("b", accuracy=0.9, energy=5.0),
+        record("c", accuracy=0.8, energy=1.0),
+        record("d", accuracy=0.99, status="failed"),
+    ])
+    assert pick_best_record(store, "accuracy")["run_id"] == "b"
+    assert pick_best_record(store, "energy")["run_id"] == "c"
+    with pytest.raises(ValueError, match="unknown objective"):
+        pick_best_record(store, "latency")
+
+
+def test_pick_best_requires_metric(tmp_path):
+    store = fake_store(tmp_path, [record("a", accuracy=0.7)])
+    with pytest.raises(ValueError, match="collect_energy"):
+        pick_best_record(store, "energy")
+
+
+def test_serve_best_retrains_and_exports(tmp_path):
+    store = fake_store(tmp_path, [record("a", accuracy=0.7),
+                                  record("b", accuracy=0.9)])
+    path = tmp_path / "best.rpak"
+    manifest, winner = serve_best(store, path, objective="accuracy")
+    assert winner["run_id"] == "b"
+    assert manifest["metadata"]["sweep_run_id"] == "b"
+    model, _ = load_model(path)
+    logits = model(np.zeros((1, 2)))
+    assert logits.data.shape == (1, 3)
+
+
+# --------------------------------------------------------------------- #
+# CLI: export + serve wiring
+# --------------------------------------------------------------------- #
+def test_cli_export_config_and_artifact(tmp_path, capsys):
+    config_path = tmp_path / "exp.json"
+    config_path.write_text(json.dumps(small_config().to_dict()))
+    out = tmp_path / "model.rpak"
+    code = cli_main(["export", "--config", str(config_path),
+                     "--output", str(out)])
+    assert code == 0
+    assert os.path.getsize(out) > 0
+    printed = capsys.readouterr().out
+    assert "posit(8,1)" in printed
+    model, manifest = load_model(out)
+    assert manifest["metadata"]["final_val_accuracy"] is not None
+
+
+def test_cli_export_store_best(tmp_path, capsys):
+    store = fake_store(tmp_path, [record("a", accuracy=0.6),
+                                  record("b", accuracy=0.8)])
+    out = tmp_path / "best.rpak"
+    code = cli_main(["export", "--store", store.path, "--output", str(out)])
+    assert code == 0
+    assert "run/b" in capsys.readouterr().out
+
+
+def test_cli_export_missing_config_errors(tmp_path, capsys):
+    code = cli_main(["export", "--config", str(tmp_path / "nope.json"),
+                     "--output", str(tmp_path / "x.rpak")])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_serve_rejects_bad_artifact(tmp_path, capsys):
+    bad = tmp_path / "bad.rpak"
+    bad.write_bytes(b"not an artifact")
+    code = cli_main(["serve", str(bad)])
+    assert code == 2
+    assert "bad magic" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Export must not disturb a live experiment's training policy
+# --------------------------------------------------------------------- #
+def test_export_preserves_attached_training_policy(tmp_path):
+    from repro.api import build_experiment
+    from repro.serve import export_experiment
+
+    experiment = build_experiment(small_config())
+    experiment.run()
+    before = {name: module.quant
+              for name, module in experiment.model.named_modules()}
+    assert any(context is not None for context in before.values())
+    export_experiment(experiment, tmp_path / "mid.rpak")
+    after = {name: module.quant
+             for name, module in experiment.model.named_modules()}
+    assert after == before
+    # Training can continue, still quantized, after an export.
+    history = experiment.run(epochs=1)
+    assert len(history) >= 1

@@ -1,0 +1,135 @@
+"""Tests for the energy/accuracy Pareto report and its CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.sweeps import ResultStore, format_csv, pareto_front
+
+
+def rows():
+    # cost/benefit pairs: a dominates d; b and c are incomparable with a.
+    return [
+        {"name": "a", "total_energy_uj": 1.0, "final_val_accuracy": 0.80},
+        {"name": "b", "total_energy_uj": 2.0, "final_val_accuracy": 0.90},
+        {"name": "c", "total_energy_uj": 0.5, "final_val_accuracy": 0.70},
+        {"name": "d", "total_energy_uj": 1.5, "final_val_accuracy": 0.75},
+        {"name": "no-energy", "final_val_accuracy": 0.99},
+    ]
+
+
+def test_front_members_and_order():
+    front = pareto_front(rows())
+    assert [row["name"] for row in front] == ["c", "a", "b"]
+    assert all(row["pareto"] for row in front)
+
+
+def test_dominated_rows_flagged():
+    annotated = pareto_front(rows(), keep_dominated=True)
+    by_name = {row["name"]: row["pareto"] for row in annotated}
+    assert by_name == {"c": True, "a": True, "b": True, "d": False}
+
+
+def test_rows_missing_metrics_excluded():
+    assert all(row["name"] != "no-energy" for row in
+               pareto_front(rows(), keep_dominated=True))
+
+
+def test_duplicate_points_both_survive():
+    twin = [{"name": "x", "total_energy_uj": 1.0, "final_val_accuracy": 0.8},
+            {"name": "y", "total_energy_uj": 1.0, "final_val_accuracy": 0.8}]
+    front = pareto_front(twin)
+    assert {row["name"] for row in front} == {"x", "y"}
+
+
+def test_custom_axes():
+    data = [{"latency": 10.0, "throughput": 100.0},
+            {"latency": 5.0, "throughput": 50.0},
+            {"latency": 12.0, "throughput": 90.0}]
+    front = pareto_front(data, cost="latency", benefit="throughput")
+    assert len(front) == 2  # the 12ms/90rps point is dominated
+
+
+def test_format_csv_quoting():
+    text = format_csv([{"a": 'x,"y"', "b": 1}])
+    assert text.splitlines()[0] == "a,b"
+    assert '"x,""y"""' in text
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def sweep_file(tmp_path):
+    spec = {
+        "name": "pareto_cli",
+        "base": {"dataset": "blobs", "model": "mlp", "epochs": 1,
+                 "train_size": 32, "test_size": 16, "batch_size": 8,
+                 "num_classes": 3, "model_kwargs": {"hidden": [4]}},
+        "grid": {"policy": ["posit(8,1)", "posit(16,1)"]},
+        "collect_energy": True,
+    }
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+def store_with_results(sweep_file, tmp_path):
+    from repro.sweeps import SweepConfig
+
+    sweep = SweepConfig.from_file(sweep_file)
+    store = ResultStore(tmp_path / "results.jsonl")
+    for index, run in enumerate(sweep.expand()):
+        store.append({
+            "run_id": run.run_id, "name": run.name, "status": "ok",
+            "index": run.index, "overrides": run.overrides,
+            "config": run.config.to_dict(),
+            "metrics": {"final_val_accuracy": 0.9 - 0.1 * index},
+            "energy": {"total_energy_uj": 1.0 + index},
+        })
+    return store
+
+
+def test_cli_pareto_table(sweep_file, tmp_path, capsys):
+    store = store_with_results(sweep_file, tmp_path)
+    code = cli_main(["sweep", "pareto", str(sweep_file), "--store", store.path])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "pareto front" in out
+    assert "total_energy_uj" in out
+
+
+def test_cli_pareto_csv(sweep_file, tmp_path, capsys):
+    store = store_with_results(sweep_file, tmp_path)
+    code = cli_main(["sweep", "pareto", str(sweep_file), "--store", store.path,
+                     "--csv", "--all"])
+    out = capsys.readouterr().out
+    assert code == 0
+    lines = out.strip().splitlines()
+    assert lines[0].startswith("policy,")
+    assert len(lines) == 3  # header + both runs
+
+
+def test_cli_pareto_json(sweep_file, tmp_path, capsys):
+    store = store_with_results(sweep_file, tmp_path)
+    code = cli_main(["sweep", "pareto", str(sweep_file), "--store", store.path,
+                     "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert all("pareto" in row for row in payload)
+
+
+def test_cli_pareto_without_energy_errors(sweep_file, tmp_path, capsys):
+    from repro.sweeps import SweepConfig
+
+    sweep = SweepConfig.from_file(sweep_file)
+    store = ResultStore(tmp_path / "noenergy.jsonl")
+    run = sweep.expand()[0]
+    store.append({"run_id": run.run_id, "name": run.name, "status": "ok",
+                  "index": 0, "overrides": run.overrides,
+                  "config": run.config.to_dict(),
+                  "metrics": {"final_val_accuracy": 0.5}})
+    code = cli_main(["sweep", "pareto", str(sweep_file), "--store", store.path])
+    assert code == 2
+    assert "collect_energy" in capsys.readouterr().err

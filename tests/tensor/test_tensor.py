@@ -325,3 +325,40 @@ class TestHypothesisGradients:
         x2 = Tensor(data, requires_grad=True)
         (x2.relu() * 5.0).sum().backward()
         np.testing.assert_allclose(x1.grad, x2.grad, atol=1e-9)
+
+
+def test_no_grad_is_thread_local():
+    """Concurrent no_grad blocks must not clobber each other's grad mode.
+
+    The serving engine runs eval forwards under no_grad on its batcher
+    thread while other threads may be training; a process-global flag
+    would let one thread's restore disable gradients everywhere.
+    """
+    import threading
+    import time
+
+    from repro.tensor import Tensor, no_grad
+    from repro.tensor.tensor import is_grad_enabled
+
+    stop = threading.Event()
+    misreads = []
+
+    def _eval_loop():
+        while not stop.is_set():
+            with no_grad():
+                if is_grad_enabled():
+                    misreads.append("enabled inside no_grad")
+                time.sleep(0.0001)
+
+    worker = threading.Thread(target=_eval_loop, daemon=True)
+    worker.start()
+    try:
+        deadline = time.time() + 0.2
+        while time.time() < deadline:
+            assert is_grad_enabled(), "worker's no_grad leaked to this thread"
+            x = Tensor(np.ones(2), requires_grad=True)
+            assert (x * 2).requires_grad
+    finally:
+        stop.set()
+        worker.join(timeout=5.0)
+    assert not misreads
