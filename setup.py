@@ -3,12 +3,13 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-posit-training",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of 'Training Deep Neural Networks Using Posit Number "
         "System' (Lu et al., SOCC 2019): posit/float/fixed-point quantized "
         "training, hardware cost models, a declarative sweep engine, and a "
-        "packed-artifact inference-serving subsystem."
+        "packed-artifact inference-serving subsystem with multi-worker "
+        "serving and startup accuracy guardrails."
     ),
     packages=find_packages("src"),
     package_dir={"": "src"},

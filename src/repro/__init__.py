@@ -74,8 +74,10 @@ uniform :class:`~repro.formats.NumberFormat` values:
   :func:`repro.formats.get_quantizer` instead of being instantiated per
   call site (the old constructors still work).
 
-The legacy ``Format`` alias remains as ``Optional[NumberFormat]`` for
-annotations; no public constructor changed signature.
+The legacy ``Format`` alias (and the ``repro.baselines.fixedpoint`` shim
+module) completed their deprecation window and were removed; annotate with
+:data:`repro.core.TensorFormat` (``Optional[NumberFormat]``) instead.  No
+public constructor changed signature.
 """
 
 from .api import ExperimentConfig, build_experiment, build_policy, run_experiment

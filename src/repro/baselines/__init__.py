@@ -6,8 +6,6 @@ baseline *recipes* — the policy builders that express each prior-work
 training scheme — plus compatibility re-exports of the fixed-point names.
 """
 
-# Import from repro.formats directly (not the deprecated .fixedpoint shim)
-# so `import repro.baselines` stays warning-free.
 from ..formats.fixedpoint import FixedPointFormat, FixedPointQuantizer, fixed_point_quantize
 from .lowbit_float import fixed_point_policy, fp8_policy, fp16_policy, make_loss_scaler
 

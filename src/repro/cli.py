@@ -14,16 +14,22 @@ Commands::
     repro formats list [--family posit|float|fixed]
     repro export (--config FILE | --store FILE [--objective accuracy|energy])
                  --output PATH [--format SPEC] [--no-scaling] [--no-calibrate]
-    repro serve  ARTIFACT [--host H] [--port P] [--max-batch N]
-                 [--max-wait-ms F] [--no-activation-quant]
+                 [--guardrail-samples N] [--guardrail-tolerance F]
+                 [--no-guardrail]
+    repro serve  ARTIFACT [--workers N] [--max-restarts N] [--host H]
+                 [--port P] [--max-batch N] [--max-wait-ms F]
+                 [--no-activation-quant] [--no-guardrail]
 
 Sweep files are committed JSON / YAML-lite documents (see
 ``examples/sweeps/``); results accumulate in append-only JSONL stores, so
 ``sweep run`` is restartable and incremental by construction.  ``export``
 packs a trained model into an n-bit artifact (training it first when given
 a config, re-training the store's best cell when given a sweep store), and
-``serve`` exposes it over HTTP with dynamic micro-batching
-(:mod:`repro.serve`).
+``serve`` exposes it over HTTP with dynamic micro-batching — one engine in
+process by default, or ``--workers N`` supervised engine processes behind
+the same listener.  Exports embed a v1.1 startup guardrail (a held-out
+calibration batch plus its expected logits) that every serving process
+replays before accepting traffic (:mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -120,12 +126,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable Eq. (2) per-tensor weight scaling")
     export.add_argument("--no-calibrate", action="store_true",
                         help="skip the activation-scale calibration pass")
+    export.add_argument("--guardrail-samples", type=int, default=16,
+                        help="held-out samples recorded in the v1.1 startup "
+                             "guardrail block (default: 16; 0 disables)")
+    export.add_argument("--guardrail-tolerance", type=float, default=0.0,
+                        help="allowed |accuracy - reference| drift at startup "
+                             "replay (default: 0.0)")
+    export.add_argument("--no-guardrail", action="store_true",
+                        help="do not embed a guardrail block "
+                             "(same as --guardrail-samples 0)")
 
     serve = subcommands.add_parser(
         "serve", help="serve a packed artifact over HTTP with micro-batching")
     serve.add_argument("artifact", help="packed artifact file (repro export output)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="engine worker processes behind the listener "
+                            "(default: 1 = in-process engine)")
+    serve.add_argument("--max-restarts", type=int, default=2,
+                       help="crash-restart budget per worker (default: 2)")
     serve.add_argument("--max-batch", type=int, default=32,
                        help="micro-batch size cap (default: 32)")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -133,6 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-activation-quant", action="store_true",
                        help="run activations in FP32 (weights stay in the "
                             "artifact format)")
+    serve.add_argument("--no-guardrail", action="store_true",
+                       help="skip the startup guardrail replay (serve even if "
+                            "the artifact cannot reproduce its recorded logits)")
     return parser
 
 
@@ -237,12 +260,15 @@ def _cmd_sweep_pareto(args) -> int:
 def _cmd_export(args) -> int:
     from .serve import serve_best, train_and_export
 
+    guardrail_samples = 0 if args.no_guardrail else args.guardrail_samples
     if args.store:
         manifest, record = serve_best(args.store, args.output,
                                       objective=args.objective, fmt=args.fmt,
                                       rounding=args.rounding,
                                       use_scaling=not args.no_scaling,
-                                      calibrate=not args.no_calibrate)
+                                      calibrate=not args.no_calibrate,
+                                      guardrail_samples=guardrail_samples,
+                                      guardrail_tolerance=args.guardrail_tolerance)
         print(f"exported best run {record.get('name')} "
               f"({args.objective}={manifest['metadata'].get('objective_value')})")
     else:
@@ -250,7 +276,9 @@ def _cmd_export(args) -> int:
             config = json.load(handle)
         manifest, history = train_and_export(
             config, args.output, fmt=args.fmt, rounding=args.rounding,
-            use_scaling=not args.no_scaling, calibrate=not args.no_calibrate)
+            use_scaling=not args.no_scaling, calibrate=not args.no_calibrate,
+            guardrail_samples=guardrail_samples,
+            guardrail_tolerance=args.guardrail_tolerance)
         print(f"trained {config.get('name', 'experiment')}: "
               f"val_acc={history.final_val_accuracy:.3f}")
 
@@ -260,18 +288,47 @@ def _cmd_export(args) -> int:
     if size < fp32:
         line += f" (fp32 state: {fp32} bytes, {fp32 / size:.2f}x smaller)"
     print(line)
+    guardrail = manifest.get("guardrail")
+    if guardrail:
+        print(f"guardrail: {guardrail['samples']} held-out samples, "
+              f"reference accuracy {guardrail['reference_accuracy']:.3f} "
+              f"± {guardrail['tolerance']}")
     return 0
 
 
 def _cmd_serve(args) -> int:
-    from .serve import BatchingConfig, InferenceEngine, ModelServer
+    from .serve import (
+        BatchingConfig,
+        ClusterConfig,
+        ClusterServer,
+        InferenceEngine,
+        ModelServer,
+        ServeCluster,
+    )
 
-    engine = InferenceEngine(
-        args.artifact,
-        BatchingConfig(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms),
-        quantize_activations=not args.no_activation_quant)
-    server = ModelServer(engine, host=args.host, port=args.port)
-    print(f"serving {args.artifact} [{engine.format.spec()}] on {server.url}")
+    batching = BatchingConfig(max_batch=args.max_batch,
+                              max_wait_ms=args.max_wait_ms)
+    if args.workers > 1:
+        cluster = ServeCluster(
+            args.artifact,
+            ClusterConfig(workers=args.workers, max_restarts=args.max_restarts),
+            batching=batching,
+            quantize_activations=not args.no_activation_quant,
+            verify_guardrail=not args.no_guardrail)
+        server = ClusterServer(cluster, host=args.host, port=args.port)
+        print(f"serving {args.artifact} on {server.url} "
+              f"({args.workers} worker processes, guardrail "
+              f"{'off' if args.no_guardrail else 'on'})")
+        backend_stop = cluster.stop
+    else:
+        engine = InferenceEngine(
+            args.artifact, batching,
+            quantize_activations=not args.no_activation_quant,
+            verify_guardrail=not args.no_guardrail)
+        server = ModelServer(engine, host=args.host, port=args.port)
+        print(f"serving {args.artifact} [{engine.format.spec()}] on {server.url} "
+              f"(guardrail: {engine.guardrail_status})")
+        backend_stop = engine.stop
     print(f"  POST {server.url}/predict   GET {server.url}/healthz|/stats")
     print(f"  micro-batching: max_batch={args.max_batch} "
           f"max_wait_ms={args.max_wait_ms}")
@@ -279,7 +336,7 @@ def _cmd_serve(args) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
-        engine.stop()
+        backend_stop()
     return 0
 
 
@@ -332,6 +389,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # input — ArtifactError, unknown objectives/metrics, empty stores.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except RuntimeError as exc:
+        # Only the serving refusals get the exit-3 contract; any other
+        # RuntimeError is a genuine bug and must keep its traceback.
+        from .serve.cluster import ClusterError
+        from .serve.engine import GuardrailError
+
+        if isinstance(exc, (GuardrailError, ClusterError)):
+            print(f"error: refusing to serve: {exc}", file=sys.stderr)
+            return 3
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

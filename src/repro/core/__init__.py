@@ -28,18 +28,6 @@ from .transform import (
 )
 from .warmup import WarmupSchedule
 
-
-def __getattr__(name: str):
-    # The legacy ``Format`` union alias is deprecated: accessing it routes
-    # through repro.core.policy.__getattr__, which emits the
-    # DeprecationWarning pointing at repro.formats.NumberFormat.
-    if name == "Format":
-        from . import policy
-
-        return policy.Format
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
 __all__ = [
     "PositTrainer",
     "quantize_model_weights",
@@ -47,7 +35,6 @@ __all__ = [
     "inference_sweep",
     "QuantizationPolicy",
     "RoleFormats",
-    "Format",
     "TensorFormat",
     "WarmupSchedule",
     "ScaleEstimator",

@@ -32,7 +32,6 @@ the cached :func:`repro.formats.get_quantizer` factory.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Mapping, Optional, Union
 
@@ -44,25 +43,12 @@ from ..posit import FloatFormat, PositConfig
 from .scaling import ScaleEstimator
 from .transform import LayerQuantContext, Quantizer
 
-__all__ = ["Format", "TensorFormat", "RoleFormats", "QuantizationPolicy"]
+__all__ = ["TensorFormat", "RoleFormats", "QuantizationPolicy"]
 
 #: A tensor format: any :class:`~repro.formats.NumberFormat` or ``None`` (FP32).
+#: (The pre-NumberFormat ``Format`` union alias went through its two-PR
+#: deprecation window and was removed; annotate with ``TensorFormat``.)
 TensorFormat = Optional[NumberFormat]
-
-
-def __getattr__(name: str):
-    # ``Format`` — the pre-NumberFormat union alias — is deprecated; it is
-    # served lazily so importing it (and only importing it) warns.
-    if name == "Format":
-        warnings.warn(
-            "repro.core.Format is deprecated; annotate with "
-            "Optional[repro.formats.NumberFormat] (or repro.core.policy."
-            "TensorFormat) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return TensorFormat
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Role spec strings that mean "leave this tensor in full precision".  Note
 #: that at the *policy* level ``"fp32"`` (and its named aliases) maps to

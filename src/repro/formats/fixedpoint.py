@@ -6,8 +6,9 @@ approximation" methods that lose too much information on complex tasks, and
 the ablation benchmarks use it as the weakest baseline.  Historically this
 module lived in ``repro.baselines``; it is now part of the core format type
 system so fixed point participates in policies, sweeps, and hardware
-accounting exactly like posit and float formats (``repro.baselines.fixedpoint``
-remains as a compatibility shim).
+accounting exactly like posit and float formats (the
+``repro.baselines.fixedpoint`` compatibility shim has been removed after
+its deprecation window; ``repro.baselines`` still re-exports the names).
 
 A fixed-point format ``Q(integer_bits, fraction_bits)`` represents values in
 ``[-2**integer_bits, 2**integer_bits - 2**-fraction_bits]`` with a uniform

@@ -203,7 +203,15 @@ def float_quantize(x, fmt: FloatFormat, rng: np.random.Generator | None = None,
     arr = np.atleast_1d(arr).copy()
 
     if fmt is FP32 or (fmt.exponent_bits >= 8 and fmt.mantissa_bits >= 23):
-        result = arr.astype(np.float32).astype(np.float64)
+        with np.errstate(over="ignore"):
+            result = arr.astype(np.float32).astype(np.float64)
+        # The narrow-format path below saturates out-of-range magnitudes
+        # (and infinite inputs) to the largest finite value; the float32
+        # cast produces IEEE infs instead.  Saturate them the same way so
+        # the documented contract — and the bit codec, which has no inf
+        # representation — hold for every float format uniformly.
+        result = np.where(np.isinf(result),
+                          np.sign(result) * fmt.max_value, result)
         return result[0] if scalar_input else result
 
     sign = np.sign(arr)

@@ -18,6 +18,13 @@ in posit is *served* in posit.  Four layers, composable separately:
 * :mod:`repro.serve.transport` — a stdlib JSON-over-HTTP server
   (``/predict``, ``/healthz``, ``/stats``) plus in-process and urllib
   clients sharing one request contract.
+* :mod:`repro.serve.cluster` — :class:`ServeCluster`: N engine worker
+  *processes* (the single process is GIL-bound) behind one dispatcher with
+  round-robin + least-outstanding routing, crash detection/restart, and
+  aggregated stats; each worker independently replays the artifact's v1.1
+  startup **guardrail** (a held-out calibration batch with its expected
+  logits and reference accuracy) and refuses to serve on any drift
+  (:class:`GuardrailError`).
 * :mod:`repro.serve.export` — training-stack integration:
   :func:`export_experiment`, :func:`train_and_export`, and
   :func:`serve_best` (promote a sweep store's winner to an artifact);
@@ -39,6 +46,7 @@ then ``repro serve model.rpak --port 8000``.
 """
 
 from .artifact import (
+    ARTIFACT_MINOR_VERSION,
     ARTIFACT_VERSION,
     ArtifactError,
     artifact_info,
@@ -47,8 +55,10 @@ from .artifact import (
     load_state,
     save_model,
 )
-from .engine import BatchingConfig, InferenceEngine
+from .cluster import ClusterConfig, ClusterError, ServeCluster
+from .engine import BatchingConfig, GuardrailError, InferenceEngine
 from .export import (
+    build_guardrail,
     calibrate_activation_centers,
     default_export_format,
     export_experiment,
@@ -58,11 +68,24 @@ from .export import (
 )
 from .loadgen import LoadReport, run_load
 from .packing import pack_codes, packed_nbytes, unpack_codes
-from .transport import HTTPClient, LocalClient, ModelServer, ServeClientError
+from .transport import (
+    ClusterServer,
+    HTTPClient,
+    LocalClient,
+    ModelServer,
+    ServeClientError,
+)
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "ARTIFACT_MINOR_VERSION",
     "ArtifactError",
+    "GuardrailError",
+    "ClusterConfig",
+    "ClusterError",
+    "ServeCluster",
+    "ClusterServer",
+    "build_guardrail",
     "save_model",
     "load_model",
     "load_state",

@@ -15,6 +15,11 @@ array.  This module is the software realization of that storage format:
 * a JSON manifest carries the format specs, shapes, scales, byte offsets,
   model-architecture description, and a SHA-256 over the packed blob, so a
   corrupted or truncated artifact is rejected at load time;
+* since v1.1 the manifest may carry a **guardrail block**: a small held-out
+  calibration batch (inputs, labels, the exact serving-path logits, and the
+  reference accuracy) that every serving process replays at startup,
+  refusing to serve when the replay is not bit-identical or the accuracy
+  drifts beyond the recorded tolerance (:mod:`repro.serve.engine`);
 * :func:`load_model` rebuilds the architecture from the manifest (via
   :mod:`repro.api`'s model zoo) and restores the decoded weights —
   bit-identical across save/load/save round trips for every registry format,
@@ -48,10 +53,16 @@ __all__ = [
     "artifact_info",
     "fp32_state_nbytes",
     "ARTIFACT_VERSION",
+    "ARTIFACT_MINOR_VERSION",
 ]
 
 MAGIC = b"RPAK"
 ARTIFACT_VERSION = 1
+#: Manifest minor version.  Minor bumps are additive (new optional manifest
+#: blocks like v1.1's ``guardrail``); readers accept any minor under the
+#: same major, so v1.0 artifacts load unchanged and v1.1 artifacts degrade
+#: gracefully on v1.0 readers (which simply ignore the new block).
+ARTIFACT_MINOR_VERSION = 1
 
 #: Manifest ``format`` value for raw little-endian float32 buffer tensors.
 RAW_FP32 = "raw_fp32"
@@ -83,7 +94,8 @@ def save_model(model: Module, path: Union[str, os.PathLike],
                model_info: Optional[Mapping] = None,
                metadata: Optional[Mapping] = None,
                activation_calibration: Optional[Mapping] = None,
-               scales: Optional[Mapping] = None) -> dict:
+               scales: Optional[Mapping] = None,
+               guardrail: Optional[Mapping] = None) -> dict:
     """Write ``model`` to ``path`` as a packed artifact; returns the manifest.
 
     Parameters
@@ -121,6 +133,12 @@ def save_model(model: Module, path: Union[str, os.PathLike],
         Eq. (2) on already-quantized weights could round to a different
         center (quantization perturbs the log2 mean), silently changing
         the stored codes.
+    guardrail:
+        Optional v1.1 startup-guardrail block: ``{"inputs": [[...]...],
+        "labels": [...], "logits": [[...]...], "reference_accuracy": ...,
+        "tolerance": ...}`` (see
+        :func:`repro.serve.export.build_guardrail`).  Serving processes
+        replay it before accepting traffic and refuse to serve on drift.
     """
     fmt = parse_format(fmt) if isinstance(fmt, str) else fmt
     if not isinstance(fmt, NumberFormat):
@@ -172,6 +190,7 @@ def save_model(model: Module, path: Union[str, os.PathLike],
     manifest = {
         "artifact": "repro.serve packed model",
         "version": ARTIFACT_VERSION,
+        "version_minor": ARTIFACT_MINOR_VERSION,
         "format": fmt.spec(),
         "rounding": rounding,
         "use_scaling": bool(use_scaling),
@@ -187,6 +206,8 @@ def save_model(model: Module, path: Union[str, os.PathLike],
         manifest["metadata"] = dict(metadata)
     if activation_calibration is not None:
         manifest["activation_calibration"] = dict(activation_calibration)
+    if guardrail is not None:
+        manifest["guardrail"] = dict(guardrail)
 
     manifest_bytes = json.dumps(manifest, sort_keys=True).encode("utf-8")
     directory = os.path.dirname(os.fspath(path))

@@ -1,0 +1,603 @@
+"""Multi-worker serving: N engine processes behind one dispatcher.
+
+The single-process :class:`~repro.serve.engine.InferenceEngine` is
+thread-safe but GIL-bound: its NumPy forward passes release the GIL only
+partially, so one process cannot use more than roughly one core of MAC
+throughput.  :class:`ServeCluster` is the scale-out tier the ROADMAP asks
+for: a supervisor forks ``workers`` engine processes, each of which loads
+the packed artifact *independently* (and therefore replays the artifact's
+v1.1 startup guardrail independently — a worker that cannot reproduce the
+recorded logits exits non-zero and never serves), and dispatches requests
+over per-worker :func:`multiprocessing.Pipe` pairs.
+
+Dispatch is round-robin with a least-outstanding fallback: the rotor picks
+the next live worker, but when that worker already has more requests in
+flight than the least-loaded one (a slow batch, a GC pause), the request is
+routed to the least-loaded worker instead — cheap balancing that keeps one
+stuck worker from queueing the world.
+
+Supervision: a monitor thread watches worker processes.  A crashed worker
+(segfault, OOM kill, operator ``kill -9``) has its in-flight requests
+failed over to the surviving workers (one transparent retry per request),
+and is restarted up to ``max_restarts`` times — the restarted process
+re-runs the guardrail before rejoining the rotation.  Workers that *refuse*
+to start (guardrail violation) are not restarted: the failure is
+deterministic, so a restart loop would only burn CPU.
+
+Shutdown drains: :meth:`ServeCluster.stop` stops admitting new requests,
+sends every worker a shutdown message (each worker drains its engine's
+queued requests before exiting), then joins — escalating to ``terminate``
+only for workers that fail to exit in time.
+
+The cluster exposes the same client contract as the transports
+(``predict``/``healthz``/``stats``), so :func:`repro.serve.loadgen.run_load`
+drives it directly and :class:`repro.serve.transport.ClusterServer` puts it
+behind one HTTP listener.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import queue
+import signal
+import threading
+import time
+from concurrent.futures import Future, TimeoutError as FuturesTimeout
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .engine import BatchingConfig, GuardrailError, InferenceEngine
+
+__all__ = ["ClusterConfig", "ServeCluster", "ClusterError", "WorkerCrashed"]
+
+
+class ClusterError(RuntimeError):
+    """Cluster-level failure (no live workers, failed startup, stopped)."""
+
+
+class WorkerCrashed(RuntimeError):
+    """A request was in flight on a worker that died (internal; retried)."""
+
+
+#: Worker states tracked by the supervisor.
+_STARTING, _READY, _FAILED, _DEAD = "starting", "ready", "failed", "dead"
+
+#: Persistent handler threads per worker process.  Bounds in-worker request
+#: concurrency (and therefore the micro-batcher's coalescing opportunity
+#: from one worker's perspective); spawning a thread per message instead
+#: costs ~0.2 ms/request, which at scale-out throughputs dominates the MACs.
+_WORKER_POOL_SIZE = 32
+
+
+def _cluster_context(name: Optional[str]) -> mp.context.BaseContext:
+    """Start-method context: ``fork`` where available (fast, inherits the
+    loaded library), else ``spawn``; overridable for platform debugging."""
+    if name is not None:
+        return mp.get_context(name)
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_main(index: int, artifact: str, batching: Optional[dict],
+                 quantize_activations: bool, verify_guardrail: bool,
+                 conn) -> None:
+    """Engine worker process body.
+
+    Handshake first: construct the engine (which replays the guardrail) and
+    report ``ready`` or ``failed`` — a guardrail violation makes the worker
+    exit with a non-zero status without ever serving a request.  Then serve
+    messages off the pipe through a persistent handler pool, so concurrent
+    dispatches coalesce in the engine's micro-batcher exactly like
+    concurrent HTTP clients do in the single-process server.
+    """
+    # A terminal Ctrl-C signals the whole foreground process group; shutdown
+    # is the supervisor's job (via the pipe), so workers must not die — or
+    # spray KeyboardInterrupt tracebacks — on the operator's SIGINT.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread/platform
+        pass
+
+    send_lock = threading.Lock()
+
+    def reply(payload: dict) -> None:
+        with send_lock:
+            try:
+                conn.send(payload)
+            except (BrokenPipeError, OSError):  # supervisor is gone
+                pass
+
+    try:
+        engine = InferenceEngine(
+            artifact,
+            BatchingConfig(**batching) if batching else None,
+            quantize_activations=quantize_activations,
+            verify_guardrail=verify_guardrail)
+    except BaseException as exc:  # noqa: BLE001 - report, then refuse to serve
+        reply({"kind": "failed", "worker": index,
+               "etype": type(exc).__name__, "error": str(exc)})
+        conn.close()
+        raise SystemExit(1)
+
+    reply({"kind": "ready", "worker": index, "pid": os.getpid(),
+           "guardrail": engine.guardrail_status})
+    engine.start()
+
+    def handle(message: dict) -> None:
+        try:
+            if message["kind"] == "predict":
+                samples = [np.asarray(sample, dtype=np.float64)
+                           for sample in message["samples"]]
+                futures = [engine.submit(sample) for sample in samples]
+                logits = [future.result(timeout=60.0) for future in futures]
+                result = {
+                    "predictions": [int(np.argmax(row)) for row in logits],
+                    "logits": [np.asarray(row, dtype=np.float64).tolist()
+                               for row in logits],
+                    "worker": index,
+                }
+            elif message["kind"] == "stats":
+                result = {**engine.stats(), "worker": index, "pid": os.getpid()}
+            elif message["kind"] == "ping":
+                result = {"worker": index, "pid": os.getpid()}
+            else:
+                raise ValueError(f"unknown message kind {message['kind']!r}")
+        except BaseException as exc:  # noqa: BLE001 - errors travel the pipe
+            reply({"id": message["id"], "ok": False,
+                   "etype": type(exc).__name__, "error": str(exc)})
+            return
+        reply({"id": message["id"], "ok": True, "result": result})
+
+    work: queue.Queue = queue.Queue()
+
+    def pool_loop() -> None:
+        while True:
+            message = work.get()
+            if message is None:
+                return
+            handle(message)
+
+    pool = [threading.Thread(target=pool_loop, daemon=True,
+                             name=f"repro-serve-handler-{index}-{rank}")
+            for rank in range(_WORKER_POOL_SIZE)]
+    for thread in pool:
+        thread.start()
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message.get("kind") == "shutdown":
+                break
+            work.put(message)
+    finally:
+        for _ in pool:
+            work.put(None)
+        for thread in pool:
+            thread.join(timeout=5.0)
+        engine.stop()  # drains already-queued requests before exit
+        conn.close()
+
+
+class ClusterConfig:
+    """Knobs for :class:`ServeCluster` (kept JSON-able for the CLI)."""
+
+    def __init__(self, workers: int = 2, max_restarts: int = 2,
+                 start_timeout_s: float = 120.0,
+                 monitor_interval_s: float = 0.2,
+                 mp_context: Optional[str] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.workers = int(workers)
+        self.max_restarts = int(max_restarts)
+        self.start_timeout_s = float(start_timeout_s)
+        self.monitor_interval_s = float(monitor_interval_s)
+        self.mp_context = mp_context
+
+
+class _WorkerHandle:
+    """Supervisor-side view of one worker process."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.state = _STARTING
+        self.ready_event = threading.Event()
+        self.failure: Optional[str] = None
+        self.guardrail: Optional[str] = None
+        self.pid: Optional[int] = None
+        self.restarts = 0
+        self.dispatched = 0
+        self.outstanding = 0
+        #: Incremented on every (re)spawn; reader threads tag themselves
+        #: with it so a stale reader (previous incarnation's pipe) cannot
+        #: mutate the state of a restarted worker.
+        self.epoch = 0
+        self.send_lock = threading.Lock()
+        self.pending_lock = threading.Lock()
+        self.pending: dict[int, Future] = {}
+        self.reader: Optional[threading.Thread] = None
+
+    def fail_pending(self, reason: str) -> None:
+        with self.pending_lock:
+            pending, self.pending = self.pending, {}
+            self.outstanding = 0
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(WorkerCrashed(reason))
+
+
+class ServeCluster:
+    """Supervise N engine worker processes behind one dispatch surface.
+
+    Parameters mirror :class:`~repro.serve.engine.InferenceEngine` where
+    they overlap; ``config`` holds the cluster-level knobs.  Use as a
+    context manager (or call :meth:`start`/:meth:`stop`)::
+
+        with ServeCluster("model.rpak", ClusterConfig(workers=4)) as cluster:
+            payload = cluster.predict([sample])
+
+    :meth:`start` raises :class:`GuardrailError` when *every* worker
+    refuses to serve because of a guardrail violation (the acceptance
+    condition for a corrupted artifact), and :class:`ClusterError` when no
+    worker comes up for any other reason.
+    """
+
+    def __init__(self, artifact: Union[str, os.PathLike],
+                 config: Optional[ClusterConfig] = None,
+                 batching: Optional[BatchingConfig] = None,
+                 quantize_activations: bool = True,
+                 verify_guardrail: bool = True):
+        self.artifact_path = os.fspath(artifact)
+        self.config = config or ClusterConfig()
+        self.batching = batching
+        self.quantize_activations = quantize_activations
+        self.verify_guardrail = verify_guardrail
+        self._ctx = _cluster_context(self.config.mp_context)
+        self._handles: list[_WorkerHandle] = []
+        self._rotor = itertools.cycle(range(self.config.workers))
+        self._ids = itertools.count(1)
+        self._id_lock = threading.Lock()
+        self._started = False
+        self._stopping = False
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._started_at = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        """(Re)start one worker: fresh pipe, process, and reader thread."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(handle.index, self.artifact_path,
+                  (self.batching.__dict__ if self.batching else None),
+                  self.quantize_activations, self.verify_guardrail,
+                  child_conn),
+            name=f"repro-serve-worker-{handle.index}",
+            daemon=True)
+        handle.conn = parent_conn
+        handle.process = process
+        handle.state = _STARTING
+        handle.ready_event.clear()
+        handle.failure = None
+        handle.epoch += 1
+        process.start()
+        child_conn.close()  # the child's end lives in the child now
+        handle.reader = threading.Thread(
+            target=self._read_loop, args=(handle, parent_conn, handle.epoch),
+            name=f"repro-serve-reader-{handle.index}", daemon=True)
+        handle.reader.start()
+
+    def _read_loop(self, handle: _WorkerHandle, conn, epoch: int) -> None:
+        """Pump one worker's pipe: handshakes and request replies."""
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message.get("kind")
+            if kind == "ready":
+                handle.pid = message.get("pid")
+                handle.guardrail = message.get("guardrail")
+                handle.state = _READY
+                handle.ready_event.set()
+                continue
+            if kind == "failed":
+                handle.failure = f"{message.get('etype')}: {message.get('error')}"
+                handle.state = _FAILED
+                handle.ready_event.set()
+                continue
+            with handle.pending_lock:
+                future = handle.pending.pop(message.get("id"), None)
+                if future is not None:
+                    handle.outstanding = max(0, handle.outstanding - 1)
+            if future is None:
+                continue
+            if message.get("ok"):
+                future.set_result(message["result"])
+            else:
+                exc_type = {"ValueError": ValueError,
+                            "TypeError": TypeError}.get(
+                                message.get("etype"), RuntimeError)
+                future.set_exception(exc_type(message.get("error", "worker error")))
+        # Pipe closed: the worker exited or crashed.  Startup refusals keep
+        # their 'failed' state (deterministic, never restarted); anything
+        # else becomes 'dead' and is the monitor's problem.  A stale reader
+        # (the handle has already been respawned under a newer epoch) must
+        # not touch the new incarnation's state or pending requests.
+        if handle.epoch != epoch:
+            return
+        if handle.state not in (_FAILED,):
+            handle.state = _DEAD
+        handle.ready_event.set()
+        handle.fail_pending(f"worker {handle.index} exited mid-request")
+
+    def start(self, timeout: Optional[float] = None) -> "ServeCluster":
+        """Start every worker and wait for their startup handshakes."""
+        if self._started:
+            return self
+        timeout = self.config.start_timeout_s if timeout is None else timeout
+        self._handles = [_WorkerHandle(index)
+                         for index in range(self.config.workers)]
+        for handle in self._handles:
+            self._spawn(handle)
+        deadline = time.monotonic() + timeout
+        for handle in self._handles:
+            remaining = max(0.0, deadline - time.monotonic())
+            if not handle.ready_event.wait(remaining):
+                handle.failure = "startup handshake timed out"
+                handle.state = _FAILED
+        ready = [handle for handle in self._handles if handle.state == _READY]
+        if not ready:
+            failures = "; ".join(
+                f"worker {handle.index}: {handle.failure or handle.state}"
+                for handle in self._handles)
+            self._terminate_all()
+            if all("GuardrailError" in (handle.failure or "")
+                   for handle in self._handles):
+                raise GuardrailError(
+                    f"every worker refused to serve {self.artifact_path}: "
+                    f"{failures}")
+            raise ClusterError(
+                f"no worker of {self.config.workers} started for "
+                f"{self.artifact_path}: {failures}")
+        self._started = True
+        self._stopping = False
+        self._monitor_stop.clear()
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="repro-serve-monitor",
+                                         daemon=True)
+        self._monitor.start()
+        return self
+
+    def _monitor_loop(self) -> None:
+        """Detect crashed workers and restart them within budget."""
+        while not self._monitor_stop.wait(self.config.monitor_interval_s):
+            for handle in self._handles:
+                if self._stopping:
+                    return
+                process = handle.process
+                if (handle.state in (_READY, _DEAD)
+                        and process is not None and not process.is_alive()):
+                    if handle.state == _READY:
+                        handle.state = _DEAD
+                        handle.fail_pending(
+                            f"worker {handle.index} died (pid {handle.pid})")
+                    if handle.restarts < self.config.max_restarts:
+                        handle.restarts += 1
+                        self._spawn(handle)
+
+    def _terminate_all(self) -> None:
+        for handle in self._handles:
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.terminate()
+            if handle.process is not None:
+                handle.process.join(timeout=5.0)
+            if handle.conn is not None:
+                handle.conn.close()
+
+    def stop(self, drain_timeout_s: float = 10.0) -> None:
+        """Drain and stop every worker, then the monitor (idempotent)."""
+        if not self._started:
+            return
+        self._stopping = True
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        for handle in self._handles:
+            if handle.conn is not None and handle.state == _READY:
+                try:
+                    with handle.send_lock:
+                        handle.conn.send({"kind": "shutdown"})
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + drain_timeout_s
+        for handle in self._handles:
+            if handle.process is not None:
+                handle.process.join(timeout=max(0.1, deadline - time.monotonic()))
+        self._terminate_all()
+        self._started = False
+
+    def __enter__(self) -> "ServeCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _live_handles(self) -> list[_WorkerHandle]:
+        return [handle for handle in self._handles if handle.state == _READY]
+
+    def _pick_worker(self, exclude: frozenset = frozenset()) -> _WorkerHandle:
+        """Round-robin over live workers, least-outstanding fallback.
+
+        ``exclude`` holds worker indices a failed-over request already
+        tried; they are avoided while any other live worker exists (the
+        reader thread may not have noticed the crash yet, and handing the
+        retry back to the same dying worker would waste the one failover).
+        """
+        live = self._live_handles()
+        if not live:
+            raise ClusterError("no live workers (all crashed or refused to serve)")
+        if exclude:
+            preferred = [handle for handle in live
+                         if handle.index not in exclude]
+            if preferred:
+                live = preferred
+        live_indices = {handle.index for handle in live}
+        choice = None
+        for _ in range(self.config.workers):
+            index = next(self._rotor)
+            if index in live_indices:
+                choice = next(handle for handle in live
+                              if handle.index == index)
+                break
+        least = min(live, key=lambda handle: handle.outstanding)
+        if choice is None or choice.outstanding > least.outstanding:
+            return least
+        return choice
+
+    def _request(self, handle: _WorkerHandle, message: dict,
+                 timeout: float) -> dict:
+        """Send one message to one worker and wait for its reply."""
+        with self._id_lock:
+            request_id = next(self._ids)
+        message = {**message, "id": request_id}
+        future: Future = Future()
+        with handle.pending_lock:
+            handle.pending[request_id] = future
+            handle.outstanding += 1
+        try:
+            with handle.send_lock:
+                handle.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            with handle.pending_lock:
+                handle.pending.pop(request_id, None)
+                handle.outstanding = max(0, handle.outstanding - 1)
+            # A broken pipe means the worker is gone even if its reader
+            # thread has not hit EOF yet; mark it dead now so dispatch
+            # stops routing to it and the monitor restarts it promptly.
+            if handle.state == _READY:
+                handle.state = _DEAD
+                handle.fail_pending(f"worker {handle.index} pipe closed")
+            raise WorkerCrashed(f"worker {handle.index} pipe closed") from exc
+        if message["kind"] == "predict":
+            handle.dispatched += 1
+        return future.result(timeout=timeout)
+
+    def predict(self, samples: Sequence, timeout: float = 60.0) -> dict:
+        """Transport-contract prediction: route one request to one worker.
+
+        A request whose worker dies mid-flight is retried once on a
+        surviving worker — the failover that makes ``kill -9`` of a worker
+        invisible to well-behaved clients.  Raises ``ValueError`` for
+        malformed input (mapped to HTTP 400), :class:`ClusterError` when no
+        workers are live (503), and
+        :class:`concurrent.futures.TimeoutError` on timeout (504).
+        """
+        if not self._started or self._stopping:
+            raise ClusterError("cluster is not running; use start() or a with-block")
+        if not isinstance(samples, (list, tuple)) or not samples:
+            raise ValueError("'inputs' must be a non-empty list of samples")
+        payload = [np.asarray(sample, dtype=np.float64) for sample in samples]
+        last_error: Optional[BaseException] = None
+        tried: set[int] = set()
+        for _attempt in range(2):
+            handle = self._pick_worker(exclude=frozenset(tried))
+            tried.add(handle.index)
+            try:
+                return self._request(handle, {"kind": "predict",
+                                              "samples": payload}, timeout)
+            except WorkerCrashed as exc:
+                last_error = exc
+                continue
+        raise ClusterError(
+            f"request failed over twice without a survivor: {last_error}")
+
+    def predict_on(self, worker_index: int, samples: Sequence,
+                   timeout: float = 60.0) -> dict:
+        """Pin one prediction to one worker (cross-worker identity checks)."""
+        for handle in self._live_handles():
+            if handle.index == worker_index:
+                payload = [np.asarray(sample, dtype=np.float64)
+                           for sample in samples]
+                return self._request(handle, {"kind": "predict",
+                                              "samples": payload}, timeout)
+        raise ClusterError(f"worker {worker_index} is not live")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        """Liveness summary: ``ok`` (all up), ``degraded`` (some), ``down``."""
+        states = [handle.state for handle in self._handles]
+        alive = states.count(_READY)
+        status = ("ok" if alive == self.config.workers
+                  else "degraded" if alive else "down")
+        return {
+            "status": status,
+            "artifact": self.artifact_path,
+            "workers": self.config.workers,
+            "alive": alive,
+            "worker_states": states,
+            "guardrail": [handle.guardrail for handle in self._handles],
+        }
+
+    def stats(self, timeout: float = 10.0) -> dict:
+        """Aggregate worker stats plus supervisor-side dispatch counters.
+
+        Requests/batches/energy are sums over live workers; the latency
+        percentiles are request-weighted means of the per-worker
+        percentiles (exact merging would need the raw samples), with the
+        per-worker rows included for anyone who wants the real thing.
+        """
+        per_worker = []
+        for handle in self._live_handles():
+            try:
+                per_worker.append(self._request(handle, {"kind": "stats"},
+                                                timeout))
+            except (WorkerCrashed, FuturesTimeout, ClusterError):
+                continue
+        requests = sum(row["requests"] for row in per_worker)
+        batches = sum(row["batches"] for row in per_worker)
+        batched = sum(row["mean_batch_size"] * row["batches"]
+                      for row in per_worker)
+
+        def weighted(key: str) -> float:
+            if not requests:
+                return 0.0
+            return sum(row[key] * row["requests"] for row in per_worker) / requests
+
+        return {
+            "artifact": self.artifact_path,
+            "workers": self.config.workers,
+            "alive": len(self._live_handles()),
+            "restarts": sum(handle.restarts for handle in self._handles),
+            "dispatched": [handle.dispatched for handle in self._handles],
+            "requests": requests,
+            "batches": batches,
+            "mean_batch_size": (batched / batches) if batches else 0.0,
+            "latency_p50_ms": weighted("latency_p50_ms"),
+            "latency_p99_ms": weighted("latency_p99_ms"),
+            "energy_uj_total": sum(row["energy_uj_total"] for row in per_worker),
+            "uptime_s": time.perf_counter() - self._started_at,
+            "per_worker": per_worker,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ServeCluster({self.artifact_path!r}, "
+                f"workers={self.config.workers}, "
+                f"alive={len(self._live_handles())})")

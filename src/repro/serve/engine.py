@@ -22,6 +22,15 @@ batch is priced through the hardware model
 (:func:`repro.hardware.inference_step_report` — the artifact format's MAC
 datapath and packed-weight memory traffic), giving the per-request energy
 column of :meth:`InferenceEngine.stats`.
+
+Startup guardrail (artifact v1.1): when the manifest carries a
+``guardrail`` block (a held-out calibration batch with its expected
+serving-path logits and reference accuracy), the engine replays it before
+accepting any traffic.  A replay that is not bit-identical to the recorded
+logits, or whose accuracy drifts beyond the recorded tolerance, raises
+:class:`GuardrailError` from the constructor — a process that cannot
+reproduce its training-time numbers refuses to serve rather than silently
+returning wrong answers.
 """
 
 from __future__ import annotations
@@ -42,7 +51,16 @@ from ..nn import Module
 from ..tensor import Tensor, no_grad
 from .artifact import load_model
 
-__all__ = ["BatchingConfig", "InferenceEngine"]
+__all__ = ["BatchingConfig", "GuardrailError", "InferenceEngine"]
+
+
+class GuardrailError(RuntimeError):
+    """The artifact's startup guardrail was violated; the process must not serve.
+
+    Raised when replaying the manifest's held-out calibration batch either
+    produces logits that are not bit-identical to the recorded ones, or an
+    accuracy outside ``reference_accuracy ± tolerance``.
+    """
 
 
 @dataclass(frozen=True)
@@ -100,6 +118,11 @@ class InferenceEngine:
         serving time.
     input_hw:
         Spatial size assumed by the hardware energy model for conv layers.
+    verify_guardrail:
+        Replay the manifest's v1.1 ``guardrail`` block (when present)
+        before the engine is usable; a violation raises
+        :class:`GuardrailError`.  ``False`` skips the replay (debugging
+        and the export path, which writes the block in the first place).
 
     Use as a context manager (or call :meth:`start`/:meth:`stop`)::
 
@@ -110,7 +133,8 @@ class InferenceEngine:
     def __init__(self, artifact: Union[str, os.PathLike],
                  batching: Optional[BatchingConfig] = None,
                  quantize_activations: bool = True,
-                 input_hw: tuple[int, int] = (32, 32)):
+                 input_hw: tuple[int, int] = (32, 32),
+                 verify_guardrail: bool = True):
         self.artifact_path = os.fspath(artifact)
         self.batching = batching or BatchingConfig()
         self.model, self.manifest = load_model(self.artifact_path)
@@ -138,6 +162,16 @@ class InferenceEngine:
         self._energy_uj = 0.0
         self._compute_uj_per_sample, self._memory_uj_per_batch = (
             self._price_sample(input_hw))
+        self.guardrail_status = "absent"
+        #: Replay summary from the last successful :meth:`run_guardrail`;
+        #: ``None`` when no replay has passed (absent block, skipped,
+        #: or failed).
+        self.guardrail_report: Optional[dict] = None
+        if self.manifest.get("guardrail"):
+            if verify_guardrail:
+                self.run_guardrail()
+            else:
+                self.guardrail_status = "skipped"
 
     def _attach_serving_policy(self) -> None:
         """Attach batch-invariant activation quantization in the artifact format.
@@ -176,6 +210,79 @@ class InferenceEngine:
                 # (dynamic would re-introduce batch dependence).
                 scaler.enabled = False
         self._policy = policy
+
+    # ------------------------------------------------------------------ #
+    # Startup guardrail
+    # ------------------------------------------------------------------ #
+    def run_guardrail(self) -> dict:
+        """Replay the manifest's guardrail batch; raise on any violation.
+
+        Two independent checks, both required — accuracy alone can survive
+        numerics drift on an easy batch, and bit-identity alone says
+        nothing about whether the recorded reference was any good:
+
+        * **bit-identity** — the serving-path forward pass over the
+          recorded inputs must reproduce the recorded logits exactly;
+        * **accuracy tolerance** — the replayed accuracy over the batch
+          must lie within ``tolerance`` of ``reference_accuracy``.
+
+        Returns a summary dict on success and records it as
+        :attr:`guardrail_report`; raises :class:`GuardrailError` otherwise
+        (and marks :attr:`guardrail_status` ``"failed"``).
+        """
+        block = self.manifest.get("guardrail")
+        if not block:
+            self.guardrail_status = "absent"
+            return {"status": "absent"}
+        recorded_quant = bool(block.get("quantize_activations", True))
+        if recorded_quant != self.quantize_activations:
+            # The reference logits were recorded under a different
+            # activation-quantization setting; a bit-identity comparison
+            # would be meaningless, and refusing to serve would make the
+            # explicit --no-activation-quant escape hatch unusable.
+            self.guardrail_status = "skipped"
+            return {"status": "skipped",
+                    "reason": "activation-quantization setting differs from "
+                              "the recorded guardrail"}
+        inputs = np.asarray(block["inputs"], dtype=np.float64)
+        expected = np.asarray(block["logits"], dtype=np.float64)
+        labels = np.asarray(block.get("labels", ()), dtype=np.int64)
+        tolerance = float(block.get("tolerance", 0.0))
+        reference = block.get("reference_accuracy")
+        logits = self._forward(inputs)
+        bit_identical = (logits.shape == expected.shape
+                         and np.array_equal(logits, expected))
+        accuracy = None
+        if labels.size:
+            accuracy = float(np.mean(np.argmax(logits, axis=1) == labels))
+        report = {
+            "samples": int(inputs.shape[0]),
+            "bit_identical": bool(bit_identical),
+            "accuracy": accuracy,
+            "reference_accuracy": reference,
+            "tolerance": tolerance,
+        }
+        if not bit_identical:
+            self.guardrail_status = "failed"
+            self.guardrail_report = None
+            mismatches = (int(np.sum(logits != expected))
+                          if logits.shape == expected.shape else -1)
+            raise GuardrailError(
+                f"guardrail violated for {self.artifact_path}: replayed logits "
+                f"are not bit-identical to the manifest's recorded logits "
+                f"({mismatches} mismatched elements over "
+                f"{int(inputs.shape[0])} samples); refusing to serve")
+        if (accuracy is not None and reference is not None
+                and abs(accuracy - float(reference)) > tolerance):
+            self.guardrail_status = "failed"
+            self.guardrail_report = None
+            raise GuardrailError(
+                f"guardrail violated for {self.artifact_path}: replayed "
+                f"accuracy {accuracy:.4f} is outside the recorded reference "
+                f"{float(reference):.4f} ± {tolerance}; refusing to serve")
+        self.guardrail_status = "passed"
+        self.guardrail_report = report
+        return report
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -383,6 +490,7 @@ class InferenceEngine:
             "artifact": self.artifact_path,
             "format": self.format.spec(),
             "model": (self.manifest.get("model") or {}).get("model"),
+            "guardrail": self.guardrail_status,
             "requests": requests,
             "rejected": rejected,
             "batches": batches,

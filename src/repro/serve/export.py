@@ -31,7 +31,8 @@ from ..tensor import Tensor, no_grad
 from .artifact import save_model
 
 __all__ = ["export_experiment", "train_and_export", "serve_best",
-           "default_export_format", "calibrate_activation_centers", "OBJECTIVES"]
+           "default_export_format", "calibrate_activation_centers",
+           "build_guardrail", "OBJECTIVES"]
 
 #: Objective name -> (record metric extractor, pick-max?).
 OBJECTIVES = {
@@ -118,6 +119,46 @@ def calibrate_activation_centers(model, fmt: Union[NumberFormat, str], loader,
             if estimator.calibrated_center is not None}
 
 
+def build_guardrail(path: Union[str, os.PathLike], loader,
+                    samples: int = 16, tolerance: float = 0.0,
+                    quantize_activations: bool = True) -> dict:
+    """Compute the v1.1 guardrail block for an already-written artifact.
+
+    Loads ``path`` through the *serving* stack (an
+    :class:`~repro.serve.engine.InferenceEngine` with the manifest's frozen
+    activation calibration installed, guardrail verification off — the
+    block does not exist yet) and runs the first ``samples`` held-out
+    samples of ``loader`` through it.  The recorded logits are therefore
+    exactly what a healthy serving process must reproduce, bit for bit, at
+    startup; the recorded accuracy is the replay's accuracy over the same
+    batch, so any drift beyond ``tolerance`` is a serving-side regression,
+    not dataset noise.
+    """
+    from .engine import InferenceEngine
+
+    if samples < 1:
+        raise ValueError(f"guardrail needs at least 1 sample, got {samples}")
+    for inputs, labels in loader:
+        batch = np.asarray(inputs, dtype=np.float64)[:samples]
+        batch_labels = np.asarray(labels)[:samples]
+        break
+    else:
+        raise ValueError("guardrail calibration loader yielded no batches")
+    engine = InferenceEngine(path, quantize_activations=quantize_activations,
+                             verify_guardrail=False)
+    logits = engine.predict_batch(batch)
+    accuracy = float(np.mean(np.argmax(logits, axis=1) == batch_labels))
+    return {
+        "samples": int(batch.shape[0]),
+        "inputs": batch.tolist(),
+        "labels": [int(label) for label in batch_labels],
+        "logits": logits.tolist(),
+        "reference_accuracy": accuracy,
+        "tolerance": float(tolerance),
+        "quantize_activations": bool(quantize_activations),
+    }
+
+
 def _model_info(experiment) -> dict:
     """Architecture block stored in the manifest (see ``_rebuild_model``)."""
     config = experiment.config
@@ -138,6 +179,8 @@ def export_experiment(experiment, path: Union[str, os.PathLike],
                       use_scaling: bool = True, sigma: int = 2,
                       calibrate: bool = True,
                       calibration_batches: int = 1,
+                      guardrail_samples: int = 16,
+                      guardrail_tolerance: float = 0.0,
                       metadata: Optional[Mapping] = None) -> dict:
     """Export a built (usually trained) experiment's model to ``path``.
 
@@ -146,7 +189,13 @@ def export_experiment(experiment, path: Union[str, os.PathLike],
     posit(8,1) without the caller restating it.  With ``calibrate=True``
     (default) a calibration pass over the experiment's validation loader
     freezes per-layer activation scales into the manifest
-    (:func:`calibrate_activation_centers`).  Returns the manifest.
+    (:func:`calibrate_activation_centers`).  With ``guardrail_samples > 0``
+    (default 16) a held-out batch from the validation loader is replayed
+    through the just-written artifact and recorded as the manifest's v1.1
+    ``guardrail`` block (:func:`build_guardrail`) — the artifact is written
+    twice, the second time with the recorded per-tensor scales, so the
+    packed weights are byte-identical between the passes.  Returns the
+    manifest.
     """
     if fmt is None:
         fmt = default_export_format(experiment.policy)
@@ -161,16 +210,31 @@ def export_experiment(experiment, path: Union[str, os.PathLike],
             experiment.model, fmt, experiment.val_loader, rounding=rounding,
             sigma=sigma, max_batches=calibration_batches)
         calibration = {"sigma": sigma, "centers": centers}
-    return save_model(experiment.model, path, fmt=fmt, rounding=rounding,
-                      use_scaling=use_scaling, sigma=sigma,
-                      model_info=_model_info(experiment), metadata=extra,
-                      activation_calibration=calibration)
+    manifest = save_model(experiment.model, path, fmt=fmt, rounding=rounding,
+                          use_scaling=use_scaling, sigma=sigma,
+                          model_info=_model_info(experiment), metadata=extra,
+                          activation_calibration=calibration)
+    if guardrail_samples > 0:
+        guardrail = build_guardrail(path, experiment.val_loader,
+                                    samples=guardrail_samples,
+                                    tolerance=guardrail_tolerance)
+        scales = {entry["name"]: entry["scale"]
+                  for entry in manifest["tensors"] if entry["kind"] == "param"}
+        manifest = save_model(experiment.model, path, fmt=fmt,
+                              rounding=rounding, use_scaling=use_scaling,
+                              sigma=sigma, model_info=_model_info(experiment),
+                              metadata=extra,
+                              activation_calibration=calibration,
+                              scales=scales, guardrail=guardrail)
+    return manifest
 
 
 def train_and_export(config, path: Union[str, os.PathLike],
                      fmt: Union[NumberFormat, str, None] = None,
                      rounding: str = "nearest", use_scaling: bool = True,
                      sigma: int = 2, calibrate: bool = True,
+                     guardrail_samples: int = 16,
+                     guardrail_tolerance: float = 0.0,
                      metadata: Optional[Mapping] = None) -> tuple[dict, object]:
     """Train the experiment described by ``config``, then export it.
 
@@ -187,7 +251,10 @@ def train_and_export(config, path: Union[str, os.PathLike],
         extra.update(metadata)
     manifest = export_experiment(experiment, path, fmt=fmt, rounding=rounding,
                                  use_scaling=use_scaling, sigma=sigma,
-                                 calibrate=calibrate, metadata=extra)
+                                 calibrate=calibrate,
+                                 guardrail_samples=guardrail_samples,
+                                 guardrail_tolerance=guardrail_tolerance,
+                                 metadata=extra)
     return manifest, history
 
 
@@ -229,7 +296,9 @@ def serve_best(store: Union[ResultStore, str], path: Union[str, os.PathLike],
                objective: str = "accuracy",
                fmt: Union[NumberFormat, str, None] = None,
                rounding: str = "nearest", use_scaling: bool = True,
-               sigma: int = 2, calibrate: bool = True) -> tuple[dict, dict]:
+               sigma: int = 2, calibrate: bool = True,
+               guardrail_samples: int = 16,
+               guardrail_tolerance: float = 0.0) -> tuple[dict, dict]:
     """Re-train and export the best run of a sweep store.
 
     Returns ``(manifest, record)`` — the written artifact's manifest and the
@@ -244,6 +313,8 @@ def serve_best(store: Union[ResultStore, str], path: Union[str, os.PathLike],
     manifest, _history = train_and_export(
         record["config"], path, fmt=fmt, rounding=rounding,
         use_scaling=use_scaling, sigma=sigma, calibrate=calibrate,
+        guardrail_samples=guardrail_samples,
+        guardrail_tolerance=guardrail_tolerance,
         metadata={"sweep_run_id": record.get("run_id"),
                   "sweep_run_name": record.get("name"),
                   "objective": objective,

@@ -74,6 +74,7 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
     lock = threading.Lock()
     start_barrier = threading.Barrier(concurrency + 1)
     predictions = 0
+    served_by: dict[int, int] = {}
 
     def _worker(worker_index: int) -> None:
         nonlocal predictions
@@ -92,6 +93,12 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
             with lock:
                 latencies.append(elapsed)
                 predictions += len(response.get("predictions", ()))
+                # Multi-worker backends stamp each response with the engine
+                # worker that served it; tally the spread so load tests can
+                # assert every worker actually took traffic.
+                if "worker" in response:
+                    served_by[response["worker"]] = (
+                        served_by.get(response["worker"], 0) + 1)
 
     threads = [threading.Thread(target=_worker, args=(index,), daemon=True)
                for index in range(concurrency)]
@@ -113,6 +120,7 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
         failed=len(errors),
         errors=errors[:10],
         predictions=predictions,
+        served_by=dict(sorted(served_by.items())),
         wall_seconds=wall,
         throughput_rps=(completed / wall) if wall > 0 else 0.0,
         latency_p50_ms=(float(np.percentile(observed, 50)) * 1000.0

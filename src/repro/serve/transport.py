@@ -18,6 +18,14 @@ server runs anywhere the library does:
 :class:`LocalClient` exposes the same request/response contract in process
 (tests and the load generator run against either transport unchanged), and
 :class:`HTTPClient` is the matching :mod:`urllib` client.
+
+The HTTP shell is backend-agnostic: :class:`ModelServer` fronts one
+in-process :class:`~repro.serve.engine.InferenceEngine`, and
+:class:`ClusterServer` fronts a multi-worker
+:class:`~repro.serve.cluster.ServeCluster` — same endpoints, same error
+mapping, so clients cannot tell one worker from eight (except that
+``/stats`` aggregates across workers and ``/predict`` responses carry the
+serving worker's index).
 """
 
 from __future__ import annotations
@@ -34,7 +42,8 @@ import numpy as np
 
 from .engine import InferenceEngine
 
-__all__ = ["ModelServer", "LocalClient", "HTTPClient", "ServeClientError"]
+__all__ = ["ModelServer", "ClusterServer", "LocalClient", "HTTPClient",
+           "ServeClientError"]
 
 
 class ServeClientError(RuntimeError):
@@ -59,6 +68,61 @@ def _predict_payload(engine: InferenceEngine, samples: Sequence) -> dict:
     }
 
 
+class _EngineBackend:
+    """Serving backend over one in-process :class:`InferenceEngine`."""
+
+    def __init__(self, engine: InferenceEngine):
+        self.engine = engine
+
+    def handle_predict(self, samples) -> dict:
+        return _predict_payload(self.engine, samples)
+
+    def healthz(self) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "artifact": self.engine.artifact_path,
+            "format": self.engine.format.spec(),
+            "guardrail": self.engine.guardrail_status,
+        }
+
+    def stats(self) -> dict:
+        return self.engine.stats()
+
+    def start(self) -> None:
+        self.engine.start()
+
+    def stop(self) -> None:
+        self.engine.stop()
+
+
+class _ClusterBackend:
+    """Serving backend over a multi-worker ``ServeCluster``."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def handle_predict(self, samples) -> dict:
+        if not isinstance(samples, (list, tuple)) or not samples:
+            raise ValueError("'inputs' must be a non-empty list of samples")
+        return self.cluster.predict(list(samples))
+
+    def healthz(self) -> tuple[int, dict]:
+        payload = self.cluster.healthz()
+        # A cluster with zero live workers is not a server, it is an outage;
+        # degraded (some workers down) still answers 200 so load balancers
+        # keep it in rotation while the supervisor restarts the rest.
+        return (503 if payload["status"] == "down" else 200), payload
+
+    def stats(self) -> dict:
+        return self.cluster.stats()
+
+    def start(self) -> None:
+        self.cluster.start()
+
+    def stop(self) -> None:
+        self.cluster.stop()
+
+
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
@@ -75,18 +139,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     @property
-    def engine(self) -> InferenceEngine:
-        return self.server.engine  # type: ignore[attr-defined]
+    def backend(self):
+        return self.server.backend  # type: ignore[attr-defined]
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib signature
         if self.path == "/healthz":
-            self._reply(200, {
-                "status": "ok",
-                "artifact": self.engine.artifact_path,
-                "format": self.engine.format.spec(),
-            })
+            status, payload = self.backend.healthz()
+            self._reply(status, payload)
         elif self.path == "/stats":
-            self._reply(200, self.engine.stats())
+            self._reply(200, self.backend.stats())
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -99,14 +160,14 @@ class _Handler(BaseHTTPRequestHandler):
             document = json.loads(self.rfile.read(length) or b"")
             if not isinstance(document, dict):
                 raise ValueError("request body must be a JSON object")
-            payload = _predict_payload(self.engine, document.get("inputs"))
+            payload = self.backend.handle_predict(document.get("inputs"))
         except FuturesTimeout as exc:  # wedged/overloaded batcher
             self._reply(504, {"error": f"prediction timed out: {exc}"})
             return
         except (ValueError, TypeError, json.JSONDecodeError) as exc:
             self._reply(400, {"error": str(exc)})
             return
-        except RuntimeError as exc:  # queue full / engine stopped
+        except RuntimeError as exc:  # queue full / engine stopped / no workers
             self._reply(503, {"error": str(exc)})
             return
         except Exception as exc:  # noqa: BLE001 - a JSON 500 beats a dropped
@@ -125,21 +186,14 @@ class _Server(ThreadingHTTPServer):
     request_queue_size = 256
 
 
-class ModelServer:
-    """Threaded HTTP server wrapping one :class:`InferenceEngine`.
+class _HTTPShell:
+    """Shared threaded-HTTP lifecycle over one serving backend."""
 
-    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
-    after construction) — the test- and CI-friendly default.  The server
-    owns the engine lifecycle: :meth:`start` starts the micro-batcher,
-    :meth:`stop` shuts both down.
-    """
-
-    def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
-                 port: int = 0):
-        self.engine = engine
+    def __init__(self, backend, host: str = "127.0.0.1", port: int = 0):
+        self._backend = backend
         self._httpd = _Server((host, port), _Handler)
         self._httpd.daemon_threads = True
-        self._httpd.engine = engine  # type: ignore[attr-defined]
+        self._httpd.backend = backend  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -155,9 +209,9 @@ class ModelServer:
         """Base URL clients should target."""
         return f"http://{self.host}:{self.port}"
 
-    def start(self) -> "ModelServer":
-        """Start the engine and serve requests on a background thread."""
-        self.engine.start()
+    def start(self):
+        """Start the backend and serve requests on a background thread."""
+        self._backend.start()
         if self._thread is None or not self._thread.is_alive():
             self._thread = threading.Thread(target=self._httpd.serve_forever,
                                             name="repro-serve-http", daemon=True)
@@ -165,28 +219,58 @@ class ModelServer:
         return self
 
     def stop(self) -> None:
-        """Stop accepting requests, then stop the engine."""
+        """Stop accepting requests, then stop the backend."""
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
         self._thread = None
         self._httpd.server_close()
-        self.engine.stop()
+        self._backend.stop()
 
     def serve_forever(self) -> None:
         """Blocking serve loop (the ``repro serve`` CLI path)."""
-        self.engine.start()
+        self._backend.start()
         try:
             self._httpd.serve_forever()
         finally:
             self._httpd.server_close()
-            self.engine.stop()
+            self._backend.stop()
 
-    def __enter__(self) -> "ModelServer":
+    def __enter__(self):
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+
+class ModelServer(_HTTPShell):
+    """Threaded HTTP server wrapping one :class:`InferenceEngine`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
+    after construction) — the test- and CI-friendly default.  The server
+    owns the engine lifecycle: :meth:`start` starts the micro-batcher,
+    :meth:`stop` shuts both down.
+    """
+
+    def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
+                 port: int = 0):
+        super().__init__(_EngineBackend(engine), host=host, port=port)
+        self.engine = engine
+
+
+class ClusterServer(_HTTPShell):
+    """One HTTP listener over a multi-worker :class:`ServeCluster`.
+
+    The listener thread pool accepts and parses requests; the actual MAC
+    work happens in the cluster's worker processes, so the GIL in this
+    process only touches JSON framing.  ``/stats`` aggregates across
+    workers; ``/healthz`` reports ``ok``/``degraded``/``down`` (the last
+    with HTTP 503).
+    """
+
+    def __init__(self, cluster, host: str = "127.0.0.1", port: int = 0):
+        super().__init__(_ClusterBackend(cluster), host=host, port=port)
+        self.cluster = cluster
 
 
 class LocalClient:
@@ -211,7 +295,8 @@ class LocalClient:
 
     def healthz(self) -> dict:
         return {"status": "ok", "artifact": self.engine.artifact_path,
-                "format": self.engine.format.spec()}
+                "format": self.engine.format.spec(),
+                "guardrail": self.engine.guardrail_status}
 
     def stats(self) -> dict:
         return self.engine.stats()

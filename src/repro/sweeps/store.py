@@ -125,7 +125,10 @@ class ResultStore:
         """Append one record line and fold it into the in-memory view.
 
         The line is written with an explicit flush + fsync so a crash
-        immediately after return cannot lose it.
+        immediately after return cannot lose it.  A torn tail left by a
+        killed writer (a final line with no newline) is healed first:
+        without the terminator, the new record would glue onto the
+        fragment and *both* would be lost as one malformed line.
         """
         if "run_id" not in record or "status" not in record:
             raise ValueError("store records require 'run_id' and 'status' fields")
@@ -133,8 +136,17 @@ class ResultStore:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        needs_newline = False
+        if os.path.exists(self.path):
+            with open(self.path, "rb") as probe:
+                probe.seek(0, os.SEEK_END)
+                if probe.tell() > 0:
+                    probe.seek(-1, os.SEEK_END)
+                    needs_newline = probe.read(1) != b"\n"
         line = json.dumps(record, sort_keys=True, default=str)
         with open(self.path, "a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())

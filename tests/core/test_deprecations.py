@@ -1,7 +1,12 @@
-"""Tests for the PR-2 deprecation window (legacy Format alias, shims)."""
+"""The PR-2 deprecation window has closed: the shims must be *gone*.
+
+PR 2 deprecated the legacy ``Format`` union alias and the
+``repro.baselines.fixedpoint`` module with a two-PR removal window; these
+tests pin the other side of that promise — the names no longer resolve,
+and the supported replacements import cleanly without warnings.
+"""
 
 import importlib
-import sys
 import warnings
 
 import pytest
@@ -9,57 +14,51 @@ import pytest
 from repro.formats import NumberFormat
 
 
-class TestFormatAlias:
-    def test_core_format_warns(self):
+class TestFormatAliasRemoved:
+    def test_core_format_is_gone(self):
         import repro.core
 
-        with pytest.warns(DeprecationWarning, match="repro.core.Format is deprecated"):
-            alias = repro.core.Format
-        # The alias is still usable: it is Optional[NumberFormat].
-        from typing import Optional
+        with pytest.raises(AttributeError):
+            repro.core.Format
 
-        assert alias == Optional[NumberFormat]
-
-    def test_policy_module_format_warns(self):
+    def test_policy_module_format_is_gone(self):
         from repro.core import policy
 
-        with pytest.warns(DeprecationWarning, match="deprecated"):
+        with pytest.raises(AttributeError):
             policy.Format
 
+    def test_format_not_reexported(self):
+        import repro.core
+        from repro.core import policy
+
+        assert "Format" not in repro.core.__all__
+        assert "Format" not in policy.__all__
+
     def test_tensor_format_replacement_is_silent(self):
+        from typing import Optional
+
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            from repro.core import TensorFormat  # noqa: F401
-            from repro.core.policy import TensorFormat as _  # noqa: F401
+            from repro.core import TensorFormat
+            from repro.core.policy import TensorFormat as PolicyTensorFormat
 
-    def test_unknown_attribute_still_raises(self):
-        import repro.core
-
-        with pytest.raises(AttributeError):
-            repro.core.no_such_attribute
-        with pytest.raises(AttributeError):
-            from repro.core import policy
-
-            policy.no_such_attribute
+        assert TensorFormat is PolicyTensorFormat
+        assert TensorFormat == Optional[NumberFormat]
 
 
-class TestFixedPointShim:
-    def test_importing_shim_warns(self):
+class TestFixedPointShimRemoved:
+    def test_shim_module_is_gone(self):
+        import sys
+
         sys.modules.pop("repro.baselines.fixedpoint", None)
-        with pytest.warns(DeprecationWarning, match="repro.baselines.fixedpoint"):
+        with pytest.raises(ModuleNotFoundError):
             importlib.import_module("repro.baselines.fixedpoint")
 
-    def test_shim_still_exports_the_names(self):
-        shim = importlib.import_module("repro.baselines.fixedpoint")
-        from repro.formats import FixedPointFormat
-
-        assert shim.FixedPointFormat is FixedPointFormat
-
-    def test_package_import_is_silent(self):
-        """`import repro.baselines` must not trip the shim's warning."""
-        sys.modules.pop("repro.baselines.fixedpoint", None)
-        sys.modules.pop("repro.baselines", None)
+    def test_package_reexports_remain_and_are_silent(self):
+        """``repro.baselines`` still re-exports the names, warning-free."""
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             baselines = importlib.import_module("repro.baselines")
-            assert baselines.FixedPointFormat is not None
+        from repro.formats import FixedPointFormat
+
+        assert baselines.FixedPointFormat is FixedPointFormat

@@ -1,0 +1,31 @@
+"""Shared artifact-manipulation helpers for serve tests and CI smokes."""
+
+import json
+import struct
+
+#: RPAK header: magic(4) + version(1) + manifest length prefix (u32 LE).
+_MAGIC_LEN = 4
+_HEADER_LEN = _MAGIC_LEN + 1 + 4
+
+
+def rewrite_manifest(path: str, out_path: str, mutate) -> str:
+    """Copy an artifact with its JSON manifest passed through ``mutate``.
+
+    The one sanctioned way to build corrupted/tampered artifacts in tests
+    (and the CI smoke scripts, which import this module by path): parses
+    the real header, mutates the decoded manifest in place, and re-writes
+    the length prefix — so a change to the RPAK layout breaks exactly one
+    helper instead of silently diverging copies.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    (manifest_len,) = struct.unpack_from("<I", data, _MAGIC_LEN + 1)
+    manifest = json.loads(data[_HEADER_LEN:_HEADER_LEN + manifest_len])
+    mutate(manifest)
+    manifest_bytes = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    with open(out_path, "wb") as handle:
+        handle.write(data[:_MAGIC_LEN + 1])
+        handle.write(struct.pack("<I", len(manifest_bytes)))
+        handle.write(manifest_bytes)
+        handle.write(data[_HEADER_LEN + manifest_len:])
+    return str(out_path)

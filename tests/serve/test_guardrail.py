@@ -1,0 +1,216 @@
+"""Tests for the artifact v1.1 startup accuracy guardrail.
+
+Export embeds a held-out calibration batch (inputs + expected serving-path
+logits + reference accuracy) in the manifest; every serving process replays
+it before accepting traffic and refuses to serve — :class:`GuardrailError`
+— when bit-identity or the accuracy tolerance is violated.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from artifact_tools import rewrite_manifest
+
+from repro.api import ExperimentConfig
+from repro.cli import main as cli_main
+from repro.serve import (
+    ARTIFACT_MINOR_VERSION,
+    GuardrailError,
+    InferenceEngine,
+    artifact_info,
+    build_guardrail,
+    train_and_export,
+)
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    base = dict(name="guardrail_test", dataset="blobs", model="mlp",
+                policy="posit(8,1)", epochs=1, train_size=64, test_size=32,
+                batch_size=16, num_classes=3, model_kwargs={"hidden": [16]})
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("guardrail") / "model.rpak"
+    manifest, _history = train_and_export(small_config(), path)
+    return str(path), manifest
+
+
+# --------------------------------------------------------------------- #
+# Export-side: the block exists and is exact
+# --------------------------------------------------------------------- #
+class TestGuardrailExport:
+    def test_manifest_carries_v11_guardrail_block(self, artifact):
+        _path, manifest = artifact
+        assert manifest["version_minor"] == ARTIFACT_MINOR_VERSION == 1
+        block = manifest["guardrail"]
+        assert block["samples"] == 16
+        assert len(block["inputs"]) == 16
+        assert len(block["logits"]) == 16
+        assert len(block["labels"]) == 16
+        assert 0.0 <= block["reference_accuracy"] <= 1.0
+        assert block["tolerance"] == 0.0
+        assert block["quantize_activations"] is True
+
+    def test_recorded_logits_match_serving_path_exactly(self, artifact):
+        path, manifest = artifact
+        block = manifest["guardrail"]
+        engine = InferenceEngine(path)
+        replayed = engine.predict_batch(np.asarray(block["inputs"]))
+        assert np.array_equal(replayed, np.asarray(block["logits"]))
+
+    def test_guardrail_rewrite_keeps_weights_byte_identical(self, artifact):
+        """The second save (with the guardrail) must not move a single
+        weight bit: the manifests' tensor tables and checksums agree."""
+        path, manifest = artifact
+        on_disk = artifact_info(path)
+        assert on_disk["blob_sha256"] == manifest["blob_sha256"]
+        assert on_disk["tensors"] == manifest["tensors"]
+        assert "guardrail" in on_disk
+
+    def test_export_can_disable_guardrail(self, tmp_path):
+        from repro.api import build_experiment
+        from repro.serve import export_experiment
+
+        experiment = build_experiment(small_config())
+        experiment.run()
+        manifest = export_experiment(experiment, tmp_path / "no_guard.rpak",
+                                     guardrail_samples=0)
+        assert "guardrail" not in manifest
+        engine = InferenceEngine(tmp_path / "no_guard.rpak")
+        assert engine.guardrail_status == "absent"
+
+    def test_build_guardrail_rejects_empty(self, artifact, tmp_path):
+        path, _manifest = artifact
+        with pytest.raises(ValueError, match="at least 1 sample"):
+            build_guardrail(path, loader=iter(()), samples=0)
+        with pytest.raises(ValueError, match="no batches"):
+            build_guardrail(path, loader=iter(()))
+
+
+# --------------------------------------------------------------------- #
+# Serving-side: replay, refusal, escape hatches
+# --------------------------------------------------------------------- #
+class TestGuardrailReplay:
+    def test_healthy_artifact_passes(self, artifact):
+        path, _manifest = artifact
+        engine = InferenceEngine(path)
+        assert engine.guardrail_status == "passed"
+        assert engine.guardrail_report["bit_identical"] is True
+        assert engine.stats()["guardrail"] == "passed"
+
+    def test_tampered_logits_refuse_to_serve(self, artifact, tmp_path):
+        path, _manifest = artifact
+
+        def corrupt(manifest):
+            manifest["guardrail"]["logits"][0][0] += 1e-9
+
+        bad = rewrite_manifest(path, str(tmp_path / "bad.rpak"), corrupt)
+        with pytest.raises(GuardrailError, match="not bit-identical"):
+            InferenceEngine(bad)
+
+    def test_accuracy_drift_refuses_to_serve(self, artifact, tmp_path):
+        """Logits intact but the recorded accuracy unreachable: refused."""
+        path, _manifest = artifact
+
+        def inflate(manifest):
+            manifest["guardrail"]["reference_accuracy"] = 1.0
+            # Make every recorded label wrong relative to the logits, so the
+            # replayed accuracy is 0.0 while bit-identity still holds.
+            logits = np.asarray(manifest["guardrail"]["logits"])
+            num_classes = logits.shape[1]
+            manifest["guardrail"]["labels"] = [
+                int((np.argmax(row) + 1) % num_classes) for row in logits]
+
+        bad = rewrite_manifest(path, str(tmp_path / "drift.rpak"), inflate)
+        with pytest.raises(GuardrailError, match="accuracy"):
+            InferenceEngine(bad)
+
+    def test_tolerance_absorbs_small_drift(self, artifact, tmp_path):
+        path, _manifest = artifact
+
+        def loosen(manifest):
+            block = manifest["guardrail"]
+            logits = np.asarray(block["logits"])
+            num_classes = logits.shape[1]
+            # One wrong label out of 16 shifts accuracy by 1/16 = 0.0625.
+            block["labels"] = ([int((np.argmax(logits[0]) + 1) % num_classes)]
+                               + [int(np.argmax(row)) for row in logits[1:]])
+            block["reference_accuracy"] = 1.0
+            block["tolerance"] = 0.1
+
+        ok = rewrite_manifest(path, str(tmp_path / "loose.rpak"), loosen)
+        engine = InferenceEngine(ok)
+        assert engine.guardrail_status == "passed"
+
+    def test_verify_false_skips_replay(self, artifact, tmp_path):
+        path, _manifest = artifact
+
+        def corrupt(manifest):
+            manifest["guardrail"]["logits"][0][0] += 1.0
+
+        bad = rewrite_manifest(path, str(tmp_path / "skip.rpak"), corrupt)
+        engine = InferenceEngine(bad, verify_guardrail=False)
+        assert engine.guardrail_status == "skipped"
+        # Running it explicitly still refuses.
+        with pytest.raises(GuardrailError):
+            engine.run_guardrail()
+        assert engine.guardrail_status == "failed"
+
+    def test_activation_quant_mismatch_skips_not_refuses(self, artifact):
+        path, _manifest = artifact
+        engine = InferenceEngine(path, quantize_activations=False)
+        assert engine.guardrail_status == "skipped"
+
+    def test_pre_v11_artifact_without_block_still_serves(self, artifact,
+                                                         tmp_path):
+        path, _manifest = artifact
+
+        def strip(manifest):
+            del manifest["guardrail"]
+            manifest["version_minor"] = 0
+
+        old = rewrite_manifest(path, str(tmp_path / "v10.rpak"), strip)
+        engine = InferenceEngine(old)
+        assert engine.guardrail_status == "absent"
+
+
+# --------------------------------------------------------------------- #
+# CLI wiring
+# --------------------------------------------------------------------- #
+class TestGuardrailCLI:
+    def test_cli_export_embeds_and_reports_guardrail(self, tmp_path, capsys):
+        config_path = tmp_path / "exp.json"
+        config_path.write_text(json.dumps(small_config().to_dict()))
+        out = tmp_path / "model.rpak"
+        code = cli_main(["export", "--config", str(config_path),
+                         "--output", str(out), "--guardrail-samples", "8",
+                         "--guardrail-tolerance", "0.25"])
+        assert code == 0
+        assert "guardrail: 8 held-out samples" in capsys.readouterr().out
+        block = artifact_info(out)["guardrail"]
+        assert block["samples"] == 8
+        assert block["tolerance"] == 0.25
+
+    def test_cli_export_no_guardrail(self, tmp_path, capsys):
+        config_path = tmp_path / "exp.json"
+        config_path.write_text(json.dumps(small_config().to_dict()))
+        out = tmp_path / "model.rpak"
+        assert cli_main(["export", "--config", str(config_path),
+                         "--output", str(out), "--no-guardrail"]) == 0
+        assert "guardrail" not in artifact_info(out)
+
+    def test_cli_serve_refuses_corrupted_guardrail(self, artifact, tmp_path,
+                                                   capsys):
+        path, _manifest = artifact
+
+        def corrupt(manifest):
+            manifest["guardrail"]["logits"][0][0] += 1.0
+
+        bad = rewrite_manifest(path, str(tmp_path / "bad.rpak"), corrupt)
+        code = cli_main(["serve", bad])
+        assert code == 3
+        assert "refusing to serve" in capsys.readouterr().err

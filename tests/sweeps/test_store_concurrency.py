@@ -1,0 +1,169 @@
+"""Concurrency hardening for the JSONL :class:`ResultStore`.
+
+The store's design claims (append-only, one record per line, a killed
+writer loses at most its current line, resume never recomputes an ``"ok"``
+cell) are exercised here under the conditions that actually threaten them:
+two *processes* appending to the same file at once, and a writer SIGKILLed
+mid-stream leaving a torn final record behind.
+"""
+
+import json
+import multiprocessing as mp
+import os
+import signal
+import time
+
+from repro.api import ExperimentConfig
+from repro.sweeps import ResultStore, SweepAxis, SweepConfig, run_sweep
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _append_records(path: str, prefix: str, count: int, payload_floats: int,
+                    started) -> None:
+    """Writer-process body: append ``count`` records as fast as possible."""
+    store = ResultStore(path)
+    filler = [float(index) / 3.0 for index in range(payload_floats)]
+    started.set()
+    for index in range(count):
+        store.append({
+            "run_id": f"{prefix}-{index}",
+            "status": "ok",
+            "index": index,
+            "metrics": {"final_val_accuracy": 0.5, "filler": filler},
+        })
+
+
+class TestTwoProcessWriters:
+    def test_concurrent_appends_all_survive(self, tmp_path):
+        """Two writer processes, one file: every record lands intact.
+
+        Appends go through O_APPEND writes of complete lines, so two
+        processes may interleave *lines* but never tear each other's
+        records.
+        """
+        path = str(tmp_path / "store.jsonl")
+        ctx = _mp_context()
+        count = 200
+        events = [ctx.Event(), ctx.Event()]
+        writers = [
+            ctx.Process(target=_append_records,
+                        args=(path, f"writer{rank}", count, 8, events[rank]))
+            for rank in range(2)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=120)
+            assert writer.exitcode == 0
+        store = ResultStore(path)
+        records = store.load()
+        assert store.skipped_lines == 0
+        assert len(records) == 2 * count
+        for rank in range(2):
+            for index in range(count):
+                record = records[f"writer{rank}-{index}"]
+                assert record["status"] == "ok"
+                assert len(record["metrics"]["filler"]) == 8
+
+    def test_kill_mid_write_leaves_at_most_one_torn_record(self, tmp_path):
+        """SIGKILL a busy writer; the store stays loadable, losing <= 1 line."""
+        path = str(tmp_path / "store.jsonl")
+        ctx = _mp_context()
+        started = ctx.Event()
+        victim = ctx.Process(target=_append_records,
+                             args=(path, "victim", 100_000, 64, started))
+        victim.start()
+        assert started.wait(timeout=60)
+        # Let it write for a moment, then kill it mid-stream.
+        deadline = time.time() + 30
+        while time.time() < deadline and not os.path.exists(path):
+            time.sleep(0.01)
+        time.sleep(0.05)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+        assert victim.exitcode == -signal.SIGKILL
+
+        store = ResultStore(path)
+        records = store.load()
+        # fsync-per-append means a complete line per loaded record; the only
+        # possible damage is the line being written at kill time.
+        assert store.skipped_lines <= 1
+        assert records, "the killed writer should have landed some records"
+        indices = sorted(record["index"] for record in records.values())
+        # Records land in order; a torn tail must not create gaps.
+        assert indices == list(range(len(indices)))
+        # The survivor store keeps accepting appends.
+        store.append({"run_id": "after-kill", "status": "ok", "metrics": {}})
+        assert "after-kill" in ResultStore(path).load()
+
+
+class TestTornRecordResume:
+    @staticmethod
+    def _sweep():
+        base = ExperimentConfig(dataset="blobs", model="mlp", epochs=1,
+                                train_size=48, test_size=16, batch_size=16,
+                                num_classes=3, model_kwargs={"hidden": [8]})
+        return SweepConfig(name="torn", base=base,
+                           grid=[SweepAxis.of("policy", ("posit(8,1)", "fp32"))])
+
+    def test_resume_skips_completed_and_tolerates_torn_tail(self, tmp_path):
+        """A torn final record does not poison resume: completed cells are
+        skipped, only the cell whose record was torn is recomputed."""
+        store_path = str(tmp_path / "torn.jsonl")
+        sweep = self._sweep()
+        summary = run_sweep(sweep, store=store_path, workers=1)
+        assert summary.executed == 2 and summary.failed == 0
+
+        # Tear the *last* record exactly as a mid-write kill would: keep the
+        # first line intact, truncate the second mid-JSON, no newline.
+        with open(store_path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 2
+        torn_run_id = json.loads(lines[1])["run_id"]
+        with open(store_path, "w", encoding="utf-8") as handle:
+            handle.write(lines[0] + "\n")
+            handle.write(lines[1][:len(lines[1]) // 2])
+
+        store = ResultStore(store_path)
+        store.load()
+        assert store.skipped_lines == 1
+        assert torn_run_id not in store.completed_ids()
+
+        resumed = run_sweep(sweep, store=store_path, workers=1)
+        assert resumed.skipped == 1      # the intact cell is never recomputed
+        assert resumed.executed == 1     # only the torn cell reruns
+        assert resumed.failed == 0
+        repaired = ResultStore(store_path)
+        assert repaired.completed_ids() == {run.run_id
+                                            for run in sweep.expand()}
+
+    def test_torn_tail_plus_concurrent_writer(self, tmp_path):
+        """A reader sees a consistent view while another process appends
+        behind a torn record (the torn line is skipped, not fatal)."""
+        path = str(tmp_path / "mixed.jsonl")
+        seed = ResultStore(path)
+        seed.append({"run_id": "intact", "status": "ok", "metrics": {}})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"run_id": "torn", "status": "o')  # no newline
+
+        ctx = _mp_context()
+        started = ctx.Event()
+        writer = ctx.Process(target=_append_records,
+                             args=(path, "late", 50, 4, started))
+        writer.start()
+        writer.join(timeout=120)
+        assert writer.exitcode == 0
+
+        store = ResultStore(path)
+        records = store.load()
+        assert "intact" in records
+        assert "torn" not in records
+        # Append healing terminates the torn fragment before writing, so
+        # only the fragment itself is lost — every late record survives.
+        assert store.skipped_lines == 1
+        late = [run_id for run_id in records if run_id.startswith("late-")]
+        assert len(late) == 50

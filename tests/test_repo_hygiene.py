@@ -1,0 +1,57 @@
+"""Repository hygiene: no bytecode may be tracked or trackable.
+
+``src/repro/__pycache__`` and friends regenerate on every
+``PYTHONPATH=src`` run; if ``.gitignore`` ever loses its bytecode
+patterns (or someone force-adds a ``.pyc``) the working tree fills with
+noise and review diffs grow garbage.  These tests pin both properties at
+the repo level so the regression is caught by the tier-1 suite instead of
+by an annoyed reviewer.
+"""
+
+import os
+import shutil
+import subprocess
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _git(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(["git", "-C", REPO_ROOT, *args],
+                          capture_output=True, text=True, timeout=60)
+
+
+def _require_git_checkout() -> None:
+    if shutil.which("git") is None:
+        pytest.skip("git is not installed")
+    probe = _git("rev-parse", "--is-inside-work-tree")
+    if probe.returncode != 0 or probe.stdout.strip() != "true":
+        pytest.skip("not running from a git checkout")
+
+
+def test_no_bytecode_is_tracked():
+    _require_git_checkout()
+    listing = _git("ls-files")
+    assert listing.returncode == 0, listing.stderr
+    offenders = [line for line in listing.stdout.splitlines()
+                 if "__pycache__" in line or line.endswith((".pyc", ".pyo"))]
+    assert not offenders, f"tracked bytecode files: {offenders}"
+
+
+def test_gitignore_covers_bytecode_everywhere():
+    """Every bytecode path git could see must be ignored, at any depth."""
+    _require_git_checkout()
+    probes = [
+        "src/repro/__pycache__/api.cpython-311.pyc",
+        "src/repro/formats/__pycache__/base.cpython-311.pyc",
+        "tests/__pycache__/conftest.cpython-311.pyc",
+        "benchmarks/__pycache__/anything.pyc",
+        "examples/stray.pyc",
+        "deep/nested/new/package/__pycache__/mod.pyc",
+    ]
+    # `git check-ignore` exits 0 when *any* argument is ignored, so probe
+    # one path at a time and collect the uncovered ones.
+    uncovered = [probe for probe in probes
+                 if _git("check-ignore", "-q", probe).returncode != 0]
+    assert not uncovered, f"paths not covered by .gitignore: {uncovered}"
