@@ -13,7 +13,8 @@ Commands::
                             [--all] [--csv | --json]
     repro formats list [--family posit|float|fixed]
     repro export (--config FILE | --store FILE [--objective accuracy|energy])
-                 --output PATH [--format SPEC] [--no-scaling] [--no-calibrate]
+                 --output PATH [--format SPEC] [--format-map NAME=SPEC ...]
+                 [--no-scaling] [--no-calibrate]
                  [--guardrail-samples N] [--guardrail-tolerance F]
                  [--no-guardrail]
     repro serve  ARTIFACT [--workers N] [--max-restarts N] [--host H]
@@ -24,7 +25,10 @@ Sweep files are committed JSON / YAML-lite documents (see
 ``examples/sweeps/``); results accumulate in append-only JSONL stores, so
 ``sweep run`` is restartable and incremental by construction.  ``export``
 packs a trained model into an n-bit artifact (training it first when given
-a config, re-training the store's best cell when given a sweep store), and
+a config, re-training the store's best cell when given a sweep store) —
+since artifact v2 each tensor is packed in its own format, defaulting from
+the training policy's role assignment with ``--format-map`` per-tensor
+overrides — and
 ``serve`` exposes it over HTTP with dynamic micro-batching — one engine in
 process by default, or ``--workers N`` supervised engine processes behind
 the same listener.  Exports embed a v1.1 startup guardrail (a held-out
@@ -115,8 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--output", "-o", required=True,
                         help="artifact output path (e.g. model.rpak)")
     export.add_argument("--format", dest="fmt", default=None, metavar="SPEC",
-                        help="storage format spec (default: inferred from the "
-                             "policy's weight format)")
+                        help="uniform storage format spec (default: per-tensor "
+                             "formats inferred from the policy's weight roles)")
+    export.add_argument("--format-map", dest="format_map", action="append",
+                        default=None, metavar="NAME=SPEC",
+                        help="per-tensor storage override: exact parameter "
+                             "name or fnmatch pattern = registry spec, e.g. "
+                             "layers.0.weight=posit(6,1) or "
+                             "'features.*.weight=fixed(16,13)'; repeatable")
     export.add_argument("--objective", default="accuracy",
                         choices=("accuracy", "energy"),
                         help="best-run criterion for --store (default: accuracy)")
@@ -257,10 +267,33 @@ def _cmd_sweep_pareto(args) -> int:
     return 0
 
 
+def _parse_format_map(entries) -> Optional[dict]:
+    """``NAME=SPEC`` CLI entries -> ordered mapping (first match wins)."""
+    if not entries:
+        return None
+    mapping = {}
+    for entry in entries:
+        name, separator, spec = entry.partition("=")
+        if not separator or not name.strip() or not spec.strip():
+            raise ValueError(
+                f"--format-map expects NAME=SPEC "
+                f"(e.g. layers.0.weight=posit(6,1)), got {entry!r}")
+        name = name.strip()
+        if name in mapping:
+            # Silently letting the last duplicate win would ship the wrong
+            # precision without a trace (stale flag left in a script).
+            raise ValueError(
+                f"--format-map given twice for {name!r} "
+                f"({mapping[name]!r} and {spec.strip()!r})")
+        mapping[name] = spec.strip()
+    return mapping
+
+
 def _cmd_export(args) -> int:
-    from .serve import serve_best, train_and_export
+    from .serve import format_breakdown, serve_best, train_and_export
 
     guardrail_samples = 0 if args.no_guardrail else args.guardrail_samples
+    format_map = _parse_format_map(args.format_map)
     if args.store:
         manifest, record = serve_best(args.store, args.output,
                                       objective=args.objective, fmt=args.fmt,
@@ -268,7 +301,8 @@ def _cmd_export(args) -> int:
                                       use_scaling=not args.no_scaling,
                                       calibrate=not args.no_calibrate,
                                       guardrail_samples=guardrail_samples,
-                                      guardrail_tolerance=args.guardrail_tolerance)
+                                      guardrail_tolerance=args.guardrail_tolerance,
+                                      format_map=format_map)
         print(f"exported best run {record.get('name')} "
               f"({args.objective}={manifest['metadata'].get('objective_value')})")
     else:
@@ -278,7 +312,8 @@ def _cmd_export(args) -> int:
             config, args.output, fmt=args.fmt, rounding=args.rounding,
             use_scaling=not args.no_scaling, calibrate=not args.no_calibrate,
             guardrail_samples=guardrail_samples,
-            guardrail_tolerance=args.guardrail_tolerance)
+            guardrail_tolerance=args.guardrail_tolerance,
+            format_map=format_map)
         print(f"trained {config.get('name', 'experiment')}: "
               f"val_acc={history.final_val_accuracy:.3f}")
 
@@ -288,6 +323,13 @@ def _cmd_export(args) -> int:
     if size < fp32:
         line += f" (fp32 state: {fp32} bytes, {fp32 / size:.2f}x smaller)"
     print(line)
+    param_specs = {entry["format"] for entry in manifest["tensors"]
+                   if entry["kind"] == "param"}
+    if len(param_specs) > 1:
+        breakdown = format_breakdown(manifest)
+        print("per-tensor formats: "
+              + "  ".join(f"{spec}: {row['tensors']} tensors, {row['nbytes']} B"
+                          for spec, row in sorted(breakdown.items())))
     guardrail = manifest.get("guardrail")
     if guardrail:
         print(f"guardrail: {guardrail['samples']} held-out samples, "

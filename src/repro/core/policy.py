@@ -359,6 +359,37 @@ class QuantizationPolicy:
             contexts[name] = context
         return contexts
 
+    def export_formats(self, model: Module) -> dict[str, TensorFormat]:
+        """Per-parameter **storage** formats mirroring the forward weight roles.
+
+        The serving-artifact counterpart of :meth:`attach`: for every
+        parameter of every layer the policy covers, the layer's *weight*
+        role format (the tensor that actually lives in the packed artifact)
+        is assigned — so a ``cifar_paper`` policy (posit(8,1) CONV,
+        posit(16,1) BN) exports a genuinely mixed-precision artifact, the
+        Table III assignment carried through to deployment.  ``None``
+        values mean full precision (the exporter stores those as
+        ``"fp32"``); parameters of uncovered layers are absent from the
+        map and fall back to the exporter's default format.  The first- /
+        last-layer full-precision flags apply exactly as in :meth:`attach`.
+        """
+        quantizable = [
+            (name, module)
+            for name, module in model.named_modules()
+            if self.formats_for(module) is not None
+        ]
+        result: dict[str, TensorFormat] = {}
+        for index, (name, module) in enumerate(quantizable):
+            formats = self.formats_for(module)
+            if self.first_layer_full_precision and index == 0:
+                formats = RoleFormats.full_precision()
+            if self.last_layer_full_precision and index == len(quantizable) - 1:
+                formats = RoleFormats.full_precision()
+            for param_name, _param in module.named_parameters():
+                qualified = f"{name}.{param_name}" if name else param_name
+                result[qualified] = formats.weight
+        return result
+
     @staticmethod
     def detach(model: Module) -> None:
         """Remove all quantization contexts from ``model`` (back to FP32)."""

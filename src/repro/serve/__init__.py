@@ -9,7 +9,14 @@ in posit is *served* in posit.  Four layers, composable separately:
   (sub-byte widths included) behind a checksummed JSON manifest;
   bit-identical round trips, and the paper's 4x-vs-FP32 memory claim made
   measurable on real checkpoints (:func:`~repro.serve.artifact.save_model`,
-  :func:`~repro.serve.artifact.load_model`).
+  :func:`~repro.serve.artifact.load_model`).  Since artifact **v2.0** the
+  format is per tensor — mixed-precision exports mirror the training
+  policy's :class:`~repro.core.policy.RoleFormats` assignment — and every
+  tensor lives in its own SHA-256-checksummed segment, so loads stream one
+  tensor at a time (:func:`~repro.serve.artifact.iter_tensors`,
+  :func:`~repro.serve.artifact.segment_table`) with peak extra memory
+  bounded by the largest segment; v1.0/v1.1 artifacts load bit-identically
+  (golden fixtures under ``tests/serve/fixtures/`` pin this).
 * :mod:`repro.serve.engine` — :class:`InferenceEngine`: loads one artifact,
   caches decoded weights + activation quantizers, and serves through
   dynamic micro-batching (coalesce up to ``max_batch`` requests within
@@ -48,12 +55,18 @@ then ``repro serve model.rpak --port 8000``.
 from .artifact import (
     ARTIFACT_MINOR_VERSION,
     ARTIFACT_VERSION,
+    SUPPORTED_VERSIONS,
     ArtifactError,
     artifact_info,
+    format_breakdown,
     fp32_state_nbytes,
+    iter_tensors,
     load_model,
     load_state,
+    read_manifest,
+    resolve_format_map,
     save_model,
+    segment_table,
 )
 from .cluster import ClusterConfig, ClusterError, ServeCluster
 from .engine import BatchingConfig, GuardrailError, InferenceEngine
@@ -61,6 +74,7 @@ from .export import (
     build_guardrail,
     calibrate_activation_centers,
     default_export_format,
+    default_export_format_map,
     export_experiment,
     pick_best_record,
     serve_best,
@@ -79,6 +93,7 @@ from .transport import (
 __all__ = [
     "ARTIFACT_VERSION",
     "ARTIFACT_MINOR_VERSION",
+    "SUPPORTED_VERSIONS",
     "ArtifactError",
     "GuardrailError",
     "ClusterConfig",
@@ -89,7 +104,12 @@ __all__ = [
     "save_model",
     "load_model",
     "load_state",
+    "iter_tensors",
     "artifact_info",
+    "read_manifest",
+    "segment_table",
+    "format_breakdown",
+    "resolve_format_map",
     "fp32_state_nbytes",
     "pack_codes",
     "unpack_codes",
@@ -105,6 +125,7 @@ __all__ = [
     "serve_best",
     "pick_best_record",
     "default_export_format",
+    "default_export_format_map",
     "calibrate_activation_centers",
     "run_load",
     "LoadReport",

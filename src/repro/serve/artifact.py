@@ -9,17 +9,25 @@ array.  This module is the software realization of that storage format:
   into a dense n-bit buffer (:mod:`repro.serve.packing`) with the layer-wise
   Eq. (2)/(3) scale factor recorded per tensor, so decoding is exactly
   ``from_bits(codes) * scale``;
+* since **v2.0** the format is **per tensor**: the manifest's ``tensors[]``
+  entries each carry their own registry spec, so a mixed-precision model —
+  posit(8,1) conv weights next to posit(16,1) BatchNorm parameters, the
+  paper's Table III footnote shape — packs each tensor at its own bit width
+  with its own Eq. (2) scale (``format_map`` / ``resolve_format_map``);
 * non-trainable buffers (BatchNorm running statistics) are stored as raw
   little-endian ``float32`` — they are not part of the paper's quantized
   state and are negligibly small;
 * a JSON manifest carries the format specs, shapes, scales, byte offsets,
-  model-architecture description, and a SHA-256 over the packed blob, so a
-  corrupted or truncated artifact is rejected at load time;
-* since v1.1 the manifest may carry a **guardrail block**: a small held-out
-  calibration batch (inputs, labels, the exact serving-path logits, and the
-  reference accuracy) that every serving process replays at startup,
-  refusing to serve when the replay is not bit-identical or the accuracy
-  drifts beyond the recorded tolerance (:mod:`repro.serve.engine`);
+  model-architecture description, and — v2.0 — a SHA-256 **per segment**,
+  so the reader can stream one tensor at a time (:func:`iter_tensors`) with
+  peak extra memory bounded by the largest single segment instead of the
+  whole blob, while still rejecting any single-byte corruption and naming
+  the offending segment;
+* the manifest may carry a **guardrail block** (since v1.1): a small
+  held-out calibration batch (inputs, labels, the exact serving-path
+  logits, and the reference accuracy) that every serving process replays at
+  startup, refusing to serve when the replay is not bit-identical or the
+  accuracy drifts beyond the recorded tolerance (:mod:`repro.serve.engine`);
 * :func:`load_model` rebuilds the architecture from the manifest (via
   :mod:`repro.api`'s model zoo) and restores the decoded weights —
   bit-identical across save/load/save round trips for every registry format,
@@ -28,15 +36,23 @@ array.  This module is the software realization of that storage format:
 File layout (single file, magic ``RPAK`` + one version byte)::
 
     b"RPAK" | version:u8 | manifest_len:u32-LE | manifest JSON | packed blob
+
+Version compatibility: this reader loads **v1** artifacts (monolithic
+``blob_sha256``, one uniform format) bit-identically to the v1 reader — a
+uniform format is just the degenerate per-tensor map — which the golden
+fixtures under ``tests/serve/fixtures/`` pin byte for byte.  The v1 writer
+is kept (``save_model(..., version=1)``) so those fixtures can be
+regenerated and the matrix extended when a v3 ships.
 """
 
 from __future__ import annotations
 
+import fnmatch
 import hashlib
 import json
 import os
 import struct
-from typing import Mapping, Optional, Union
+from typing import Iterator, Mapping, Optional, Union
 
 import numpy as np
 
@@ -50,19 +66,34 @@ __all__ = [
     "save_model",
     "load_model",
     "load_state",
+    "iter_tensors",
     "artifact_info",
+    "read_manifest",
+    "segment_table",
+    "format_breakdown",
+    "resolve_format_map",
     "fp32_state_nbytes",
     "ARTIFACT_VERSION",
     "ARTIFACT_MINOR_VERSION",
+    "SUPPORTED_VERSIONS",
 ]
 
 MAGIC = b"RPAK"
-ARTIFACT_VERSION = 1
+#: Current artifact major version: per-tensor formats + checksummed segments.
+ARTIFACT_VERSION = 2
 #: Manifest minor version.  Minor bumps are additive (new optional manifest
-#: blocks like v1.1's ``guardrail``); readers accept any minor under the
-#: same major, so v1.0 artifacts load unchanged and v1.1 artifacts degrade
-#: gracefully on v1.0 readers (which simply ignore the new block).
-ARTIFACT_MINOR_VERSION = 1
+#: blocks like v1.1's ``guardrail``); readers accept any minor under a
+#: supported major.
+ARTIFACT_MINOR_VERSION = 0
+#: Major versions this reader loads.  v1 artifacts (uniform format, one
+#: monolithic blob checksum) decode bit-identically to the v1 reader.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Minor version the legacy v1 writer stamps (v1.1 = guardrail-capable).
+_V1_MINOR_VERSION = 1
+
+#: RPAK header: magic(4) + version(1) + manifest length prefix (u32 LE).
+_HEADER_LEN = len(MAGIC) + 1 + 4
 
 #: Manifest ``format`` value for raw little-endian float32 buffer tensors.
 RAW_FP32 = "raw_fp32"
@@ -87,6 +118,74 @@ def _blob_sha256(blob: bytes) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
+def _as_format(fmt: Union[NumberFormat, str]) -> NumberFormat:
+    fmt = parse_format(fmt) if isinstance(fmt, str) else fmt
+    if not isinstance(fmt, NumberFormat):
+        raise TypeError(f"expected a NumberFormat or spec string, got {fmt!r}")
+    return fmt
+
+
+def resolve_format_map(names, default: Union[NumberFormat, str, None],
+                       format_map: Optional[Mapping] = None,
+                       ) -> "dict[str, NumberFormat]":
+    """Resolve the storage format of named tensors against a format map.
+
+    ``format_map`` maps tensor names — an exact name always wins; otherwise
+    :mod:`fnmatch` patterns like ``"layers.*.weight"`` are tried in mapping
+    order, first match wins — to registry spec strings or
+    :class:`~repro.formats.NumberFormat` objects.  Names the map does not
+    cover fall back to ``default``; with ``default=None`` uncovered names
+    are simply left out of the result (the partial-resolution mode the
+    exporter uses to layer CLI overrides on top of a policy-derived map).
+    A map entry matching no tensor raises ``ValueError`` — a silently
+    ignored override is a typo shipping the wrong precision.
+    """
+    names = list(names)
+    default = _as_format(default) if default is not None else None
+    if not format_map:
+        if default is None:
+            return {}
+        return {name: default for name in names}
+    entries = [(key, _as_format(value)) for key, value in format_map.items()]
+    exact = {key: fmt for key, fmt in entries}
+    resolved: dict[str, NumberFormat] = {}
+    used: set = set()
+    for name in names:
+        if name in exact:
+            resolved[name] = exact[name]
+            used.add(name)
+            continue
+        for key, fmt in entries:
+            if fnmatch.fnmatchcase(name, key):
+                resolved[name] = fmt
+                used.add(key)
+                break
+        else:
+            if default is not None:
+                resolved[name] = default
+    unused = [key for key, _ in entries if key not in used]
+    if unused:
+        # Distinguish the two failure modes so the diagnostic is true:
+        # an entry may genuinely match nothing (a typo), or match tensors
+        # that a higher-precedence entry (exact name, earlier pattern)
+        # always claimed first (a dead rule that cannot mean what was
+        # intended).
+        unmatched = [key for key in unused
+                     if not any(key == name or fnmatch.fnmatchcase(name, key)
+                                for name in names)]
+        shadowed = [key for key in unused if key not in unmatched]
+        problems = []
+        if unmatched:
+            problems.append(f"entries {unmatched} match no model tensor")
+        if shadowed:
+            problems.append(
+                f"entries {shadowed} are shadowed by earlier entries or "
+                f"exact names and never apply")
+        raise ValueError(
+            f"format_map {'; '.join(problems)} (known tensors: {names})")
+    return resolved
+
+
 def save_model(model: Module, path: Union[str, os.PathLike],
                fmt: Union[NumberFormat, str] = "posit(8,1)",
                rounding: str = "nearest",
@@ -95,17 +194,20 @@ def save_model(model: Module, path: Union[str, os.PathLike],
                metadata: Optional[Mapping] = None,
                activation_calibration: Optional[Mapping] = None,
                scales: Optional[Mapping] = None,
-               guardrail: Optional[Mapping] = None) -> dict:
+               guardrail: Optional[Mapping] = None,
+               format_map: Optional[Mapping] = None,
+               version: Optional[int] = None) -> dict:
     """Write ``model`` to ``path`` as a packed artifact; returns the manifest.
 
     Parameters
     ----------
     model:
         Any :class:`repro.nn.Module`.  Parameters are quantized through
-        ``fmt``; buffers are stored raw (FP32).
+        their resolved format; buffers are stored raw (FP32).
     fmt:
-        The storage :class:`~repro.formats.NumberFormat` (or registry spec
-        string) every parameter is packed in.
+        The default storage :class:`~repro.formats.NumberFormat` (or
+        registry spec string) for every parameter ``format_map`` does not
+        override.
     rounding:
         Rounding mode handed to ``to_bits``.
     use_scaling / sigma:
@@ -134,20 +236,41 @@ def save_model(model: Module, path: Union[str, os.PathLike],
         center (quantization perturbs the log2 mean), silently changing
         the stored codes.
     guardrail:
-        Optional v1.1 startup-guardrail block: ``{"inputs": [[...]...],
+        Optional startup-guardrail block: ``{"inputs": [[...]...],
         "labels": [...], "logits": [[...]...], "reference_accuracy": ...,
-        "tolerance": ...}`` (see
+        "tolerance": ..., "tensor_formats": {...}}`` (see
         :func:`repro.serve.export.build_guardrail`).  Serving processes
         replay it before accepting traffic and refuse to serve on drift.
+    format_map:
+        Optional per-tensor format overrides (exact parameter names or
+        fnmatch patterns -> format spec), resolved through
+        :func:`resolve_format_map`.  This is the mixed-precision export
+        mirroring the training-time :class:`~repro.core.policy.RoleFormats`
+        assignment.  v2 only.
+    version:
+        Artifact major version to write (default: :data:`ARTIFACT_VERSION`).
+        ``version=1`` emits the legacy uniform-format layout byte-for-byte
+        (used by the golden-fixture regeneration script); it rejects
+        ``format_map``.
     """
-    fmt = parse_format(fmt) if isinstance(fmt, str) else fmt
-    if not isinstance(fmt, NumberFormat):
-        raise TypeError(f"fmt must be a NumberFormat or spec string, got {fmt!r}")
+    version = ARTIFACT_VERSION if version is None else int(version)
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"cannot write artifact version {version}; "
+            f"supported versions: {SUPPORTED_VERSIONS}")
+    if version == 1 and format_map:
+        raise ValueError(
+            "artifact v1 packs every tensor in one uniform format; "
+            "per-tensor format_map requires version 2")
+    default_fmt = _as_format(fmt)
+    param_names = [name for name, _ in model.named_parameters()]
+    formats = resolve_format_map(param_names, default_fmt, format_map)
 
     tensors = []
     chunks = []
     offset = 0
     for name, param in model.named_parameters():
+        tensor_fmt = formats[name]
         values = np.asarray(param.data, dtype=np.float64)
         if scales is not None and name in scales:
             scale = float(scales[name])
@@ -155,25 +278,28 @@ def save_model(model: Module, path: Union[str, os.PathLike],
             scale = compute_scale_factor(values, sigma=sigma)
         else:
             scale = 1.0
-        codes = fmt.to_bits(values / scale, mode=rounding)
-        packed = pack_codes(codes, fmt.bits)
-        expected = packed_nbytes(values.size, fmt.bits)
+        codes = tensor_fmt.to_bits(values / scale, mode=rounding)
+        packed = pack_codes(codes, tensor_fmt.bits)
+        expected = packed_nbytes(values.size, tensor_fmt.bits)
         assert len(packed) == expected, (name, len(packed), expected)
-        tensors.append({
+        entry = {
             "name": name,
             "kind": "param",
-            "format": fmt.spec(),
-            "bits": fmt.bits,
+            "format": tensor_fmt.spec(),
+            "bits": tensor_fmt.bits,
             "shape": list(values.shape),
             "scale": float(scale),
             "offset": offset,
             "nbytes": len(packed),
-        })
+        }
+        if version >= 2:
+            entry["sha256"] = _blob_sha256(packed)
+        tensors.append(entry)
         chunks.append(packed)
         offset += len(packed)
     for name, buffer in model.named_buffers():
         raw = np.asarray(buffer, dtype="<f4").tobytes()
-        tensors.append({
+        entry = {
             "name": name,
             "kind": "buffer",
             "format": RAW_FP32,
@@ -182,24 +308,30 @@ def save_model(model: Module, path: Union[str, os.PathLike],
             "scale": 1.0,
             "offset": offset,
             "nbytes": len(raw),
-        })
+        }
+        if version >= 2:
+            entry["sha256"] = _blob_sha256(raw)
+        tensors.append(entry)
         chunks.append(raw)
         offset += len(raw)
 
     blob = b"".join(chunks)
     manifest = {
         "artifact": "repro.serve packed model",
-        "version": ARTIFACT_VERSION,
-        "version_minor": ARTIFACT_MINOR_VERSION,
-        "format": fmt.spec(),
+        "version": version,
+        "version_minor": (ARTIFACT_MINOR_VERSION if version >= 2
+                          else _V1_MINOR_VERSION),
+        "format": default_fmt.spec(),
         "rounding": rounding,
         "use_scaling": bool(use_scaling),
         "sigma": int(sigma),
         "tensors": tensors,
         "blob_nbytes": len(blob),
-        "blob_sha256": _blob_sha256(blob),
         "fp32_state_nbytes": fp32_state_nbytes(model),
     }
+    if version == 1:
+        # v1 readers verify one monolithic digest; v2 verifies per segment.
+        manifest["blob_sha256"] = _blob_sha256(blob)
     if model_info is not None:
         manifest["model"] = dict(model_info)
     if metadata is not None:
@@ -215,36 +347,55 @@ def save_model(model: Module, path: Union[str, os.PathLike],
         os.makedirs(directory, exist_ok=True)
     with open(path, "wb") as handle:
         handle.write(MAGIC)
-        handle.write(struct.pack("<B", ARTIFACT_VERSION))
+        handle.write(struct.pack("<B", version))
         handle.write(struct.pack("<I", len(manifest_bytes)))
         handle.write(manifest_bytes)
         handle.write(blob)
     return manifest
 
 
-def _read_artifact(path: Union[str, os.PathLike]) -> tuple[dict, bytes]:
-    """Parse and validate an artifact file; returns ``(manifest, blob)``."""
-    with open(path, "rb") as handle:
-        data = handle.read()
-    header_len = len(MAGIC) + 1 + 4
-    if len(data) < header_len or data[:len(MAGIC)] != MAGIC:
+# --------------------------------------------------------------------- #
+# Reading
+# --------------------------------------------------------------------- #
+def _read_header(handle, path) -> tuple[int, dict, int]:
+    """Parse magic/version/manifest from an open file.
+
+    Returns ``(version, manifest, blob_offset)`` where ``blob_offset`` is
+    the absolute file offset of the packed blob — every tensor segment
+    lives at ``blob_offset + entry["offset"]``, which is what makes the v2
+    layout ``mmap``-friendly (see :func:`segment_table`).
+    """
+    header = handle.read(_HEADER_LEN)
+    if len(header) < _HEADER_LEN or header[:len(MAGIC)] != MAGIC:
         raise ArtifactError(f"{path}: not a repro.serve artifact (bad magic)")
-    version = data[len(MAGIC)]
-    if version != ARTIFACT_VERSION:
+    version = header[len(MAGIC)]
+    if version not in SUPPORTED_VERSIONS:
         raise ArtifactError(
             f"{path}: unsupported artifact version {version} "
-            f"(this build reads version {ARTIFACT_VERSION})"
-        )
-    (manifest_len,) = struct.unpack_from("<I", data, len(MAGIC) + 1)
-    if header_len + manifest_len > len(data):
+            f"(this build reads versions {SUPPORTED_VERSIONS})")
+    (manifest_len,) = struct.unpack_from("<I", header, len(MAGIC) + 1)
+    manifest_bytes = handle.read(manifest_len)
+    if len(manifest_bytes) < manifest_len:
         raise ArtifactError(f"{path}: truncated manifest")
     try:
-        manifest = json.loads(data[header_len:header_len + manifest_len])
+        manifest = json.loads(manifest_bytes)
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ArtifactError(f"{path}: corrupted manifest ({exc})") from exc
     if not isinstance(manifest, dict) or "tensors" not in manifest:
         raise ArtifactError(f"{path}: manifest missing 'tensors'")
-    blob = data[header_len + manifest_len:]
+    return version, manifest, _HEADER_LEN + manifest_len
+
+
+def _read_artifact(path: Union[str, os.PathLike]) -> tuple[dict, bytes]:
+    """v1 path: read and validate the whole file; returns ``(manifest, blob)``.
+
+    Kept verbatim from the v1 reader — monolithic in memory, monolithic
+    checksum — so v1 artifacts load exactly as they always did (the golden
+    compatibility suite pins this byte for byte).
+    """
+    with open(path, "rb") as handle:
+        _version, manifest, blob_offset = _read_header(handle, path)
+        blob = handle.read()
     declared = manifest.get("blob_nbytes")
     if declared is not None and declared != len(blob):
         raise ArtifactError(
@@ -257,17 +408,10 @@ def _read_artifact(path: Union[str, os.PathLike]) -> tuple[dict, bytes]:
     return manifest, blob
 
 
-def _decode_tensor(entry: dict, blob: bytes) -> np.ndarray:
-    """Decode one manifest tensor entry from the blob to a float array."""
-    offset, nbytes = int(entry["offset"]), int(entry["nbytes"])
-    if offset < 0 or offset + nbytes > len(blob):
-        raise ArtifactError(
-            f"tensor {entry.get('name')!r} spans [{offset}, {offset + nbytes}) "
-            f"outside the {len(blob)}-byte blob"
-        )
+def _decode_segment(entry: dict, raw: bytes) -> np.ndarray:
+    """Decode one tensor's packed segment bytes to a float64 array."""
     shape = tuple(int(dim) for dim in entry["shape"])
     count = int(np.prod(shape)) if shape else 1
-    raw = blob[offset:offset + nbytes]
     if entry["format"] == RAW_FP32:
         values = np.frombuffer(raw, dtype="<f4", count=count).astype(np.float64)
         return values.reshape(shape)
@@ -277,17 +421,103 @@ def _decode_tensor(entry: dict, blob: bytes) -> np.ndarray:
     return values.reshape(shape)
 
 
+def _decode_tensor(entry: dict, blob: bytes) -> np.ndarray:
+    """Decode one manifest tensor entry from the (v1) in-memory blob."""
+    offset, nbytes = int(entry["offset"]), int(entry["nbytes"])
+    if offset < 0 or offset + nbytes > len(blob):
+        raise ArtifactError(
+            f"tensor {entry.get('name')!r} spans [{offset}, {offset + nbytes}) "
+            f"outside the {len(blob)}-byte blob"
+        )
+    return _decode_segment(entry, blob[offset:offset + nbytes])
+
+
+def _check_v2_length(path, manifest, blob_offset, file_size) -> int:
+    """Validate the v2 file length; returns the declared blob size.
+
+    A truncated file is diagnosed down to the first tensor segment that no
+    longer fits — "re-pull the artifact" is actionable, "bad file" is not.
+    """
+    declared = int(manifest.get("blob_nbytes", 0))
+    available = file_size - blob_offset
+    if available > declared:
+        raise ArtifactError(
+            f"{path}: blob length mismatch (manifest says {declared} bytes, "
+            f"file holds {available})")
+    if available < declared:
+        for entry in manifest["tensors"]:
+            if int(entry["offset"]) + int(entry["nbytes"]) > available:
+                raise ArtifactError(
+                    f"{path}: truncated blob ({available} of {declared} "
+                    f"bytes); tensor {entry['name']!r} segment "
+                    f"[{entry['offset']}, "
+                    f"{int(entry['offset']) + int(entry['nbytes'])}) is "
+                    f"incomplete")
+        raise ArtifactError(
+            f"{path}: truncated blob ({available} of {declared} bytes)")
+    return declared
+
+
+def _read_segment(handle, path, entry, blob_offset, declared,
+                  verify: bool = True) -> bytes:
+    """Seek to and read one tensor's segment; verify its checksum."""
+    offset, nbytes = int(entry["offset"]), int(entry["nbytes"])
+    if offset < 0 or offset + nbytes > declared:
+        raise ArtifactError(
+            f"tensor {entry.get('name')!r} spans [{offset}, {offset + nbytes}) "
+            f"outside the {declared}-byte blob")
+    handle.seek(blob_offset + offset)
+    raw = handle.read(nbytes)
+    if len(raw) < nbytes:
+        raise ArtifactError(
+            f"{path}: truncated blob; tensor {entry['name']!r} segment is "
+            f"incomplete")
+    digest = entry.get("sha256")
+    if verify and digest is not None and digest != _blob_sha256(raw):
+        raise ArtifactError(
+            f"{path}: segment checksum mismatch for tensor "
+            f"{entry['name']!r} (corrupted weights)")
+    return raw
+
+
+def iter_tensors(path: Union[str, os.PathLike]
+                 ) -> Iterator[tuple[str, np.ndarray]]:
+    """Yield ``(name, array)`` pairs, decoding **one tensor at a time**.
+
+    The streaming read path: for v2 artifacts only one packed segment (plus
+    its decode scratch) is resident at a time, so peak extra memory is
+    bounded by the largest single tensor segment, not the whole blob —
+    the manifest is parsed once and each segment is seeked to directly.
+    v1 artifacts have only a monolithic checksum, so they are validated
+    whole-blob exactly as the v1 reader did, then decoded entry by entry.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        version, manifest, blob_offset = _read_header(handle, path)
+        if version >= 2:
+            file_size = os.fstat(handle.fileno()).st_size
+            declared = _check_v2_length(path, manifest, blob_offset, file_size)
+            for entry in manifest["tensors"]:
+                raw = _read_segment(handle, path, entry, blob_offset, declared)
+                yield entry["name"], _decode_segment(entry, raw)
+            return
+    manifest, blob = _read_artifact(path)
+    for entry in manifest["tensors"]:
+        yield entry["name"], _decode_tensor(entry, blob)
+
+
 def load_state(path: Union[str, os.PathLike]) -> tuple[dict, dict]:
     """Decode an artifact into ``(state_dict, manifest)``.
 
     The state dict maps tensor names to float64 arrays, directly loadable
-    with :meth:`repro.nn.Module.load_state_dict`.
+    with :meth:`repro.nn.Module.load_state_dict`.  v2 artifacts are decoded
+    through the streaming path (:func:`iter_tensors`): the returned arrays
+    are the only whole-model allocation; the packed file is never held in
+    memory at once.
     """
-    manifest, blob = _read_artifact(path)
-    state = {}
-    for entry in manifest["tensors"]:
-        state[entry["name"]] = _decode_tensor(entry, blob)
-    return state, manifest
+    path = os.fspath(path)
+    manifest = read_manifest(path)
+    return dict(iter_tensors(path)), manifest
 
 
 def _rebuild_model(manifest: dict) -> Module:
@@ -316,7 +546,7 @@ def load_model(path: Union[str, os.PathLike],
     With ``model=None`` the architecture is rebuilt from the manifest's
     ``model`` block; otherwise the decoded state is loaded into the given
     module (shapes and names must match).  The returned model is in eval
-    mode with weights decoded onto the artifact format's value grid.
+    mode with weights decoded onto each tensor's format grid.
     """
     state, manifest = load_state(path)
     if model is None:
@@ -330,6 +560,82 @@ def load_model(path: Union[str, os.PathLike],
 
 
 def artifact_info(path: Union[str, os.PathLike]) -> dict:
-    """Validate ``path`` and return its manifest (no model construction)."""
-    manifest, _ = _read_artifact(path)
+    """Validate ``path`` and return its manifest (no model construction).
+
+    Integrity is fully checked — v1 through the monolithic blob digest, v2
+    by streaming every segment through its own SHA-256 (constant memory) —
+    so a passing ``artifact_info`` means ``load_state`` will not hit a
+    corruption error.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        version, manifest, blob_offset = _read_header(handle, path)
+        if version >= 2:
+            file_size = os.fstat(handle.fileno()).st_size
+            declared = _check_v2_length(path, manifest, blob_offset, file_size)
+            for entry in manifest["tensors"]:
+                _read_segment(handle, path, entry, blob_offset, declared)
+            return manifest
+    manifest, _blob = _read_artifact(path)
     return manifest
+
+
+def read_manifest(path: Union[str, os.PathLike]) -> dict:
+    """Parse just the manifest — header only, **no** blob integrity checks.
+
+    The cheap introspection path (``/stats`` aggregation, size reporting):
+    reads ``O(manifest)`` bytes however large the blob is.  Use
+    :func:`artifact_info` when corruption must be ruled out.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        _version, manifest, _blob_offset = _read_header(handle, path)
+    return manifest
+
+
+def segment_table(path: Union[str, os.PathLike]) -> list[dict]:
+    """Per-tensor segment layout with **absolute file offsets**.
+
+    One row per tensor: ``name``, ``kind``, ``format``, ``bits``, ``shape``,
+    ``scale``, ``nbytes``, ``offset`` (blob-relative) and ``file_offset``
+    (absolute) — everything an ``mmap``-based loader needs to map one
+    segment without parsing the blob, plus ``sha256`` where the artifact
+    (v2) records it.  Layout only; segment checksums are *not* verified
+    (use :func:`artifact_info` for that).
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as handle:
+        _version, manifest, blob_offset = _read_header(handle, path)
+    rows = []
+    for entry in manifest["tensors"]:
+        rows.append({
+            "name": entry["name"],
+            "kind": entry["kind"],
+            "format": entry["format"],
+            "bits": int(entry["bits"]),
+            "shape": [int(dim) for dim in entry["shape"]],
+            "scale": float(entry["scale"]),
+            "offset": int(entry["offset"]),
+            "file_offset": blob_offset + int(entry["offset"]),
+            "nbytes": int(entry["nbytes"]),
+            "sha256": entry.get("sha256"),
+        })
+    return rows
+
+
+def format_breakdown(manifest: Mapping) -> dict:
+    """Per-format size breakdown of a manifest's tensor table.
+
+    Returns ``{spec: {"tensors": n, "scalars": n, "nbytes": n}}`` over the
+    packed segments — the ``/stats`` / ``repro export`` reporting view of a
+    mixed-precision artifact (raw FP32 buffers appear under ``"raw_fp32"``).
+    """
+    breakdown: dict[str, dict] = {}
+    for entry in manifest["tensors"]:
+        row = breakdown.setdefault(entry["format"],
+                                   {"tensors": 0, "scalars": 0, "nbytes": 0})
+        shape = tuple(int(dim) for dim in entry["shape"])
+        row["tensors"] += 1
+        row["scalars"] += int(np.prod(shape)) if shape else 1
+        row["nbytes"] += int(entry["nbytes"])
+    return breakdown

@@ -271,6 +271,7 @@ class ServeCluster:
         self._monitor: Optional[threading.Thread] = None
         self._monitor_stop = threading.Event()
         self._started_at = time.perf_counter()
+        self._format_summary: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -556,6 +557,31 @@ class ServeCluster:
             "guardrail": [handle.guardrail for handle in self._handles],
         }
 
+    def _artifact_formats(self) -> dict:
+        """Cached per-tensor format summary of the served artifact.
+
+        Read once from the manifest header (no blob traffic) — every worker
+        serves the same file, so the supervisor can answer the ``/stats``
+        format-breakdown question without a worker round trip.
+        """
+        if self._format_summary is None:
+            from .artifact import format_breakdown, read_manifest
+
+            try:
+                manifest = read_manifest(self.artifact_path)
+            except (OSError, ValueError):
+                self._format_summary = {}
+            else:
+                param_specs = {entry["format"]
+                               for entry in manifest["tensors"]
+                               if entry.get("kind") == "param"}
+                self._format_summary = {
+                    "format": manifest.get("format"),
+                    "formats": format_breakdown(manifest),
+                    "mixed_precision": len(param_specs) > 1,
+                }
+        return self._format_summary
+
     def stats(self, timeout: float = 10.0) -> dict:
         """Aggregate worker stats plus supervisor-side dispatch counters.
 
@@ -583,6 +609,7 @@ class ServeCluster:
 
         return {
             "artifact": self.artifact_path,
+            **self._artifact_formats(),
             "workers": self.config.workers,
             "alive": len(self._live_handles()),
             "restarts": sum(handle.restarts for handle in self._handles),

@@ -49,7 +49,7 @@ from ..core.policy import QuantizationPolicy, RoleFormats
 from ..formats import NumberFormat, parse_format
 from ..nn import Module
 from ..tensor import Tensor, no_grad
-from .artifact import load_model
+from .artifact import format_breakdown, load_model
 
 __all__ = ["BatchingConfig", "GuardrailError", "InferenceEngine"]
 
@@ -138,7 +138,17 @@ class InferenceEngine:
         self.artifact_path = os.fspath(artifact)
         self.batching = batching or BatchingConfig()
         self.model, self.manifest = load_model(self.artifact_path)
+        #: The artifact's *default* format — the activation-quantization
+        #: grid and the MAC datapath the energy model prices.  Weights are
+        #: decoded per tensor onto each tensor's own format grid (v2 mixed
+        #: precision); :attr:`tensor_formats` holds that assignment.
         self.format: NumberFormat = parse_format(self.manifest["format"])
+        self.tensor_formats: dict[str, str] = {
+            entry["name"]: entry["format"]
+            for entry in self.manifest["tensors"]
+            if entry.get("kind") == "param"}
+        #: True when the artifact stores parameters in more than one format.
+        self.mixed_precision = len(set(self.tensor_formats.values())) > 1
         self.quantize_activations = quantize_activations
         self._policy: Optional[QuantizationPolicy] = None
         if quantize_activations:
@@ -217,10 +227,14 @@ class InferenceEngine:
     def run_guardrail(self) -> dict:
         """Replay the manifest's guardrail batch; raise on any violation.
 
-        Two independent checks, both required — accuracy alone can survive
-        numerics drift on an easy batch, and bit-identity alone says
-        nothing about whether the recorded reference was any good:
+        Three independent checks — accuracy alone can survive numerics
+        drift on an easy batch, and bit-identity alone says nothing about
+        whether the recorded reference was any good:
 
+        * **per-tensor formats** — when the block records ``tensor_formats``
+          (v2 exports), the manifest's current per-tensor specs must match
+          exactly; a mixed-precision artifact whose tensor table was
+          rewritten to different widths is refused before any replay;
         * **bit-identity** — the serving-path forward pass over the
           recorded inputs must reproduce the recorded logits exactly;
         * **accuracy tolerance** — the replayed accuracy over the batch
@@ -234,6 +248,17 @@ class InferenceEngine:
         if not block:
             self.guardrail_status = "absent"
             return {"status": "absent"}
+        recorded_formats = block.get("tensor_formats")
+        if recorded_formats is not None and dict(recorded_formats) != self.tensor_formats:
+            drifted = sorted(
+                name for name in set(recorded_formats) | set(self.tensor_formats)
+                if recorded_formats.get(name) != self.tensor_formats.get(name))
+            self.guardrail_status = "failed"
+            self.guardrail_report = None
+            raise GuardrailError(
+                f"guardrail violated for {self.artifact_path}: per-tensor "
+                f"format specs drifted from the recorded export "
+                f"({', '.join(drifted)}); refusing to serve")
         recorded_quant = bool(block.get("quantize_activations", True))
         if recorded_quant != self.quantize_activations:
             # The reference logits were recorded under a different
@@ -375,13 +400,26 @@ class InferenceEngine:
         exactly the energy argument for micro-batching, and why
         ``stats()['energy_uj_total']`` drops as the realized batch size
         grows.
+
+        The hardware model prices the whole model at the default format;
+        for a mixed-precision artifact the memory term is rescaled to the
+        bytes the blob *actually* packs (each tensor at its own width), so
+        exporting the fat BatchNorm tensors wider no longer reads like a
+        uniform-width artifact's traffic.
         """
         from ..hardware import inference_step_report
 
         report = inference_step_report(self.model, self.format, batch_size=1,
                                        input_hw=input_hw)
-        return (float(report["compute_energy_uj"]),
-                float(report["memory_energy_uj"]))
+        memory_uj = float(report["memory_energy_uj"])
+        uniform_bytes = (sum(param.size for param in self.model.parameters())
+                         * self.format.bits / 8.0)
+        packed_bytes = sum(int(entry["nbytes"])
+                           for entry in self.manifest["tensors"]
+                           if entry.get("kind") == "param")
+        if uniform_bytes > 0 and packed_bytes > 0:
+            memory_uj *= packed_bytes / uniform_bytes
+        return float(report["compute_energy_uj"]), memory_uj
 
     def _collect_batch(self) -> Optional[list]:
         """Block for the first request, then coalesce until size/deadline.
@@ -489,6 +527,11 @@ class InferenceEngine:
         return {
             "artifact": self.artifact_path,
             "format": self.format.spec(),
+            "mixed_precision": self.mixed_precision,
+            # The compact per-format summary only: the full per-parameter
+            # assignment (engine.tensor_formats) is static after load and
+            # would bloat every /stats poll O(params) for nothing.
+            "formats": format_breakdown(self.manifest),
             "model": (self.manifest.get("model") or {}).get("model"),
             "guardrail": self.guardrail_status,
             "requests": requests,

@@ -31,8 +31,8 @@ from ..tensor import Tensor, no_grad
 from .artifact import save_model
 
 __all__ = ["export_experiment", "train_and_export", "serve_best",
-           "default_export_format", "calibrate_activation_centers",
-           "build_guardrail", "OBJECTIVES"]
+           "default_export_format", "default_export_format_map",
+           "calibrate_activation_centers", "build_guardrail", "OBJECTIVES"]
 
 #: Objective name -> (record metric extractor, pick-max?).
 OBJECTIVES = {
@@ -56,6 +56,25 @@ def default_export_format(policy) -> str:
             if role_formats.weight is not None:
                 return role_formats.weight.spec()
     return "fp32"
+
+
+def default_export_format_map(policy, model) -> dict[str, str]:
+    """Per-parameter storage spec map mirroring a policy's weight roles.
+
+    The artifact-v2 default: every parameter of a layer the policy covers
+    is stored in that layer's *weight* role format
+    (:meth:`~repro.core.policy.QuantizationPolicy.export_formats`), so a
+    mixed-precision policy — ``cifar_paper``'s posit(8,1) CONV next to
+    posit(16,1) BN — exports a genuinely mixed artifact without the caller
+    enumerating tensors.  Full-precision roles map to ``"fp32"`` (the
+    registry's 32-bit float codec); uncovered parameters are absent and
+    fall back to the exporter's default format.  ``{}`` when ``policy`` is
+    ``None``.
+    """
+    if policy is None:
+        return {}
+    return {name: ("fp32" if role_format is None else role_format.spec())
+            for name, role_format in policy.export_formats(model).items()}
 
 
 class _ObservingEstimator(ScaleEstimator):
@@ -132,7 +151,10 @@ def build_guardrail(path: Union[str, os.PathLike], loader,
     exactly what a healthy serving process must reproduce, bit for bit, at
     startup; the recorded accuracy is the replay's accuracy over the same
     batch, so any drift beyond ``tolerance`` is a serving-side regression,
-    not dataset noise.
+    not dataset noise.  The block also records the artifact's **per-tensor
+    format specs** (``tensor_formats``), so a mixed-precision artifact
+    whose manifest is later rewritten to different per-tensor widths is
+    refused at startup even before the logits replay.
     """
     from .engine import InferenceEngine
 
@@ -156,6 +178,7 @@ def build_guardrail(path: Union[str, os.PathLike], loader,
         "reference_accuracy": accuracy,
         "tolerance": float(tolerance),
         "quantize_activations": bool(quantize_activations),
+        "tensor_formats": dict(engine.tensor_formats),
     }
 
 
@@ -173,6 +196,32 @@ def _model_info(experiment) -> dict:
     }
 
 
+def _tensor_format_specs(experiment, fmt, format_map) -> dict[str, str]:
+    """Resolve the final per-parameter spec map for an experiment export.
+
+    Three layers, later wins: the base format (``fmt`` or the policy's
+    inferred default) covers everything; with ``fmt=None`` the policy's
+    role assignment (:func:`default_export_format_map`) applies per layer
+    — the mixed-precision default; explicit ``format_map`` entries (exact
+    names or fnmatch patterns, the ``repro export --format-map`` surface)
+    override both.
+    """
+    from .artifact import resolve_format_map
+
+    names = [name for name, _ in experiment.model.named_parameters()]
+    base = default_export_format(experiment.policy) if fmt is None else fmt
+    base_spec = (parse_format(base) if isinstance(base, str) else base).spec()
+    specs = {name: base_spec for name in names}
+    if fmt is None:
+        policy_map = default_export_format_map(experiment.policy,
+                                               experiment.model)
+        specs.update({name: spec for name, spec in policy_map.items()
+                      if name in specs})
+    overrides = resolve_format_map(names, None, format_map)
+    specs.update({name: resolved.spec() for name, resolved in overrides.items()})
+    return specs
+
+
 def export_experiment(experiment, path: Union[str, os.PathLike],
                       fmt: Union[NumberFormat, str, None] = None,
                       rounding: str = "nearest",
@@ -181,25 +230,33 @@ def export_experiment(experiment, path: Union[str, os.PathLike],
                       calibration_batches: int = 1,
                       guardrail_samples: int = 16,
                       guardrail_tolerance: float = 0.0,
+                      format_map: Optional[Mapping] = None,
                       metadata: Optional[Mapping] = None) -> dict:
     """Export a built (usually trained) experiment's model to ``path``.
 
-    ``fmt=None`` infers the storage format from the experiment's policy via
-    :func:`default_export_format` — a posit(8,1)-trained model exports as
-    posit(8,1) without the caller restating it.  With ``calibrate=True``
-    (default) a calibration pass over the experiment's validation loader
-    freezes per-layer activation scales into the manifest
-    (:func:`calibrate_activation_centers`).  With ``guardrail_samples > 0``
-    (default 16) a held-out batch from the validation loader is replayed
-    through the just-written artifact and recorded as the manifest's v1.1
-    ``guardrail`` block (:func:`build_guardrail`) — the artifact is written
-    twice, the second time with the recorded per-tensor scales, so the
-    packed weights are byte-identical between the passes.  Returns the
-    manifest.
+    ``fmt=None`` infers the storage formats from the experiment's policy —
+    the default format via :func:`default_export_format` plus the **per
+    tensor** role assignment via :func:`default_export_format_map`, so a
+    ``cifar_paper``-style mixed policy exports a mixed-precision v2
+    artifact without the caller restating it (an explicit ``fmt`` forces a
+    uniform export).  ``format_map`` adds per-tensor overrides on top of
+    either (exact parameter names or fnmatch patterns -> registry specs).
+    With ``calibrate=True`` (default) a calibration pass over the
+    experiment's validation loader freezes per-layer activation scales into
+    the manifest (:func:`calibrate_activation_centers`).  With
+    ``guardrail_samples > 0`` (default 16) a held-out batch from the
+    validation loader is replayed through the just-written artifact and
+    recorded as the manifest's ``guardrail`` block
+    (:func:`build_guardrail`, including the artifact's per-tensor specs) —
+    the artifact is written twice, the second time with the recorded
+    per-tensor scales, so the packed weights are byte-identical between
+    the passes.  Returns the manifest.
     """
     if fmt is None:
-        fmt = default_export_format(experiment.policy)
-    fmt = parse_format(fmt) if isinstance(fmt, str) else fmt
+        base_fmt = parse_format(default_export_format(experiment.policy))
+    else:
+        base_fmt = parse_format(fmt) if isinstance(fmt, str) else fmt
+    tensor_specs = _tensor_format_specs(experiment, fmt, format_map)
     extra = {"experiment": experiment.config.name,
              "formats": experiment.format_specs()}
     if metadata:
@@ -207,25 +264,28 @@ def export_experiment(experiment, path: Union[str, os.PathLike],
     calibration = None
     if calibrate:
         centers = calibrate_activation_centers(
-            experiment.model, fmt, experiment.val_loader, rounding=rounding,
-            sigma=sigma, max_batches=calibration_batches)
+            experiment.model, base_fmt, experiment.val_loader,
+            rounding=rounding, sigma=sigma, max_batches=calibration_batches)
         calibration = {"sigma": sigma, "centers": centers}
-    manifest = save_model(experiment.model, path, fmt=fmt, rounding=rounding,
+    manifest = save_model(experiment.model, path, fmt=base_fmt,
+                          rounding=rounding,
                           use_scaling=use_scaling, sigma=sigma,
                           model_info=_model_info(experiment), metadata=extra,
-                          activation_calibration=calibration)
+                          activation_calibration=calibration,
+                          format_map=tensor_specs)
     if guardrail_samples > 0:
         guardrail = build_guardrail(path, experiment.val_loader,
                                     samples=guardrail_samples,
                                     tolerance=guardrail_tolerance)
         scales = {entry["name"]: entry["scale"]
                   for entry in manifest["tensors"] if entry["kind"] == "param"}
-        manifest = save_model(experiment.model, path, fmt=fmt,
+        manifest = save_model(experiment.model, path, fmt=base_fmt,
                               rounding=rounding, use_scaling=use_scaling,
                               sigma=sigma, model_info=_model_info(experiment),
                               metadata=extra,
                               activation_calibration=calibration,
-                              scales=scales, guardrail=guardrail)
+                              scales=scales, guardrail=guardrail,
+                              format_map=tensor_specs)
     return manifest
 
 
@@ -235,6 +295,7 @@ def train_and_export(config, path: Union[str, os.PathLike],
                      sigma: int = 2, calibrate: bool = True,
                      guardrail_samples: int = 16,
                      guardrail_tolerance: float = 0.0,
+                     format_map: Optional[Mapping] = None,
                      metadata: Optional[Mapping] = None) -> tuple[dict, object]:
     """Train the experiment described by ``config``, then export it.
 
@@ -254,6 +315,7 @@ def train_and_export(config, path: Union[str, os.PathLike],
                                  calibrate=calibrate,
                                  guardrail_samples=guardrail_samples,
                                  guardrail_tolerance=guardrail_tolerance,
+                                 format_map=format_map,
                                  metadata=extra)
     return manifest, history
 
@@ -298,7 +360,8 @@ def serve_best(store: Union[ResultStore, str], path: Union[str, os.PathLike],
                rounding: str = "nearest", use_scaling: bool = True,
                sigma: int = 2, calibrate: bool = True,
                guardrail_samples: int = 16,
-               guardrail_tolerance: float = 0.0) -> tuple[dict, dict]:
+               guardrail_tolerance: float = 0.0,
+               format_map: Optional[Mapping] = None) -> tuple[dict, dict]:
     """Re-train and export the best run of a sweep store.
 
     Returns ``(manifest, record)`` — the written artifact's manifest and the
@@ -315,6 +378,7 @@ def serve_best(store: Union[ResultStore, str], path: Union[str, os.PathLike],
         use_scaling=use_scaling, sigma=sigma, calibrate=calibrate,
         guardrail_samples=guardrail_samples,
         guardrail_tolerance=guardrail_tolerance,
+        format_map=format_map,
         metadata={"sweep_run_id": record.get("run_id"),
                   "sweep_run_name": record.get("name"),
                   "objective": objective,

@@ -153,3 +153,52 @@ class TestAttach:
         description = QuantizationPolicy.cifar_paper(use_scaling=False).describe()
         assert description["conv"]["weight"] == "posit(8,1)"
         assert description["use_scaling"] is False
+
+
+class TestExportFormats:
+    """Policy -> per-parameter storage-format mapping (artifact v2 export)."""
+
+    def test_mixed_policy_assigns_weight_role_per_layer(self, rng):
+        model = tiny_resnet(rng=rng)
+        formats = QuantizationPolicy.cifar_paper().export_formats(model)
+        by_module = {name: module for name, module in model.named_modules()}
+        assert formats  # every quantizable layer contributes
+        for qualified, fmt in formats.items():
+            module_name = qualified.rsplit(".", 1)[0]
+            module = by_module[module_name]
+            if isinstance(module, (Conv2d, Linear)):
+                assert fmt == PositConfig(8, 1), qualified
+            elif isinstance(module, BatchNorm2d):
+                assert fmt == PositConfig(16, 1), qualified
+        assert len({fmt for fmt in formats.values()}) == 2
+
+    def test_covers_every_parameter_of_quantizable_layers(self, rng):
+        model = tiny_resnet(rng=rng)
+        formats = QuantizationPolicy.cifar_paper().export_formats(model)
+        quantizable_params = {
+            f"{name}.{pname}" if name else pname
+            for name, module in model.named_modules()
+            if isinstance(module, (Conv2d, BatchNorm2d, Linear))
+            for pname, _ in module.named_parameters()
+        }
+        assert set(formats) == quantizable_params
+
+    def test_full_precision_roles_map_to_none(self, rng):
+        model = tiny_resnet(rng=rng)
+        formats = QuantizationPolicy.full_precision().export_formats(model)
+        assert formats and all(fmt is None for fmt in formats.values())
+
+    def test_first_and_last_layer_exemptions_apply(self, rng):
+        model = tiny_resnet(rng=rng)
+        policy = QuantizationPolicy.uniform(8, first_layer_full_precision=True,
+                                            last_layer_full_precision=True)
+        attach_order = [
+            name for name, module in model.named_modules()
+            if isinstance(module, (Conv2d, BatchNorm2d, Linear))
+        ]
+        formats = policy.export_formats(model)
+        first, last = attach_order[0], attach_order[-1]
+        assert formats[f"{first}.weight"] is None
+        assert formats[f"{last}.weight"] is None
+        middle = attach_order[1]
+        assert formats[f"{middle}.weight"] == PositConfig(8, 1)

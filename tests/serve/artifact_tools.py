@@ -1,5 +1,6 @@
 """Shared artifact-manipulation helpers for serve tests and CI smokes."""
 
+import hashlib
 import json
 import struct
 
@@ -28,4 +29,41 @@ def rewrite_manifest(path: str, out_path: str, mutate) -> str:
         handle.write(struct.pack("<I", len(manifest_bytes)))
         handle.write(manifest_bytes)
         handle.write(data[_HEADER_LEN + manifest_len:])
+    return str(out_path)
+
+
+def rewrite_segment(path: str, out_path: str, tensor_name: str,
+                    mutate) -> str:
+    """Copy an artifact with one tensor's packed segment passed through
+    ``mutate`` (``bytes -> bytes``, same length), **re-deriving every
+    checksum** — the per-segment SHA-256 (v2) and the monolithic blob
+    SHA-256 (v1) — so the tampered file still passes integrity validation.
+
+    This is how tests build "drifted weights" artifacts: the corruption the
+    load-time checksums can no longer catch, leaving the startup guardrail
+    replay as the last line of defense.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    (manifest_len,) = struct.unpack_from("<I", data, _MAGIC_LEN + 1)
+    manifest = json.loads(data[_HEADER_LEN:_HEADER_LEN + manifest_len])
+    blob = bytearray(data[_HEADER_LEN + manifest_len:])
+    entry = next(e for e in manifest["tensors"] if e["name"] == tensor_name)
+    start, end = entry["offset"], entry["offset"] + entry["nbytes"]
+    segment = mutate(bytes(blob[start:end]))
+    if len(segment) != entry["nbytes"]:
+        raise ValueError(
+            f"mutate changed the segment length ({entry['nbytes']} -> "
+            f"{len(segment)}); segments are fixed-size")
+    blob[start:end] = segment
+    if "sha256" in entry:
+        entry["sha256"] = hashlib.sha256(segment).hexdigest()
+    if "blob_sha256" in manifest:
+        manifest["blob_sha256"] = hashlib.sha256(bytes(blob)).hexdigest()
+    manifest_bytes = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    with open(out_path, "wb") as handle:
+        handle.write(data[:_MAGIC_LEN + 1])
+        handle.write(struct.pack("<I", len(manifest_bytes)))
+        handle.write(manifest_bytes)
+        handle.write(blob)
     return str(out_path)

@@ -214,3 +214,217 @@ def test_state_shape_mismatch_rejected(saved):
 def test_missing_model_block_is_actionable(saved):
     with pytest.raises(ArtifactError, match="load_state"):
         load_model(saved)
+
+
+# --------------------------------------------------------------------- #
+# v2: per-tensor formats + checksummed segments
+# --------------------------------------------------------------------- #
+def reference_state(model, specs, scales, rounding="nearest"):
+    """Per-tensor reference quantization: what the artifact must decode to."""
+    expected = {}
+    for name, param in model.named_parameters():
+        fmt = parse_format(specs[name])
+        values = np.asarray(param.data, dtype=np.float64)
+        scale = scales[name]
+        codes = fmt.to_bits(values / scale, mode=rounding)
+        expected[name] = (np.asarray(fmt.from_bits(codes), dtype=np.float64)
+                          * scale).reshape(values.shape)
+    return expected
+
+
+def test_v2_manifest_shape(tmp_path):
+    from repro.serve import ARTIFACT_MINOR_VERSION, ARTIFACT_VERSION
+
+    manifest = save_model(tiny_model(), tmp_path / "m.rpak", fmt="posit(8,1)")
+    assert manifest["version"] == ARTIFACT_VERSION == 2
+    assert manifest["version_minor"] == ARTIFACT_MINOR_VERSION
+    assert "blob_sha256" not in manifest  # integrity is per segment now
+    for entry in manifest["tensors"]:
+        assert len(entry["sha256"]) == 64
+    assert (sum(entry["nbytes"] for entry in manifest["tensors"])
+            == manifest["blob_nbytes"])
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_mixed_format_map_round_trip(tmp_path, seed):
+    """Random ≥3-format maps: every tensor round-trips bit-identically on
+    its own format grid, and re-export with recorded scales is
+    byte-identical."""
+    rng = np.random.default_rng(seed)
+    formats = unique_registry_formats()
+    model = tiny_model(seed=seed)
+    names = [name for name, _ in model.named_parameters()]
+    chosen = rng.choice(len(formats), size=3, replace=False)
+    format_map = {name: formats[chosen[index % 3]].spec()
+                  for index, name in enumerate(names)}
+    assert len(set(format_map.values())) >= 3
+
+    path = tmp_path / "mixed.rpak"
+    manifest = save_model(model, path, format_map=format_map)
+    specs = {t["name"]: t["format"] for t in manifest["tensors"]}
+    scales = {t["name"]: t["scale"] for t in manifest["tensors"]}
+    assert {specs[name] for name in names} == set(format_map.values())
+
+    state, _ = load_state(path)
+    expected = reference_state(model, specs, scales)
+    for name in names:
+        assert np.array_equal(state[name], expected[name]), name
+
+    # save -> load -> save with the recorded scales: byte-identical file.
+    reloaded, _ = load_model(path, model=tiny_model(seed=seed + 100))
+    second = tmp_path / "again.rpak"
+    save_model(reloaded, second,
+               format_map=format_map,
+               scales={name: scales[name] for name in names})
+    assert path.read_bytes() == second.read_bytes()
+
+
+def test_every_registry_format_participates_in_a_mixed_map(tmp_path):
+    """Sweep the whole registry through mixed maps, three formats at a time."""
+    formats = unique_registry_formats()
+    model = tiny_model()
+    names = [name for name, _ in model.named_parameters()]
+    for start in range(0, len(formats), 3):
+        chunk = formats[start:start + 3]
+        format_map = {name: chunk[index % len(chunk)].spec()
+                      for index, name in enumerate(names)}
+        path = tmp_path / f"chunk{start}.rpak"
+        manifest = save_model(model, path, fmt=chunk[0], format_map=format_map)
+        specs = {t["name"]: t["format"] for t in manifest["tensors"]}
+        scales = {t["name"]: t["scale"] for t in manifest["tensors"]}
+        state, _ = load_state(path)
+        expected = reference_state(model, specs, scales)
+        for name in names:
+            assert np.array_equal(state[name], expected[name]), (start, name)
+
+
+def test_single_byte_corruption_rejected_in_every_segment(tmp_path):
+    """Flip one byte inside each segment in turn: the load must fail with
+    an error naming exactly that tensor."""
+    from repro.serve import segment_table
+
+    model = tiny_model()
+    path = tmp_path / "m.rpak"
+    save_model(model, path,
+               format_map={"body.0.weight": "posit(6,1)",
+                           "body.2.weight": "fixed(16,13)"})
+    pristine = path.read_bytes()
+    for row in segment_table(path):
+        data = bytearray(pristine)
+        data[row["file_offset"]] ^= 0x40
+        bad = tmp_path / "bad.rpak"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError) as excinfo:
+            load_state(bad)
+        assert "checksum mismatch" in str(excinfo.value)
+        assert repr(row["name"]) in str(excinfo.value)
+
+
+def test_format_map_exact_name_beats_pattern():
+    from repro.serve import resolve_format_map
+
+    resolved = resolve_format_map(
+        ["body.0.weight", "body.0.bias", "body.2.weight"], "posit(8,1)",
+        {"body.*": "fixed(16,13)", "body.0.weight": "posit(6,1)"})
+    assert resolved["body.0.weight"].spec() == "posit(6,1)"
+    assert resolved["body.0.bias"].spec() == "fixed(16,13)"
+    assert resolved["body.2.weight"].spec() == "fixed(16,13)"
+
+
+def test_format_map_patterns_first_match_wins():
+    from repro.serve import resolve_format_map
+
+    resolved = resolve_format_map(
+        ["body.0.weight", "body.2.weight"], "posit(8,1)",
+        {"body.0.*": "posit(16,1)", "body.*": "fixed(16,13)"})
+    assert resolved["body.0.weight"].spec() == "posit(16,1)"
+    assert resolved["body.2.weight"].spec() == "fixed(16,13)"
+
+
+def test_format_map_unmatched_entry_rejected(tmp_path):
+    with pytest.raises(ValueError, match="match no model tensor"):
+        save_model(tiny_model(), tmp_path / "m.rpak",
+                   format_map={"no.such.tensor": "posit(8,1)"})
+
+
+def test_format_map_shadowed_entry_rejected_accurately():
+    """A dead rule (every tensor it matches is claimed earlier) is refused
+    with a diagnostic that says *shadowed*, not 'matches no tensor'."""
+    from repro.serve import resolve_format_map
+
+    with pytest.raises(ValueError, match="shadowed"):
+        resolve_format_map(["body.0.weight"], "posit(8,1)",
+                           {"body.*": "posit(8,1)",
+                            "body.0.*": "posit(6,1)"})
+
+
+def test_v1_writer_is_uniform_only(tmp_path):
+    with pytest.raises(ValueError, match="uniform format"):
+        save_model(tiny_model(), tmp_path / "m.rpak",
+                   format_map={"body.0.weight": "posit(6,1)"}, version=1)
+    with pytest.raises(ValueError, match="supported versions"):
+        save_model(tiny_model(), tmp_path / "m.rpak", version=3)
+
+
+def test_v1_writer_round_trips_through_v2_reader(tmp_path):
+    model = tiny_model(seed=4)
+    path = tmp_path / "v1.rpak"
+    manifest = save_model(model, path, fmt="posit(8,1)", version=1)
+    assert manifest["version"] == 1
+    assert "blob_sha256" in manifest
+    assert all("sha256" not in entry for entry in manifest["tensors"])
+    state, loaded = load_state(path)
+    assert loaded["version"] == 1
+    for name, param in model.named_parameters():
+        fmt = parse_format("posit(8,1)")
+        scale = next(t["scale"] for t in manifest["tensors"]
+                     if t["name"] == name)
+        values = np.asarray(param.data, dtype=np.float64)
+        codes = fmt.to_bits(values / scale, mode="nearest")
+        expected = (np.asarray(fmt.from_bits(codes), dtype=np.float64)
+                    * scale).reshape(values.shape)
+        assert np.array_equal(state[name], expected), name
+
+
+def test_iter_tensors_matches_load_state_for_both_versions(tmp_path):
+    from repro.serve import iter_tensors
+
+    model = tiny_model(seed=6)
+    for version in (1, 2):
+        path = tmp_path / f"v{version}.rpak"
+        save_model(model, path, fmt="posit(8,1)", version=version)
+        state, manifest = load_state(path)
+        streamed = dict(iter_tensors(path))
+        assert sorted(streamed) == sorted(state)
+        assert [entry["name"] for entry in manifest["tensors"]] == list(streamed)
+        for name, array in streamed.items():
+            assert np.array_equal(array, state[name]), (version, name)
+
+
+def test_segment_table_offsets_address_the_file(tmp_path):
+    """``file_offset`` rows point at the exact packed bytes (mmap contract)."""
+    import hashlib
+
+    from repro.serve import segment_table
+
+    model = tiny_model(seed=8)
+    path = tmp_path / "m.rpak"
+    save_model(model, path, format_map={"body.0.weight": "posit(6,1)"})
+    data = path.read_bytes()
+    for row in segment_table(path):
+        segment = data[row["file_offset"]:row["file_offset"] + row["nbytes"]]
+        assert hashlib.sha256(segment).hexdigest() == row["sha256"], row["name"]
+
+
+def test_format_breakdown_accounts_for_every_byte(tmp_path):
+    from repro.serve import format_breakdown
+
+    manifest = save_model(tiny_model(), tmp_path / "m.rpak",
+                          format_map={"body.0.weight": "posit(6,1)",
+                                      "body.2.weight": "fixed(16,13)"})
+    breakdown = format_breakdown(manifest)
+    assert len(breakdown) >= 3
+    assert (sum(row["nbytes"] for row in breakdown.values())
+            == manifest["blob_nbytes"])
+    assert (sum(row["tensors"] for row in breakdown.values())
+            == len(manifest["tensors"]))

@@ -1,0 +1,152 @@
+"""Cross-version golden-artifact compatibility suite.
+
+``fixtures/*.rpak`` are frozen artifacts written by the artifact writer of
+the repo revision that introduced each format version (v1.0 by the PR-3
+writer, v1.1 by the PR-4 writer, v2.0 by the PR-5 writer).  This suite pins
+that the *current* reader loads every one of them exactly as recorded in
+``fixtures/expected/*.json``:
+
+* the fixture file itself is byte-identical to what was committed;
+* every decoded tensor is byte-identical (SHA-256 over the float64 bytes);
+* ``artifact_info`` returns the identical manifest;
+* serving-stack behaviours survive (the v1.1 guardrail replay still
+  passes, the v2.0 mixed artifact still reports three formats);
+* ``fixtures/regenerate.py`` reproduces every fixture byte for byte, so
+  the legacy writer paths cannot drift and the matrix can be *extended*
+  (new ``build_vX_*`` entries) without breaking the old rows.
+
+If one of these tests fails after a refactor, the artifact contract broke:
+old artifacts in the field would decode differently (or not at all) on the
+new code.  Do not regenerate the fixtures to make it pass — fix the reader.
+"""
+
+import hashlib
+import importlib.util
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceEngine, artifact_info, load_state
+
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixtures")
+EXPECTED_DIR = os.path.join(FIXTURE_DIR, "expected")
+
+#: Every format version ever shipped must stay represented.
+REQUIRED_FIXTURES = ("v1_0_posit8", "v1_0_fixed16", "v1_1_posit8_guardrail",
+                     "v2_0_mixed")
+
+
+def fixture_names():
+    return sorted(os.path.splitext(name)[0]
+                  for name in os.listdir(FIXTURE_DIR)
+                  if name.endswith(".rpak"))
+
+
+def fixture_path(name: str) -> str:
+    return os.path.join(FIXTURE_DIR, f"{name}.rpak")
+
+
+def expected_document(name: str) -> dict:
+    with open(os.path.join(EXPECTED_DIR, f"{name}.json"),
+              encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _load_regenerate_module():
+    spec = importlib.util.spec_from_file_location(
+        "golden_regenerate", os.path.join(FIXTURE_DIR, "regenerate.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_matrix_covers_every_shipped_version():
+    names = fixture_names()
+    for required in REQUIRED_FIXTURES:
+        assert required in names, f"fixture {required} missing"
+    for name in names:
+        assert os.path.exists(os.path.join(EXPECTED_DIR, f"{name}.json")), (
+            f"fixture {name} has no expected/{name}.json")
+
+
+@pytest.mark.parametrize("name", fixture_names())
+def test_fixture_file_is_byte_identical_to_committed(name):
+    """The committed bytes themselves are the contract (regen drift check)."""
+    with open(fixture_path(name), "rb") as handle:
+        digest = hashlib.sha256(handle.read()).hexdigest()
+    assert digest == expected_document(name)["file_sha256"]
+
+
+@pytest.mark.parametrize("name", fixture_names())
+def test_decoded_state_is_byte_identical(name):
+    expected = expected_document(name)["state_sha256"]
+    state, _manifest = load_state(fixture_path(name))
+    assert sorted(state) == sorted(expected)
+    for tensor_name, array in state.items():
+        digest = hashlib.sha256(
+            np.ascontiguousarray(array, dtype=np.float64).tobytes()
+        ).hexdigest()
+        assert digest == expected[tensor_name], (
+            f"{name}: tensor {tensor_name} decoded differently than the "
+            f"version that wrote it")
+
+
+@pytest.mark.parametrize("name", fixture_names())
+def test_artifact_info_is_identical(name):
+    assert artifact_info(fixture_path(name)) == (
+        expected_document(name)["artifact_info"])
+
+
+def test_v1_0_has_no_minor_version_and_loads(name="v1_0_posit8"):
+    manifest = artifact_info(fixture_path(name))
+    assert manifest["version"] == 1
+    assert "version_minor" not in manifest
+    engine = InferenceEngine(fixture_path(name))
+    assert engine.guardrail_status == "absent"
+    assert engine.mixed_precision is False
+
+
+def test_v1_1_guardrail_replay_still_passes():
+    """The strongest compatibility claim: a v1.1 artifact's recorded logits
+    are still reproduced bit for bit by today's serving stack."""
+    engine = InferenceEngine(fixture_path("v1_1_posit8_guardrail"))
+    assert engine.guardrail_status == "passed"
+    assert engine.guardrail_report["bit_identical"] is True
+
+
+def test_v2_0_mixed_reports_three_formats():
+    manifest = artifact_info(fixture_path("v2_0_mixed"))
+    param_specs = {entry["format"] for entry in manifest["tensors"]
+                   if entry["kind"] == "param"}
+    assert len(param_specs) >= 3
+    engine = InferenceEngine(fixture_path("v2_0_mixed"))
+    assert engine.mixed_precision is True
+    assert set(engine.stats()["formats"]) >= param_specs
+
+
+def test_regeneration_reproduces_committed_bytes(tmp_path):
+    """``regenerate.py`` into a clean directory == the committed fixtures.
+
+    This is what keeps the legacy writer paths honest: if
+    ``save_model(..., version=1)`` (or any helper the builders use) drifts,
+    the regenerated bytes diverge from the committed ones and this test
+    names the fixture.
+    """
+    module = _load_regenerate_module()
+    statuses = module.regenerate(str(tmp_path))
+    assert set(statuses) == set(module.FIXTURES)
+    for name, status in statuses.items():
+        assert status == "created", (name, status)
+        with open(os.path.join(str(tmp_path), f"{name}.rpak"), "rb") as handle:
+            regenerated = handle.read()
+        with open(fixture_path(name), "rb") as handle:
+            committed = handle.read()
+        assert regenerated == committed, (
+            f"regenerating {name} produced different bytes than the "
+            f"committed fixture — a legacy writer path drifted")
+        with open(os.path.join(str(tmp_path), "expected",
+                               f"{name}.json"), encoding="utf-8") as handle:
+            assert json.load(handle) == expected_document(name), name

@@ -7,17 +7,24 @@ it before accepting traffic and refuses to serve — :class:`GuardrailError`
 """
 
 import json
+import os
+import shutil
+import signal
+import time
 
 import numpy as np
 import pytest
-from artifact_tools import rewrite_manifest
+from artifact_tools import rewrite_manifest, rewrite_segment
 
 from repro.api import ExperimentConfig
 from repro.cli import main as cli_main
 from repro.serve import (
     ARTIFACT_MINOR_VERSION,
+    ARTIFACT_VERSION,
+    ClusterConfig,
     GuardrailError,
     InferenceEngine,
+    ServeCluster,
     artifact_info,
     build_guardrail,
     train_and_export,
@@ -43,9 +50,10 @@ def artifact(tmp_path_factory):
 # Export-side: the block exists and is exact
 # --------------------------------------------------------------------- #
 class TestGuardrailExport:
-    def test_manifest_carries_v11_guardrail_block(self, artifact):
+    def test_manifest_carries_guardrail_block(self, artifact):
         _path, manifest = artifact
-        assert manifest["version_minor"] == ARTIFACT_MINOR_VERSION == 1
+        assert manifest["version"] == ARTIFACT_VERSION == 2
+        assert manifest["version_minor"] == ARTIFACT_MINOR_VERSION
         block = manifest["guardrail"]
         assert block["samples"] == 16
         assert len(block["inputs"]) == 16
@@ -54,6 +62,10 @@ class TestGuardrailExport:
         assert 0.0 <= block["reference_accuracy"] <= 1.0
         assert block["tolerance"] == 0.0
         assert block["quantize_activations"] is True
+        # v2 exports also pin the per-tensor format assignment.
+        assert block["tensor_formats"] == {
+            entry["name"]: entry["format"]
+            for entry in manifest["tensors"] if entry["kind"] == "param"}
 
     def test_recorded_logits_match_serving_path_exactly(self, artifact):
         path, manifest = artifact
@@ -64,11 +76,12 @@ class TestGuardrailExport:
 
     def test_guardrail_rewrite_keeps_weights_byte_identical(self, artifact):
         """The second save (with the guardrail) must not move a single
-        weight bit: the manifests' tensor tables and checksums agree."""
+        weight bit: the manifests' tensor tables — per-segment SHA-256
+        included — agree."""
         path, manifest = artifact
         on_disk = artifact_info(path)
-        assert on_disk["blob_sha256"] == manifest["blob_sha256"]
         assert on_disk["tensors"] == manifest["tensors"]
+        assert all("sha256" in entry for entry in on_disk["tensors"])
         assert "guardrail" in on_disk
 
     def test_export_can_disable_guardrail(self, tmp_path):
@@ -176,6 +189,107 @@ class TestGuardrailReplay:
         old = rewrite_manifest(path, str(tmp_path / "v10.rpak"), strip)
         engine = InferenceEngine(old)
         assert engine.guardrail_status == "absent"
+
+
+# --------------------------------------------------------------------- #
+# Mixed-precision artifacts: the guardrail is the last line of defense
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def mixed_artifact(tmp_path_factory):
+    """A v2 export with three distinct per-tensor formats."""
+    path = tmp_path_factory.mktemp("mixed_guardrail") / "mixed.rpak"
+    manifest, _history = train_and_export(
+        small_config(name="mixed_guardrail"), path,
+        format_map={"body.0.weight": "posit(6,1)",
+                    "body.2.bias": "posit(16,1)"})
+    return str(path), manifest
+
+
+class TestMixedPrecisionGuardrail:
+    def test_export_is_mixed_and_records_tensor_formats(self, mixed_artifact):
+        _path, manifest = mixed_artifact
+        specs = {t["name"]: t["format"] for t in manifest["tensors"]
+                 if t["kind"] == "param"}
+        assert specs["body.0.weight"] == "posit(6,1)"
+        assert specs["body.2.bias"] == "posit(16,1)"
+        assert len(set(specs.values())) >= 3
+        assert manifest["guardrail"]["tensor_formats"] == specs
+
+    def test_healthy_mixed_artifact_serves(self, mixed_artifact):
+        path, _manifest = mixed_artifact
+        engine = InferenceEngine(path)
+        assert engine.guardrail_status == "passed"
+        assert engine.mixed_precision is True
+
+    @pytest.fixture()
+    def drifted(self, mixed_artifact, tmp_path):
+        """The low-width tensor's segment inverted, **checksums fixed up**:
+        load-time integrity passes, only the guardrail replay can object."""
+        path, _manifest = mixed_artifact
+        bad = rewrite_segment(
+            path, str(tmp_path / "drifted.rpak"), "body.0.weight",
+            lambda segment: bytes(byte ^ 0xFF for byte in segment))
+        # The tampering is invisible to every load-time integrity check...
+        artifact_info(bad)
+        return bad
+
+    def test_engine_refuses_corrupted_low_width_segment(self, drifted):
+        with pytest.raises(GuardrailError, match="not bit-identical"):
+            InferenceEngine(drifted)
+
+    def test_cluster_refuses_corrupted_low_width_segment(self, drifted):
+        with pytest.raises(GuardrailError, match="refused"):
+            ServeCluster(drifted, ClusterConfig(workers=2)).start()
+
+    def test_cli_serve_exits_3_on_corrupted_mixed_artifact(self, drifted,
+                                                           capsys):
+        assert cli_main(["serve", drifted]) == 3
+        assert "refusing to serve" in capsys.readouterr().err
+
+    def test_tensor_format_drift_refused_before_replay(self, mixed_artifact,
+                                                       tmp_path):
+        """A manifest whose recorded per-tensor specs disagree with the
+        tensor table is refused by the spec check itself — no replay
+        needed, and the error names the drifted tensor."""
+        path, _manifest = mixed_artifact
+
+        def drift(manifest):
+            manifest["guardrail"]["tensor_formats"]["body.0.weight"] = \
+                "posit(6,0)"
+
+        bad = rewrite_manifest(path, str(tmp_path / "specs.rpak"), drift)
+        with pytest.raises(GuardrailError,
+                           match="format specs drifted.*body.0.weight"):
+            InferenceEngine(bad)
+
+    def test_cluster_degrades_when_restart_hits_drifted_artifact(
+            self, mixed_artifact, drifted, tmp_path):
+        """Kill a worker after the artifact on disk has been corrupted: the
+        restarted process replays the guardrail against the drifted file,
+        refuses to start, and ``/healthz`` degrades instead of serving
+        wrong answers."""
+        path, _manifest = mixed_artifact
+        serving_copy = str(tmp_path / "serving.rpak")
+        shutil.copyfile(path, serving_copy)
+        cluster = ServeCluster(serving_copy,
+                               ClusterConfig(workers=2, max_restarts=1))
+        with cluster:
+            assert cluster.healthz()["status"] == "ok"
+            # Swap the file under the cluster, then kill one worker.
+            shutil.copyfile(drifted, serving_copy)
+            os.kill(cluster._handles[0].pid, signal.SIGKILL)
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                health = cluster.healthz()
+                if (health["status"] == "degraded"
+                        and "failed" in health["worker_states"]):
+                    break
+                time.sleep(0.1)
+            assert health["status"] == "degraded", health
+            assert "failed" in health["worker_states"], health
+            # The survivor keeps serving the pre-drift weights.
+            sample = np.zeros(2)
+            assert "logits" in cluster.predict([sample])
 
 
 # --------------------------------------------------------------------- #

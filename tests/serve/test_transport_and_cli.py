@@ -189,6 +189,65 @@ def test_cli_export_store_best(tmp_path, capsys):
     assert "run/b" in capsys.readouterr().out
 
 
+def test_cli_export_format_map_mixed_precision(tmp_path, capsys):
+    """``--format-map`` overrides land per tensor and are reported."""
+    config_path = tmp_path / "exp.json"
+    config_path.write_text(json.dumps(small_config().to_dict()))
+    out = tmp_path / "mixed.rpak"
+    code = cli_main(["export", "--config", str(config_path),
+                     "--output", str(out),
+                     "--format-map", "body.0.weight=posit(6,1)",
+                     "--format-map", "body.2.bias=posit(16,1)"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "per-tensor formats:" in printed
+    assert "posit(6,1)" in printed
+    from repro.serve import artifact_info
+
+    manifest = artifact_info(out)
+    specs = {t["name"]: t["format"] for t in manifest["tensors"]
+             if t["kind"] == "param"}
+    assert specs["body.0.weight"] == "posit(6,1)"
+    assert specs["body.2.bias"] == "posit(16,1)"
+    assert len(set(specs.values())) >= 3
+    # The mixed artifact serves: engine stats expose the breakdown.
+    engine = InferenceEngine(out)
+    stats = engine.stats()
+    assert stats["mixed_precision"] is True
+    assert set(stats["formats"]) >= set(specs.values())
+
+
+def test_cli_export_rejects_malformed_format_map(tmp_path, capsys):
+    config_path = tmp_path / "exp.json"
+    config_path.write_text(json.dumps(small_config().to_dict()))
+    code = cli_main(["export", "--config", str(config_path),
+                     "--output", str(tmp_path / "x.rpak"),
+                     "--format-map", "not-a-mapping"])
+    assert code == 2
+    assert "NAME=SPEC" in capsys.readouterr().err
+
+
+def test_cli_export_rejects_duplicate_format_map_name(tmp_path, capsys):
+    config_path = tmp_path / "exp.json"
+    config_path.write_text(json.dumps(small_config().to_dict()))
+    code = cli_main(["export", "--config", str(config_path),
+                     "--output", str(tmp_path / "x.rpak"),
+                     "--format-map", "body.0.weight=posit(16,1)",
+                     "--format-map", "body.0.weight=posit(6,1)"])
+    assert code == 2
+    assert "given twice" in capsys.readouterr().err
+
+
+def test_cli_export_rejects_unmatched_format_map_entry(tmp_path, capsys):
+    config_path = tmp_path / "exp.json"
+    config_path.write_text(json.dumps(small_config().to_dict()))
+    code = cli_main(["export", "--config", str(config_path),
+                     "--output", str(tmp_path / "x.rpak"),
+                     "--format-map", "no.such.tensor=posit(8,1)"])
+    assert code == 2
+    assert "match no model tensor" in capsys.readouterr().err
+
+
 def test_cli_export_missing_config_errors(tmp_path, capsys):
     code = cli_main(["export", "--config", str(tmp_path / "nope.json"),
                      "--output", str(tmp_path / "x.rpak")])
@@ -202,6 +261,41 @@ def test_cli_serve_rejects_bad_artifact(tmp_path, capsys):
     code = cli_main(["serve", str(bad)])
     assert code == 2
     assert "bad magic" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Mixed policies export mixed artifacts by default
+# --------------------------------------------------------------------- #
+def test_export_mixed_policy_defaults_to_per_tensor_formats(tmp_path):
+    """``cifar_paper`` (posit(8,1) CONV, posit(16,1) BN) exports its Table
+    III role assignment without the caller enumerating tensors."""
+    from repro.api import build_experiment
+    from repro.nn import BatchNorm2d, Conv2d, Linear
+    from repro.serve import export_experiment
+
+    config = ExperimentConfig(name="mixed_default", dataset="cifar_like",
+                              model="tiny_resnet", policy="cifar_paper",
+                              epochs=1, train_size=16, test_size=8,
+                              batch_size=8, num_classes=4)
+    experiment = build_experiment(config)
+    manifest = export_experiment(experiment, tmp_path / "mixed.rpak",
+                                 calibrate=False, guardrail_samples=0)
+    specs = {t["name"]: t["format"] for t in manifest["tensors"]
+             if t["kind"] == "param"}
+    by_module = dict(experiment.model.named_modules())
+    for qualified, spec in specs.items():
+        module = by_module[qualified.rsplit(".", 1)[0]]
+        if isinstance(module, (Conv2d, Linear)):
+            assert spec == "posit(8,1)", qualified
+        elif isinstance(module, BatchNorm2d):
+            assert spec == "posit(16,1)", qualified
+    assert set(specs.values()) == {"posit(8,1)", "posit(16,1)"}
+    # An explicit --format wins back the uniform export.
+    uniform = export_experiment(experiment, tmp_path / "uniform.rpak",
+                                fmt="posit(8,1)", calibrate=False,
+                                guardrail_samples=0)
+    assert {t["format"] for t in uniform["tensors"]
+            if t["kind"] == "param"} == {"posit(8,1)"}
 
 
 # --------------------------------------------------------------------- #
