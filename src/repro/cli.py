@@ -19,7 +19,10 @@ Commands::
                  [--no-guardrail]
     repro serve  ARTIFACT [--workers N] [--max-restarts N] [--host H]
                  [--port P] [--max-batch N] [--max-wait-ms F]
+                 [--queue-size N] [--slo-p99-ms F]
+                 [--min-workers N] [--max-workers N] [--no-autoscale]
                  [--no-activation-quant] [--no-guardrail]
+    repro artifact inspect FILE [--json]
 
 Sweep files are committed JSON / YAML-lite documents (see
 ``examples/sweeps/``); results accumulate in append-only JSONL stores, so
@@ -34,6 +37,15 @@ process by default, or ``--workers N`` supervised engine processes behind
 the same listener.  Exports embed a v1.1 startup guardrail (a held-out
 calibration batch plus its expected logits) that every serving process
 replays before accepting traffic (:mod:`repro.serve`).
+
+``serve`` runs the adaptive control plane by default: a periodic
+controller autoscales the worker count between ``--min-workers`` and
+``--max-workers`` (never past ``os.cpu_count()``), AIMD-tunes the
+coalescing wait against ``--slo-p99-ms``, and sheds overload as HTTP 429 +
+``Retry-After`` instead of failing requests; ``--no-autoscale`` pins the
+worker count.  ``artifact inspect`` prints an artifact's manifest summary
+(version, per-tensor formats, guardrail, segment table) from the header
+alone — no blob decode, so it is instant on any size artifact.
 """
 
 from __future__ import annotations
@@ -160,12 +172,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch size cap (default: 32)")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
                        help="max coalescing wait after the first request (default: 2)")
+    serve.add_argument("--queue-size", type=int, default=None,
+                       help="bounded admission queue per engine; overflow is "
+                            "shed as HTTP 429 + Retry-After (default: 4096)")
+    serve.add_argument("--slo-p99-ms", type=float, default=50.0,
+                       help="p99 latency objective the controller tunes the "
+                            "coalescing wait against (default: 50)")
+    serve.add_argument("--min-workers", type=int, default=1,
+                       help="autoscaler floor on worker processes (default: 1)")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="autoscaler ceiling on worker processes "
+                            "(default: --workers; always capped at cpu_count)")
+    serve.add_argument("--no-autoscale", action="store_true",
+                       help="pin the worker count (the controller still tunes "
+                            "the coalescing wait and grades load)")
+    serve.add_argument("--no-control", action="store_true",
+                       help="disable the control loop entirely (static "
+                            "max_wait_ms and worker count)")
     serve.add_argument("--no-activation-quant", action="store_true",
                        help="run activations in FP32 (weights stay in the "
                             "artifact format)")
     serve.add_argument("--no-guardrail", action="store_true",
                        help="skip the startup guardrail replay (serve even if "
                             "the artifact cannot reproduce its recorded logits)")
+
+    artifact = subcommands.add_parser(
+        "artifact", help="packed-artifact tools (header-only, no blob decode)")
+    artifact_sub = artifact.add_subparsers(dest="artifact_command", required=True)
+    inspect = artifact_sub.add_parser(
+        "inspect", help="summarise an artifact's manifest without loading it")
+    inspect.add_argument("file", help="packed artifact (repro export output)")
+    inspect.add_argument("--segments", action="store_true",
+                         help="also print the per-tensor segment table "
+                              "(offsets, checksums)")
+    inspect.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     return parser
 
 
@@ -342,14 +383,28 @@ def _cmd_serve(args) -> int:
     from .serve import (
         BatchingConfig,
         ClusterConfig,
+        ClusterPlant,
         ClusterServer,
+        ControlConfig,
+        Controller,
+        EnginePlant,
         InferenceEngine,
         ModelServer,
         ServeCluster,
     )
 
-    batching = BatchingConfig(max_batch=args.max_batch,
-                              max_wait_ms=args.max_wait_ms)
+    batching_kwargs = {"max_batch": args.max_batch,
+                       "max_wait_ms": args.max_wait_ms}
+    if args.queue_size is not None:
+        batching_kwargs["queue_size"] = args.queue_size
+    batching = BatchingConfig(**batching_kwargs)
+    max_workers = args.max_workers if args.max_workers is not None else args.workers
+    control = ControlConfig(slo_p99_ms=args.slo_p99_ms,
+                            min_workers=args.min_workers,
+                            max_workers=max(max_workers, args.min_workers),
+                            autoscale=not args.no_autoscale,
+                            wait_max_ms=max(args.max_wait_ms,
+                                            ControlConfig().wait_max_ms))
     if args.workers > 1:
         cluster = ServeCluster(
             args.artifact,
@@ -362,6 +417,7 @@ def _cmd_serve(args) -> int:
               f"({args.workers} worker processes, guardrail "
               f"{'off' if args.no_guardrail else 'on'})")
         backend_stop = cluster.stop
+        plant = ClusterPlant(cluster)
     else:
         engine = InferenceEngine(
             args.artifact, batching,
@@ -371,14 +427,75 @@ def _cmd_serve(args) -> int:
         print(f"serving {args.artifact} [{engine.format.spec()}] on {server.url} "
               f"(guardrail: {engine.guardrail_status})")
         backend_stop = engine.stop
-    print(f"  POST {server.url}/predict   GET {server.url}/healthz|/stats")
+        plant = EnginePlant(engine)
+    controller = None if args.no_control else Controller(plant, control).start()
+    print(f"  POST {server.url}/predict   "
+          f"GET {server.url}/healthz|/stats|/metrics")
     print(f"  micro-batching: max_batch={args.max_batch} "
           f"max_wait_ms={args.max_wait_ms}")
+    if controller is not None:
+        cap = controller.worker_cap
+        print(f"  control: slo_p99_ms={args.slo_p99_ms} "
+              f"workers=[{control.min_workers}, {control.max_workers}] "
+              f"(cpu cap: {cap}) "
+              f"autoscale={'off' if args.no_autoscale else 'on'}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
+        if controller is not None:
+            controller.stop()
         backend_stop()
+    return 0
+
+
+def _cmd_artifact_inspect(args) -> int:
+    from .serve import format_breakdown, read_manifest, segment_table
+
+    manifest = read_manifest(args.file)
+    breakdown = format_breakdown(manifest)
+    guardrail = manifest.get("guardrail")
+    size = os.path.getsize(args.file)
+    fp32 = manifest.get("fp32_state_nbytes", 0)
+    summary = {
+        "artifact": args.file,
+        "version": manifest.get("version"),
+        "format": manifest.get("format"),
+        "model": manifest.get("model"),
+        "file_bytes": size,
+        "fp32_state_nbytes": fp32,
+        "tensors": len(manifest.get("tensors", ())),
+        "formats": breakdown,
+        "guardrail": ({"samples": guardrail.get("samples"),
+                       "reference_accuracy": guardrail.get("reference_accuracy"),
+                       "tolerance": guardrail.get("tolerance")}
+                      if guardrail else None),
+    }
+    if args.segments or args.json:
+        summary["segments"] = segment_table(args.file)
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+        return 0
+    print(f"artifact: {args.file}  v{summary['version']}  "
+          f"format={summary['format']}  {size} bytes"
+          + (f" (fp32 state: {fp32} bytes, {fp32 / size:.2f}x smaller)"
+             if size and fp32 > size else ""))
+    model = summary["model"]
+    model_label = (model.get("model", "?") if isinstance(model, dict) else model)
+    print(f"  model: {model_label}  tensors: {summary['tensors']}")
+    for spec, row in sorted(breakdown.items()):
+        print(f"  format {spec}: {row['tensors']} tensors, {row['nbytes']} B")
+    if guardrail:
+        print(f"  guardrail: {guardrail['samples']} held-out samples, "
+              f"reference accuracy {guardrail['reference_accuracy']:.3f} "
+              f"± {guardrail['tolerance']}")
+    else:
+        print("  guardrail: none")
+    if args.segments:
+        for row in summary["segments"]:
+            print(f"  segment {row['name']}  kind={row['kind']} "
+                  f"format={row['format']} shape={row['shape']} "
+                  f"offset={row['file_offset']} nbytes={row['nbytes']}")
     return 0
 
 
@@ -420,6 +537,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         handler = _cmd_export
     elif args.command == "serve":
         handler = _cmd_serve
+    elif args.command == "artifact":
+        handler = _cmd_artifact_inspect
     else:
         handler = _cmd_formats_list
     from .sweeps import SweepFileError

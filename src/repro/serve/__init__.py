@@ -32,6 +32,15 @@ in posit is *served* in posit.  Four layers, composable separately:
   startup **guardrail** (a held-out calibration batch with its expected
   logits and reference accuracy) and refuses to serve on any drift
   (:class:`GuardrailError`).
+* :mod:`repro.serve.control` / :mod:`repro.serve.metrics` — the adaptive
+  control plane: a lock-cheap rolling-window metrics collector sampled by
+  every engine (arrivals, rejects, batch occupancy, per-stage p50/p99)
+  feeds a periodic :class:`Controller` that autoscales the cluster between
+  ``min_workers``/``max_workers`` (capped at ``os.cpu_count()`` — two
+  workers on one core is slower than one), AIMD-tunes ``max_wait_ms``
+  against a p99 SLO, and grades load as ok/busy/overloaded.  Overflowing
+  the bounded admission queue is backpressure, not failure:
+  :class:`AdmissionError` maps to HTTP 429 + ``Retry-After``.
 * :mod:`repro.serve.export` — training-stack integration:
   :func:`export_experiment`, :func:`train_and_export`, and
   :func:`serve_best` (promote a sweep store's winner to an artifact);
@@ -69,7 +78,16 @@ from .artifact import (
     segment_table,
 )
 from .cluster import ClusterConfig, ClusterError, ServeCluster
-from .engine import BatchingConfig, GuardrailError, InferenceEngine
+# The load classifier is exported as ``classify_load``: ``load_state`` at
+# package level is the artifact state loader above.
+from .control import (
+    ClusterPlant,
+    ControlConfig,
+    Controller,
+    EnginePlant,
+)
+from .control import load_state as classify_load
+from .engine import AdmissionError, BatchingConfig, GuardrailError, InferenceEngine
 from .export import (
     build_guardrail,
     calibrate_activation_centers,
@@ -81,6 +99,7 @@ from .export import (
     train_and_export,
 )
 from .loadgen import LoadReport, run_load
+from .metrics import MetricsCollector, merge_snapshots, render_prometheus
 from .packing import pack_codes, packed_nbytes, unpack_codes
 from .transport import (
     ClusterServer,
@@ -114,8 +133,17 @@ __all__ = [
     "pack_codes",
     "unpack_codes",
     "packed_nbytes",
+    "AdmissionError",
     "BatchingConfig",
     "InferenceEngine",
+    "Controller",
+    "ControlConfig",
+    "EnginePlant",
+    "ClusterPlant",
+    "classify_load",
+    "MetricsCollector",
+    "merge_snapshots",
+    "render_prometheus",
     "ModelServer",
     "LocalClient",
     "HTTPClient",

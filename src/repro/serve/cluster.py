@@ -49,7 +49,9 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from .engine import BatchingConfig, GuardrailError, InferenceEngine
+from .control import load_state as classify_load
+from .engine import AdmissionError, BatchingConfig, GuardrailError, InferenceEngine
+from .metrics import MetricsCollector, merge_snapshots
 
 __all__ = ["ClusterConfig", "ServeCluster", "ClusterError", "WorkerCrashed"]
 
@@ -62,8 +64,11 @@ class WorkerCrashed(RuntimeError):
     """A request was in flight on a worker that died (internal; retried)."""
 
 
-#: Worker states tracked by the supervisor.
-_STARTING, _READY, _FAILED, _DEAD = "starting", "ready", "failed", "dead"
+#: Worker states tracked by the supervisor.  ``retired`` is terminal and
+#: voluntary: the autoscaler drained the worker and shut it down — never
+#: restarted, never dispatched to, not a liveness defect.
+_STARTING, _READY, _FAILED, _DEAD, _RETIRED = (
+    "starting", "ready", "failed", "dead", "retired")
 
 #: Persistent handler threads per worker process.  Bounds in-worker request
 #: concurrency (and therefore the micro-batcher's coalescing opportunity
@@ -141,13 +146,36 @@ def _worker_main(index: int, artifact: str, batching: Optional[dict],
                 }
             elif message["kind"] == "stats":
                 result = {**engine.stats(), "worker": index, "pid": os.getpid()}
+            elif message["kind"] == "metrics":
+                # The control-plane poll: cheap rolling-window signals only
+                # (no energy pricing, no lifetime percentile scan).
+                result = {
+                    "worker": index,
+                    "queue_depth": engine.queue_depth,
+                    "queue_capacity": engine.batching.queue_size,
+                    "max_wait_ms": engine.max_wait_ms,
+                    "load_state": engine.load_state(),
+                    "metrics": engine.metrics.snapshot(),
+                }
+            elif message["kind"] == "control":
+                # Actuation from the supervisor's controller.
+                if "max_wait_ms" in message:
+                    engine.set_max_wait_ms(message["max_wait_ms"])
+                result = {"worker": index, "max_wait_ms": engine.max_wait_ms}
             elif message["kind"] == "ping":
                 result = {"worker": index, "pid": os.getpid()}
             else:
                 raise ValueError(f"unknown message kind {message['kind']!r}")
         except BaseException as exc:  # noqa: BLE001 - errors travel the pipe
-            reply({"id": message["id"], "ok": False,
-                   "etype": type(exc).__name__, "error": str(exc)})
+            payload = {"id": message["id"], "ok": False,
+                       "etype": type(exc).__name__, "error": str(exc)}
+            retry_after = getattr(exc, "retry_after_s", None)
+            if retry_after is not None:
+                # Backpressure must survive the pipe: the supervisor
+                # rebuilds a typed AdmissionError so the transport can
+                # answer 429 + Retry-After.
+                payload["retry_after_s"] = float(retry_after)
+            reply(payload)
             return
         reply({"id": message["id"], "ok": True, "result": result})
 
@@ -263,7 +291,15 @@ class ServeCluster:
         self.verify_guardrail = verify_guardrail
         self._ctx = _cluster_context(self.config.mp_context)
         self._handles: list[_WorkerHandle] = []
-        self._rotor = itertools.cycle(range(self.config.workers))
+        #: Workers the autoscaler removed: kept until drained so their
+        #: in-flight replies still resolve, swept on stop().
+        self._retired: list[_WorkerHandle] = []
+        #: Guards handle-list mutations (autoscaling) against the monitor,
+        #: dispatch, and introspection walking the list concurrently.
+        self._handles_lock = threading.Lock()
+        self._rotor = itertools.count()
+        self._next_index = itertools.count(self.config.workers)
+        self._target_workers = self.config.workers
         self._ids = itertools.count(1)
         self._id_lock = threading.Lock()
         self._started = False
@@ -272,17 +308,34 @@ class ServeCluster:
         self._monitor_stop = threading.Event()
         self._started_at = time.perf_counter()
         self._format_summary: Optional[dict] = None
+        #: Supervisor-side rolling counters: dispatches and the admission
+        #: rejects relayed from workers — the cheap signals healthz grades
+        #: load from without a worker round trip.
+        self.metrics = MetricsCollector()
+        self._max_wait_ms = float((batching or BatchingConfig()).max_wait_ms)
+        self._queue_size = int((batching or BatchingConfig()).queue_size)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    def _batching_payload(self) -> dict:
+        """Worker BatchingConfig kwargs, with the *tuned* coalescing wait.
+
+        A worker spawned after the controller moved ``max_wait_ms`` (a
+        crash restart, an autoscale add) must join at the tuned operating
+        point, not the startup guess.
+        """
+        payload = dict(self.batching.__dict__) if self.batching else {}
+        payload["max_wait_ms"] = self._max_wait_ms
+        return payload
+
     def _spawn(self, handle: _WorkerHandle) -> None:
         """(Re)start one worker: fresh pipe, process, and reader thread."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
             args=(handle.index, self.artifact_path,
-                  (self.batching.__dict__ if self.batching else None),
+                  self._batching_payload(),
                   self.quantize_activations, self.verify_guardrail,
                   child_conn),
             name=f"repro-serve-worker-{handle.index}",
@@ -311,7 +364,10 @@ class ServeCluster:
             if kind == "ready":
                 handle.pid = message.get("pid")
                 handle.guardrail = message.get("guardrail")
-                handle.state = _READY
+                if handle.state != _RETIRED:
+                    # A worker retired while still starting must not
+                    # re-enter the rotation on its late handshake.
+                    handle.state = _READY
                 handle.ready_event.set()
                 continue
             if kind == "failed":
@@ -327,6 +383,14 @@ class ServeCluster:
                 continue
             if message.get("ok"):
                 future.set_result(message["result"])
+            elif message.get("etype") == "AdmissionError":
+                # Typed backpressure: rebuild the engine's rejection with
+                # its Retry-After hint and tally it supervisor-side so
+                # healthz can report 'overloaded' without a worker poll.
+                self.metrics.count("rejected")
+                future.set_exception(AdmissionError(
+                    message.get("error", "request queue full"),
+                    retry_after_s=float(message.get("retry_after_s", 1.0))))
             else:
                 exc_type = {"ValueError": ValueError,
                             "TypeError": TypeError}.get(
@@ -339,7 +403,7 @@ class ServeCluster:
         # not touch the new incarnation's state or pending requests.
         if handle.epoch != epoch:
             return
-        if handle.state not in (_FAILED,):
+        if handle.state not in (_FAILED, _RETIRED):
             handle.state = _DEAD
         handle.ready_event.set()
         handle.fail_pending(f"worker {handle.index} exited mid-request")
@@ -349,6 +413,7 @@ class ServeCluster:
         if self._started:
             return self
         timeout = self.config.start_timeout_s if timeout is None else timeout
+        self._target_workers = self.config.workers
         self._handles = [_WorkerHandle(index)
                          for index in range(self.config.workers)]
         for handle in self._handles:
@@ -385,7 +450,9 @@ class ServeCluster:
     def _monitor_loop(self) -> None:
         """Detect crashed workers and restart them within budget."""
         while not self._monitor_stop.wait(self.config.monitor_interval_s):
-            for handle in self._handles:
+            with self._handles_lock:
+                handles = list(self._handles)
+            for handle in handles:
                 if self._stopping:
                     return
                 process = handle.process
@@ -400,7 +467,9 @@ class ServeCluster:
                         self._spawn(handle)
 
     def _terminate_all(self) -> None:
-        for handle in self._handles:
+        with self._handles_lock:
+            handles = list(self._handles) + list(self._retired)
+        for handle in handles:
             if handle.process is not None and handle.process.is_alive():
                 handle.process.terminate()
             if handle.process is not None:
@@ -416,7 +485,9 @@ class ServeCluster:
         self._monitor_stop.set()
         if self._monitor is not None:
             self._monitor.join(timeout=5.0)
-        for handle in self._handles:
+        with self._handles_lock:
+            handles = list(self._handles)
+        for handle in handles:
             if handle.conn is not None and handle.state == _READY:
                 try:
                     with handle.send_lock:
@@ -424,7 +495,7 @@ class ServeCluster:
                 except (BrokenPipeError, OSError):
                     pass
         deadline = time.monotonic() + drain_timeout_s
-        for handle in self._handles:
+        for handle in handles:
             if handle.process is not None:
                 handle.process.join(timeout=max(0.1, deadline - time.monotonic()))
         self._terminate_all()
@@ -440,15 +511,20 @@ class ServeCluster:
     # Dispatch
     # ------------------------------------------------------------------ #
     def _live_handles(self) -> list[_WorkerHandle]:
-        return [handle for handle in self._handles if handle.state == _READY]
+        with self._handles_lock:
+            return [handle for handle in self._handles
+                    if handle.state == _READY]
 
     def _pick_worker(self, exclude: frozenset = frozenset()) -> _WorkerHandle:
         """Round-robin over live workers, least-outstanding fallback.
 
-        ``exclude`` holds worker indices a failed-over request already
-        tried; they are avoided while any other live worker exists (the
-        reader thread may not have noticed the crash yet, and handing the
-        retry back to the same dying worker would waste the one failover).
+        The worker set is dynamic under autoscaling, so the rotor is a
+        plain counter over the *current* live list rather than a cycle of
+        startup indices.  ``exclude`` holds worker indices a failed-over
+        request already tried; they are avoided while any other live
+        worker exists (the reader thread may not have noticed the crash
+        yet, and handing the retry back to the same dying worker would
+        waste the one failover).
         """
         live = self._live_handles()
         if not live:
@@ -458,16 +534,9 @@ class ServeCluster:
                          if handle.index not in exclude]
             if preferred:
                 live = preferred
-        live_indices = {handle.index for handle in live}
-        choice = None
-        for _ in range(self.config.workers):
-            index = next(self._rotor)
-            if index in live_indices:
-                choice = next(handle for handle in live
-                              if handle.index == index)
-                break
+        choice = live[next(self._rotor) % len(live)]
         least = min(live, key=lambda handle: handle.outstanding)
-        if choice is None or choice.outstanding > least.outstanding:
+        if choice.outstanding > least.outstanding:
             return least
         return choice
 
@@ -540,21 +609,183 @@ class ServeCluster:
         raise ClusterError(f"worker {worker_index} is not live")
 
     # ------------------------------------------------------------------ #
+    # Control surface (the autoscaler's actuators and sensors)
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopping
+
+    @property
+    def target_workers(self) -> int:
+        """The worker count the cluster is currently steering toward."""
+        return self._target_workers
+
+    @property
+    def max_wait_ms(self) -> float:
+        """The tuned coalescing wait last broadcast to the workers."""
+        return self._max_wait_ms
+
+    def set_max_wait_ms(self, value: float) -> float:
+        """Broadcast a new coalescing wait to every live worker engine."""
+        value = max(0.0, float(value))
+        self._max_wait_ms = value  # recorded first: restarts inherit it
+        for handle in self._live_handles():
+            try:
+                self._request(handle, {"kind": "control",
+                                       "max_wait_ms": value}, timeout=5.0)
+            except (WorkerCrashed, FuturesTimeout, ClusterError, RuntimeError):
+                continue
+        return value
+
+    def scale_to(self, target: int) -> int:
+        """Grow or shrink the worker set to ``target`` with zero drops.
+
+        Growing spawns fresh workers that join the rotation once their
+        startup handshake (guardrail replay included) lands.  Shrinking
+        *retires* the least-loaded workers: they leave the dispatch
+        rotation immediately, their in-flight requests complete and reply
+        normally, and only then does a background drain send the shutdown
+        message — an autoscale-down is invisible to clients.  Returns the
+        delta actually applied (0 when already at target).
+        """
+        target = int(target)
+        if target < 1:
+            raise ValueError(f"target workers must be >= 1, got {target}")
+        if not self.running:
+            raise ClusterError("cluster is not running; use start() or a with-block")
+        with self._handles_lock:
+            active = [handle for handle in self._handles
+                      if handle.state in (_STARTING, _READY)]
+            delta = target - len(active)
+            if delta > 0:
+                for _ in range(delta):
+                    handle = _WorkerHandle(next(self._next_index))
+                    self._handles.append(handle)
+                    self._spawn(handle)
+            elif delta < 0:
+                # Ready workers first (their drain is observable), ordered
+                # by least outstanding work so retirement is cheapest.
+                ready = sorted((h for h in active if h.state == _READY),
+                               key=lambda h: h.outstanding)
+                starting = [h for h in active if h.state == _STARTING]
+                for handle in (ready + starting)[:-delta]:
+                    handle.state = _RETIRED
+                    self._handles.remove(handle)
+                    self._retired.append(handle)
+                    threading.Thread(
+                        target=self._drain_retired, args=(handle,),
+                        name=f"repro-serve-retire-{handle.index}",
+                        daemon=True).start()
+            self._target_workers = target
+        if delta:
+            self.metrics.count("scale_up" if delta > 0 else "scale_down")
+        return delta
+
+    def _drain_retired(self, handle: _WorkerHandle,
+                       drain_timeout_s: float = 30.0) -> None:
+        """Finish a retired worker: wait out its in-flight work, then stop it."""
+        deadline = time.monotonic() + drain_timeout_s
+        while handle.outstanding > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        try:
+            with handle.send_lock:
+                handle.conn.send({"kind": "shutdown"})
+        except (BrokenPipeError, OSError, AttributeError):
+            pass
+        if handle.process is not None:
+            handle.process.join(timeout=10.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        with self._handles_lock:
+            if handle in self._retired:
+                self._retired.remove(handle)
+
+    def worker_metrics(self, timeout: float = 5.0) -> list[dict]:
+        """Per-worker control-plane rows (queue depth, window snapshot)."""
+        rows = []
+        for handle in self._live_handles():
+            try:
+                rows.append(self._request(handle, {"kind": "metrics"},
+                                          timeout))
+            except (WorkerCrashed, FuturesTimeout, ClusterError, RuntimeError):
+                continue
+        return rows
+
+    def metrics_snapshot(self, timeout: float = 5.0) -> dict:
+        """Cluster-level rolling-window snapshot (the ``/metrics`` view).
+
+        Engine-side windows merged across live workers, plus the
+        supervisor's own counters (relayed rejects, scale events) under
+        ``supervisor``.
+        """
+        rows = self.worker_metrics(timeout)
+        merged = merge_snapshots([row["metrics"] for row in rows])
+        merged["supervisor"] = self.metrics.snapshot()
+        return merged
+
+    def control_snapshot(self, timeout: float = 5.0) -> dict:
+        """One controller observation over the whole cluster."""
+        rows = self.worker_metrics(timeout)
+        alive = len(self._live_handles())
+        merged = merge_snapshots([row["metrics"] for row in rows])
+        total = merged["latency_ms"].get("total", {})
+        return {
+            "queue_depth": sum(row["queue_depth"] for row in rows),
+            "queue_capacity": max(1, sum(row["queue_capacity"]
+                                         for row in rows)),
+            "p99_ms": total.get("p99", 0.0),
+            "latency_samples": total.get("count", 0),
+            "arrival_rate_rps": merged["rates"].get("arrivals", 0.0),
+            "completion_rate_rps": merged["rates"].get("completed", 0.0),
+            "rejected_recent": merged["counts"].get("rejected", 0.0),
+            "batch_occupancy": merged["gauges"].get(
+                "batch_occupancy", {}).get("mean", 0.0),
+            "workers": self._target_workers,
+            "workers_alive": alive,
+        }
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def healthz(self) -> dict:
-        """Liveness summary: ``ok`` (all up), ``degraded`` (some), ``down``."""
-        states = [handle.state for handle in self._handles]
+        """Liveness + load summary, graded worst-first:
+
+        ``down`` (no live worker), ``degraded`` (fewer live than the
+        current target — crashes or a scale-up still starting),
+        ``overloaded`` / ``busy`` (admission queues rejecting / filling,
+        from supervisor-visible signals: relayed 429s in the last second
+        and outstanding dispatches vs. admission capacity), else ``ok``.
+        Cheap by design — no worker round trips, so load balancers can
+        poll it aggressively.
+        """
+        with self._handles_lock:
+            handles = list(self._handles)
+        states = [handle.state for handle in handles]
         alive = states.count(_READY)
-        status = ("ok" if alive == self.config.workers
-                  else "degraded" if alive else "down")
+        target = self._target_workers
+        if alive == 0:
+            status = "down"
+        elif alive < target:
+            status = "degraded"
+        else:
+            outstanding = sum(handle.outstanding for handle in handles
+                              if handle.state == _READY)
+            capacity = max(1, alive * self._queue_size)
+            status = classify_load(outstanding / capacity,
+                                   self.metrics.count_in("rejected", 1.0))
         return {
             "status": status,
             "artifact": self.artifact_path,
-            "workers": self.config.workers,
+            "workers": target,
             "alive": alive,
             "worker_states": states,
-            "guardrail": [handle.guardrail for handle in self._handles],
+            "guardrail": [handle.guardrail for handle in handles],
         }
 
     def _artifact_formats(self) -> dict:
@@ -607,20 +838,27 @@ class ServeCluster:
                 return 0.0
             return sum(row[key] * row["requests"] for row in per_worker) / requests
 
+        with self._handles_lock:
+            handles = list(self._handles)
         return {
             "artifact": self.artifact_path,
             **self._artifact_formats(),
-            "workers": self.config.workers,
+            "workers": self._target_workers,
             "alive": len(self._live_handles()),
-            "restarts": sum(handle.restarts for handle in self._handles),
-            "dispatched": [handle.dispatched for handle in self._handles],
+            "load_state": self.healthz()["status"],
+            "max_wait_ms": self._max_wait_ms,
+            "restarts": sum(handle.restarts for handle in handles),
+            "dispatched": [handle.dispatched for handle in handles],
             "requests": requests,
+            "rejected": sum(row.get("rejected", 0) for row in per_worker),
             "batches": batches,
             "mean_batch_size": (batched / batches) if batches else 0.0,
             "latency_p50_ms": weighted("latency_p50_ms"),
             "latency_p99_ms": weighted("latency_p99_ms"),
             "energy_uj_total": sum(row["energy_uj_total"] for row in per_worker),
             "uptime_s": time.perf_counter() - self._started_at,
+            "metrics": merge_snapshots([row["metrics"] for row in per_worker
+                                        if "metrics" in row]),
             "per_worker": per_worker,
         }
 

@@ -50,8 +50,11 @@ from ..formats import NumberFormat, parse_format
 from ..nn import Module
 from ..tensor import Tensor, no_grad
 from .artifact import format_breakdown, load_model
+from .control import load_state as classify_load
+from .metrics import MetricsCollector
 
-__all__ = ["BatchingConfig", "GuardrailError", "InferenceEngine"]
+__all__ = ["AdmissionError", "BatchingConfig", "GuardrailError",
+           "InferenceEngine"]
 
 
 class GuardrailError(RuntimeError):
@@ -61,6 +64,22 @@ class GuardrailError(RuntimeError):
     produces logits that are not bit-identical to the recorded ones, or an
     accuracy outside ``reference_accuracy ± tolerance``.
     """
+
+
+class AdmissionError(RuntimeError):
+    """The bounded admission queue is full; the request was rejected.
+
+    Backpressure, not failure: the transport maps this to HTTP **429** with
+    a ``Retry-After`` header derived from :attr:`retry_after_s` (the
+    measured time for the queue to drain back to half), so well-behaved
+    clients pace themselves instead of stacking onto a blown tail.
+    Subclasses ``RuntimeError`` so pre-control-plane callers that caught
+    the old queue-full ``RuntimeError`` keep working.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
 
 
 @dataclass(frozen=True)
@@ -156,6 +175,12 @@ class InferenceEngine:
         self.model.eval()
 
         self._queue: queue.Queue = queue.Queue(maxsize=self.batching.queue_size)
+        #: Runtime-tunable coalescing wait (the control plane's AIMD knob);
+        #: seeded from the immutable BatchingConfig.
+        self._max_wait_ms = float(self.batching.max_wait_ms)
+        #: Rolling-window signals the controller steers from (arrival and
+        #: completion rates, queue depth, per-stage latency, rejects).
+        self.metrics = MetricsCollector()
         self._stop_event = threading.Event()
         self._worker: Optional[threading.Thread] = None
         model_block = self.manifest.get("model") or {}
@@ -347,9 +372,10 @@ class InferenceEngine:
     def submit(self, inputs) -> Future:
         """Enqueue one sample; returns a future resolving to its logits row.
 
-        Raises ``RuntimeError`` when the admission queue is full (the
-        closed-loop clients treat this as back-pressure) or the engine is
-        not started.
+        Raises :class:`AdmissionError` (a ``RuntimeError``) when the
+        bounded admission queue is full — carrying a measured
+        ``retry_after_s`` so the transport can answer 429 + ``Retry-After``
+        — and plain ``RuntimeError`` when the engine is not started.
         """
         if self._worker is None or not self._worker.is_alive():
             raise RuntimeError("engine is not started; use start() or a with-block")
@@ -361,14 +387,17 @@ class InferenceEngine:
                 f"sample shape {sample.shape} does not match the model's "
                 f"input shape {self._input_shape}")
         request = _Request(sample)
+        self.metrics.count("arrivals")
         try:
             self._queue.put_nowait(request)
         except queue.Full:
             with self._lock:
                 self._rejected += 1
-            raise RuntimeError(
-                f"request queue full ({self.batching.queue_size} in flight)"
-            ) from None
+            self.metrics.count("rejected")
+            raise AdmissionError(
+                f"request queue full ({self.batching.queue_size} in flight)",
+                retry_after_s=self.retry_after_s()) from None
+        self.metrics.gauge("queue_depth", self._queue.qsize())
         return request.future
 
     def predict(self, inputs, timeout: Optional[float] = 30.0) -> np.ndarray:
@@ -441,7 +470,7 @@ class InferenceEngine:
             if first is _SHUTDOWN:
                 first = None
         batch = [first]
-        deadline = time.perf_counter() + self.batching.max_wait_ms / 1000.0
+        deadline = time.perf_counter() + self._max_wait_ms / 1000.0
         while len(batch) < self.batching.max_batch:
             remaining = deadline - time.perf_counter()
             if remaining <= 0:
@@ -486,6 +515,7 @@ class InferenceEngine:
             batch = self._collect_batch()
             if batch is None:
                 return
+            forward_start = time.perf_counter()
             logits = self._serve_batch(batch)
             if not isinstance(logits, np.ndarray):
                 # Fallback path: drop requests whose future already failed.
@@ -497,6 +527,16 @@ class InferenceEngine:
                 batch = [request for request, _ in survivors]
                 logits = np.stack([row for _, row in survivors])
             done = time.perf_counter()
+            self.metrics.count("completed", len(batch))
+            self.metrics.gauge("batch_size", len(batch))
+            self.metrics.gauge("batch_occupancy",
+                               len(batch) / self.batching.max_batch)
+            self.metrics.gauge("queue_depth", self._queue.qsize())
+            compute_s = done - forward_start
+            for request in batch:
+                self.metrics.observe("queue", forward_start - request.enqueued_at)
+                self.metrics.observe("compute", compute_s)
+                self.metrics.observe("total", done - request.enqueued_at)
             with self._lock:
                 self._requests += len(batch)
                 self._batches += 1
@@ -510,6 +550,52 @@ class InferenceEngine:
                     del self._latencies[:-_LATENCY_WINDOW]
             for row, request in enumerate(batch):
                 request.future.set_result(logits[row])
+
+    # ------------------------------------------------------------------ #
+    # Control surface
+    # ------------------------------------------------------------------ #
+    @property
+    def max_wait_ms(self) -> float:
+        """The *current* coalescing wait (the controller may have moved it)."""
+        return self._max_wait_ms
+
+    def set_max_wait_ms(self, value: float) -> float:
+        """Retune the coalescing wait online (clamped to >= 0).
+
+        The AIMD actuator: longer waits buy batch occupancy (throughput),
+        shorter waits buy tail latency; the batcher reads the new value on
+        its next coalescing deadline, so no request in flight is disturbed.
+        """
+        self._max_wait_ms = max(0.0, float(value))
+        return self._max_wait_ms
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a batch (approximate, lock-free)."""
+        return self._queue.qsize()
+
+    def retry_after_s(self) -> float:
+        """Measured backoff hint for rejected clients.
+
+        Time for the queue to drain to half at the observed completion
+        rate; clamped to [0.05 s, 5 s], defaulting to 1 s before any
+        completions have been measured.
+        """
+        rate = self.metrics.rate("completed", 2.0)
+        if rate <= 0:
+            return 1.0
+        return float(min(5.0, max(0.05, (self.batching.queue_size / 2) / rate)))
+
+    def load_state(self) -> str:
+        """``ok`` / ``busy`` / ``overloaded`` from queue depth and rejects.
+
+        Rejections observed in the last second keep the state
+        ``overloaded`` (clients are being turned away *now*); utilization
+        alone grades ``ok`` -> ``busy`` -> ``overloaded``.
+        """
+        utilization = self._queue.qsize() / self.batching.queue_size
+        return classify_load(utilization,
+                             self.metrics.count_in("rejected", 1.0))
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -540,7 +626,11 @@ class InferenceEngine:
             "mean_batch_size": (batched / batches) if batches else 0.0,
             "max_batch_seen": max_batch_seen,
             "max_batch": self.batching.max_batch,
-            "max_wait_ms": self.batching.max_wait_ms,
+            "max_wait_ms": self._max_wait_ms,
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.batching.queue_size,
+            "load_state": self.load_state(),
+            "metrics": self.metrics.snapshot(),
             "latency_p50_ms": percentile(50),
             "latency_p99_ms": percentile(99),
             "energy_uj_per_sample": (self._compute_uj_per_sample

@@ -22,7 +22,25 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from .engine import AdmissionError
+from .transport import ServeClientError
+
 __all__ = ["run_load", "LoadReport"]
+
+
+def _rejection_hint(exc: BaseException) -> Optional[float]:
+    """The server's Retry-After hint in seconds if ``exc`` is backpressure.
+
+    Admission rejections are load shedding, not failures — they arrive as
+    raw :class:`AdmissionError` when the backend is driven in process, or
+    as a 429 :class:`ServeClientError` through either transport client.
+    Returns ``None`` for every other (genuine) failure.
+    """
+    if isinstance(exc, AdmissionError):
+        return float(exc.retry_after_s)
+    if isinstance(exc, ServeClientError) and exc.status == 429:
+        return float(exc.retry_after) if exc.retry_after else 1.0
+    return None
 
 
 class LoadReport(dict):
@@ -43,7 +61,8 @@ class LoadReport(dict):
 
 def run_load(client, samples: Sequence, concurrency: int = 64,
              requests_per_client: int = 8,
-             client_factory: Optional[Callable[[], object]] = None) -> LoadReport:
+             client_factory: Optional[Callable[[], object]] = None,
+             retry_after_cap_s: float = 1.0) -> LoadReport:
     """Drive ``client`` with closed-loop single-sample requests.
 
     Parameters
@@ -58,10 +77,17 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
         Number of closed-loop workers (in-flight requests at steady state).
     requests_per_client:
         Requests each worker issues before exiting.
+    retry_after_cap_s:
+        Ceiling on how long a worker honours the server's ``Retry-After``
+        hint after an admission rejection (keeps overload tests bounded
+        while still modelling well-behaved clients).
 
     Returns a :class:`LoadReport` with totals, throughput, latency
-    percentiles, and per-worker failure counts (failed requests raise
-    inside workers and are counted, not propagated).
+    percentiles, and failure counts.  Admission rejections (429 /
+    :class:`AdmissionError`) are tallied under ``rejected`` — separate from
+    ``failed`` — and the worker sleeps the (capped) ``Retry-After`` before
+    its next request.  Other failed requests raise inside workers and are
+    counted, not propagated.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -74,10 +100,12 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
     lock = threading.Lock()
     start_barrier = threading.Barrier(concurrency + 1)
     predictions = 0
+    rejected = 0
+    retry_wait_s = 0.0
     served_by: dict[int, int] = {}
 
     def _worker(worker_index: int) -> None:
-        nonlocal predictions
+        nonlocal predictions, rejected, retry_wait_s
         worker_client = client_factory() if client_factory is not None else client
         start_barrier.wait()
         for request_index in range(requests_per_client):
@@ -86,6 +114,14 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
             try:
                 response = worker_client.predict([sample])
             except Exception as exc:  # noqa: BLE001 - count, don't kill the run
+                hint = _rejection_hint(exc)
+                if hint is not None:
+                    wait = min(max(hint, 0.0), retry_after_cap_s)
+                    with lock:
+                        rejected += 1
+                        retry_wait_s += wait
+                    time.sleep(wait)
+                    continue
                 with lock:
                     errors.append(f"{type(exc).__name__}: {exc}")
                 continue
@@ -118,6 +154,8 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
         requests_total=concurrency * requests_per_client,
         completed=completed,
         failed=len(errors),
+        rejected=rejected,
+        retry_wait_seconds=retry_wait_s,
         errors=errors[:10],
         predictions=predictions,
         served_by=dict(sorted(served_by.items())),

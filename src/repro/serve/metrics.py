@@ -1,0 +1,315 @@
+"""Lock-cheap rolling-window serving metrics.
+
+The control plane (:mod:`repro.serve.control`) steers the serving tier
+from *measured* signals: queue depth, arrival/completion rates, batch
+occupancy, per-stage latency percentiles, and rejection counts.  Those
+signals must be
+
+* **rolling** — a controller reacting to lifetime averages never reacts
+  at all; every query aggregates only the last ``window_s`` seconds;
+* **cheap on the hot path** — every request records two or three samples,
+  so recording must be O(1) appends under one uncontended lock (no
+  sorting, no allocation churn, no percentile math until someone asks);
+* **deterministic under test** — the clock is injectable, so unit tests
+  drive time explicitly instead of sleeping.
+
+Implementation: a ring of ``buckets`` time buckets, each ``window_s /
+buckets`` seconds wide.  Recording hashes the current time to a bucket and
+appends; a bucket whose epoch is stale (the ring has lapped it) is reset
+in place, so old data ages out with zero background work.  Reads walk the
+ring once, keeping only buckets inside the queried window.
+
+:func:`render_prometheus` turns a snapshot into the Prometheus text
+exposition format for the transport's ``GET /metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["MetricsCollector", "render_prometheus"]
+
+
+class _Bucket:
+    """One time slot of the ring: counters, latency samples, gauge sums."""
+
+    __slots__ = ("epoch", "counts", "observations", "gauges")
+
+    def __init__(self):
+        self.epoch = -1
+        self.counts: dict[str, float] = {}
+        self.observations: dict[str, list[float]] = {}
+        self.gauges: dict[str, list[float]] = {}  # [sum, n, max]
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.counts.clear()
+        self.observations.clear()
+        self.gauges.clear()
+
+
+class MetricsCollector:
+    """Rolling-window counters, latency stages, and sampled gauges.
+
+    Parameters
+    ----------
+    window_s:
+        Default aggregation horizon; queries may narrow it (never widen).
+    buckets:
+        Ring granularity.  ``window_s / buckets`` is both the aging
+        resolution and the smallest meaningful query window.
+    clock:
+        Monotonic-seconds callable; injectable for deterministic tests.
+    reservoir:
+        Per-bucket, per-stage cap on retained latency samples (the count
+        is still exact; only the percentile sample set is bounded).
+    """
+
+    def __init__(self, window_s: float = 10.0, buckets: int = 40,
+                 clock: Callable[[], float] = time.monotonic,
+                 reservoir: int = 512):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if buckets < 2:
+            raise ValueError(f"buckets must be >= 2, got {buckets}")
+        self.window_s = float(window_s)
+        self.buckets = int(buckets)
+        self.width_s = self.window_s / self.buckets
+        self.reservoir = int(reservoir)
+        self._clock = clock
+        self._ring = [_Bucket() for _ in range(self.buckets)]
+        self._lock = threading.Lock()
+        self._created = clock()
+        self._gauge_last: dict[str, float] = {}
+        self._lifetime: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording (hot path)
+    # ------------------------------------------------------------------ #
+    def _bucket(self, now: float) -> _Bucket:
+        epoch = int(now / self.width_s)
+        bucket = self._ring[epoch % self.buckets]
+        if bucket.epoch != epoch:
+            bucket.reset(epoch)
+        return bucket
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Increment a windowed counter (``arrivals``, ``rejected``, ...)."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._bucket(now)
+            bucket.counts[name] = bucket.counts.get(name, 0) + n
+            self._lifetime[name] = self._lifetime.get(name, 0) + n
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency sample for ``stage`` (seconds)."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._bucket(now)
+            samples = bucket.observations.setdefault(stage, [])
+            # Count every sample; cap the percentile reservoir per bucket.
+            bucket.counts[f"_obs_{stage}"] = (
+                bucket.counts.get(f"_obs_{stage}", 0) + 1)
+            if len(samples) < self.reservoir:
+                samples.append(float(seconds))
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record one gauge sample (queue depth, batch occupancy, ...)."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._bucket(now)
+            cell = bucket.gauges.get(name)
+            if cell is None:
+                bucket.gauges[name] = [float(value), 1.0, float(value)]
+            else:
+                cell[0] += value
+                cell[1] += 1
+                cell[2] = max(cell[2], float(value))
+            self._gauge_last[name] = float(value)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _live_buckets(self, now: float, window_s: float) -> list[_Bucket]:
+        newest = int(now / self.width_s)
+        # A bucket is inside the window when its epoch is recent enough;
+        # the current (partial) bucket always qualifies.
+        span = max(1, min(self.buckets, int(round(window_s / self.width_s))))
+        oldest = newest - span + 1
+        return [bucket for bucket in self._ring if oldest <= bucket.epoch <= newest]
+
+    def _elapsed(self, now: float, window_s: float) -> float:
+        """Denominator for rates: never longer than the collector has lived."""
+        return max(self.width_s, min(window_s, now - self._created))
+
+    def count_in(self, name: str, window_s: Optional[float] = None) -> float:
+        """Total of ``name`` over the last ``window_s`` seconds."""
+        window_s = self.window_s if window_s is None else float(window_s)
+        now = self._clock()
+        with self._lock:
+            return sum(bucket.counts.get(name, 0)
+                       for bucket in self._live_buckets(now, window_s))
+
+    def rate(self, name: str, window_s: Optional[float] = None) -> float:
+        """Per-second rate of ``name`` over the last ``window_s`` seconds."""
+        window_s = self.window_s if window_s is None else float(window_s)
+        now = self._clock()
+        with self._lock:
+            total = sum(bucket.counts.get(name, 0)
+                        for bucket in self._live_buckets(now, window_s))
+        return total / self._elapsed(now, window_s)
+
+    def snapshot(self, window_s: Optional[float] = None) -> dict:
+        """One structured view of the whole window (the ``/stats`` rows).
+
+        ``counts``/``rates`` for every counter, ``latency_ms`` per stage
+        (count/mean/p50/p99/max), ``gauges`` (last/mean/max), plus
+        ``lifetime`` totals for the counters (never windowed out).
+        """
+        window_s = self.window_s if window_s is None else float(window_s)
+        now = self._clock()
+        with self._lock:
+            live = self._live_buckets(now, window_s)
+            counts: dict[str, float] = {}
+            observations: dict[str, list[float]] = {}
+            gauges: dict[str, list[float]] = {}
+            for bucket in live:
+                for name, value in bucket.counts.items():
+                    counts[name] = counts.get(name, 0) + value
+                for stage, samples in bucket.observations.items():
+                    observations.setdefault(stage, []).extend(samples)
+                for name, (total, n, peak) in bucket.gauges.items():
+                    cell = gauges.setdefault(name, [0.0, 0.0, float("-inf")])
+                    cell[0] += total
+                    cell[1] += n
+                    cell[2] = max(cell[2], peak)
+            gauge_last = dict(self._gauge_last)
+            lifetime = dict(self._lifetime)
+        elapsed = self._elapsed(now, window_s)
+        latency_ms = {}
+        for stage, samples in observations.items():
+            data = np.asarray(samples, dtype=np.float64) * 1000.0
+            latency_ms[stage] = {
+                "count": int(counts.pop(f"_obs_{stage}", data.size)),
+                "mean": float(data.mean()) if data.size else 0.0,
+                "p50": float(np.percentile(data, 50)) if data.size else 0.0,
+                "p99": float(np.percentile(data, 99)) if data.size else 0.0,
+                "max": float(data.max()) if data.size else 0.0,
+            }
+        # Stages with counted-but-aged-out reservoirs still report counts.
+        for name in [key for key in counts if key.startswith("_obs_")]:
+            stage = name[len("_obs_"):]
+            latency_ms.setdefault(stage, {"count": int(counts[name]), "mean": 0.0,
+                                          "p50": 0.0, "p99": 0.0, "max": 0.0})
+            del counts[name]
+        return {
+            "window_s": elapsed,
+            "counts": counts,
+            "rates": {name: value / elapsed for name, value in counts.items()},
+            "latency_ms": latency_ms,
+            "gauges": {name: {"last": gauge_last.get(name, 0.0),
+                              "mean": (total / n) if n else 0.0,
+                              "max": peak if n else 0.0}
+                       for name, (total, n, peak) in gauges.items()},
+            "lifetime": {name: value for name, value in lifetime.items()
+                         if not name.startswith("_obs_")},
+        }
+
+
+def _merge_latency(rows: list[dict]) -> dict:
+    """Request-weighted merge of per-worker latency summaries."""
+    merged: dict[str, dict] = {}
+    stages = {stage for row in rows for stage in row}
+    for stage in stages:
+        cells = [row[stage] for row in rows if stage in row]
+        total = sum(cell["count"] for cell in cells)
+        weighted = (lambda key: (sum(cell[key] * cell["count"] for cell in cells)
+                                 / total) if total else 0.0)
+        merged[stage] = {
+            "count": int(total),
+            "mean": weighted("mean"),
+            "p50": weighted("p50"),
+            "p99": weighted("p99"),
+            "max": max((cell["max"] for cell in cells), default=0.0),
+        }
+    return merged
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Aggregate per-worker snapshots into one cluster-level view.
+
+    Counts/rates/lifetimes sum; gauges sum ``last`` (cluster queue depth is
+    the *total* queued work) and keep the max of ``max``; latency
+    percentiles merge request-weighted (exact merging would need the raw
+    samples, which never leave the worker).
+    """
+    if not snapshots:
+        return {"window_s": 0.0, "counts": {}, "rates": {}, "latency_ms": {},
+                "gauges": {}, "lifetime": {}}
+    counts: dict[str, float] = {}
+    rates: dict[str, float] = {}
+    lifetime: dict[str, float] = {}
+    gauges: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counts", {}).items():
+            counts[name] = counts.get(name, 0) + value
+        for name, value in snap.get("rates", {}).items():
+            rates[name] = rates.get(name, 0) + value
+        for name, value in snap.get("lifetime", {}).items():
+            lifetime[name] = lifetime.get(name, 0) + value
+        for name, cell in snap.get("gauges", {}).items():
+            merged = gauges.setdefault(
+                name, {"last": 0.0, "mean": 0.0, "max": 0.0})
+            merged["last"] += cell.get("last", 0.0)
+            merged["mean"] += cell.get("mean", 0.0)
+            merged["max"] = max(merged["max"], cell.get("max", 0.0))
+    return {
+        "window_s": max(snap.get("window_s", 0.0) for snap in snapshots),
+        "counts": counts,
+        "rates": rates,
+        "latency_ms": _merge_latency([snap.get("latency_ms", {})
+                                      for snap in snapshots]),
+        "gauges": gauges,
+        "lifetime": lifetime,
+    }
+
+
+def render_prometheus(snapshot: Mapping, prefix: str = "repro_serve",
+                      extra: Optional[Mapping] = None) -> str:
+    """Render one snapshot in the Prometheus text exposition format.
+
+    ``lifetime`` counters become ``*_total``, windowed rates ``*_per_s``,
+    latency stages ``{prefix}_latency_ms{stage=...,quantile=...}``, gauges
+    plain gauges.  ``extra`` appends scalar gauges (load state flags, the
+    current ``max_wait_ms``, worker counts) without touching the collector.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, value, labels: str = "") -> None:
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            return
+        lines.append(f"{prefix}_{name}{labels} {float(value):g}")
+
+    for name, value in sorted((snapshot.get("lifetime") or {}).items()):
+        emit(f"{name}_total", value)
+    for name, value in sorted((snapshot.get("rates") or {}).items()):
+        emit(f"{name}_per_s", value)
+    for stage, cell in sorted((snapshot.get("latency_ms") or {}).items()):
+        for quantile in ("p50", "p99", "mean", "max"):
+            emit("latency_ms",
+                 cell.get(quantile, 0.0),
+                 f'{{stage="{stage}",quantile="{quantile}"}}')
+        emit("latency_samples", cell.get("count", 0), f'{{stage="{stage}"}}')
+    for name, cell in sorted((snapshot.get("gauges") or {}).items()):
+        emit(name, cell.get("last", 0.0))
+        emit(f"{name}_mean", cell.get("mean", 0.0))
+        emit(f"{name}_max", cell.get("max", 0.0))
+    for name, value in sorted((extra or {}).items()):
+        emit(name, value)
+    return "\n".join(lines) + "\n"

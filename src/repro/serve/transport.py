@@ -31,6 +31,7 @@ serving worker's index).
 from __future__ import annotations
 
 import json
+import math
 import threading
 import urllib.error
 import urllib.request
@@ -40,19 +41,27 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .engine import InferenceEngine
+from .engine import AdmissionError, InferenceEngine
+from .metrics import render_prometheus
 
 __all__ = ["ModelServer", "ClusterServer", "LocalClient", "HTTPClient",
            "ServeClientError"]
 
 
 class ServeClientError(RuntimeError):
-    """A client-visible request failure (HTTP status + server message)."""
+    """A client-visible request failure (HTTP status + server message).
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` carries the server's ``Retry-After`` hint in seconds
+    when the failure was backpressure (HTTP 429), ``None`` otherwise — the
+    load generator uses it to pace rejected clients.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 def _predict_payload(engine: InferenceEngine, samples: Sequence) -> dict:
@@ -78,8 +87,10 @@ class _EngineBackend:
         return _predict_payload(self.engine, samples)
 
     def healthz(self) -> tuple[int, dict]:
+        # Load states for a single engine: ok / busy / overloaded from its
+        # admission queue (the process answering at all proves liveness).
         return 200, {
-            "status": "ok",
+            "status": self.engine.load_state(),
             "artifact": self.engine.artifact_path,
             "format": self.engine.format.spec(),
             "guardrail": self.engine.guardrail_status,
@@ -87,6 +98,13 @@ class _EngineBackend:
 
     def stats(self) -> dict:
         return self.engine.stats()
+
+    def metrics_text(self) -> str:
+        return render_prometheus(
+            self.engine.metrics.snapshot(),
+            extra={"queue_depth_now": self.engine.queue_depth,
+                   "max_wait_ms_now": self.engine.max_wait_ms,
+                   "workers": 1})
 
     def start(self) -> None:
         self.engine.start()
@@ -109,12 +127,21 @@ class _ClusterBackend:
     def healthz(self) -> tuple[int, dict]:
         payload = self.cluster.healthz()
         # A cluster with zero live workers is not a server, it is an outage;
-        # degraded (some workers down) still answers 200 so load balancers
-        # keep it in rotation while the supervisor restarts the rest.
+        # every other state (busy/overloaded/degraded) still answers 200 so
+        # load balancers keep it in rotation — overload is signalled per
+        # request via 429, not by failing the health probe.
         return (503 if payload["status"] == "down" else 200), payload
 
     def stats(self) -> dict:
         return self.cluster.stats()
+
+    def metrics_text(self) -> str:
+        health = self.cluster.healthz()
+        return render_prometheus(
+            self.cluster.metrics_snapshot(),
+            extra={"workers": health["workers"],
+                   "workers_alive": health["alive"],
+                   "max_wait_ms_now": self.cluster.max_wait_ms})
 
     def start(self) -> None:
         self.cluster.start()
@@ -130,10 +157,22 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict,
+               headers: Optional[dict] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, status: int, text: str,
+                    content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -148,6 +187,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(status, payload)
         elif self.path == "/stats":
             self._reply(200, self.backend.stats())
+        elif self.path == "/metrics":
+            try:
+                self._reply_text(200, self.backend.metrics_text())
+            except Exception as exc:  # noqa: BLE001 - a scrape must not kill
+                # the listener thread; degrade to an empty exposition.
+                self._reply_text(200, f"# metrics unavailable: {exc}\n")
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -167,7 +212,17 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, TypeError, json.JSONDecodeError) as exc:
             self._reply(400, {"error": str(exc)})
             return
-        except RuntimeError as exc:  # queue full / engine stopped / no workers
+        except AdmissionError as exc:
+            # Backpressure, not failure: the admission queue is full, so
+            # tell the client *when* to come back.  Retry-After is integer
+            # delta-seconds per RFC 9110 (rounded up, never 0).
+            retry_after = max(0.05, float(exc.retry_after_s))
+            self._reply(429, {"error": str(exc),
+                              "retry_after_s": retry_after},
+                        headers={"Retry-After":
+                                 str(max(1, math.ceil(retry_after)))})
+            return
+        except RuntimeError as exc:  # engine stopped / no workers
             self._reply(503, {"error": str(exc)})
             return
         except Exception as exc:  # noqa: BLE001 - a JSON 500 beats a dropped
@@ -290,16 +345,27 @@ class LocalClient:
             raise ServeClientError(504, f"prediction timed out: {exc}") from exc
         except (ValueError, TypeError) as exc:
             raise ServeClientError(400, str(exc)) from exc
+        except AdmissionError as exc:
+            raise ServeClientError(429, str(exc),
+                                   retry_after=exc.retry_after_s) from exc
         except RuntimeError as exc:
             raise ServeClientError(503, str(exc)) from exc
 
     def healthz(self) -> dict:
-        return {"status": "ok", "artifact": self.engine.artifact_path,
+        return {"status": self.engine.load_state(),
+                "artifact": self.engine.artifact_path,
                 "format": self.engine.format.spec(),
                 "guardrail": self.engine.guardrail_status}
 
     def stats(self) -> dict:
         return self.engine.stats()
+
+    def metrics(self) -> str:
+        return render_prometheus(
+            self.engine.metrics.snapshot(),
+            extra={"queue_depth_now": self.engine.queue_depth,
+                   "max_wait_ms_now": self.engine.max_wait_ms,
+                   "workers": 1})
 
 
 class HTTPClient:
@@ -323,7 +389,15 @@ class HTTPClient:
                 message = json.loads(exc.read()).get("error", "")
             except Exception:  # noqa: BLE001 - best-effort error body
                 message = exc.reason
-            raise ServeClientError(exc.code, str(message)) from exc
+            retry_after = None
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            raise ServeClientError(exc.code, str(message),
+                                   retry_after=retry_after) from exc
 
     def predict(self, samples: Sequence) -> dict:
         samples = [np.asarray(sample, dtype=np.float64).tolist()
@@ -335,3 +409,9 @@ class HTTPClient:
 
     def stats(self) -> dict:
         return self._request("/stats")
+
+    def metrics(self) -> str:
+        url = f"{self.base_url}/metrics"
+        request = urllib.request.Request(url)
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")

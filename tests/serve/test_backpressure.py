@@ -1,0 +1,309 @@
+"""Admission control end to end: 429 + Retry-After instead of failures.
+
+Overflowing the engine's bounded admission queue must surface as typed
+backpressure — :class:`AdmissionError` in process, HTTP **429** with a
+``Retry-After`` header through the transport, ``overloaded`` on
+``/healthz`` — never a 500, and never a dropped in-flight request.  The
+tests pin the whole path deterministically by parking the engine's forward
+pass on an event while the queue fills, plus the load generator's
+rejected-vs-failed accounting and the cluster's zero-drop scale up/down.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentConfig
+from repro.cli import main
+from repro.serve import (
+    AdmissionError,
+    BatchingConfig,
+    ClusterConfig,
+    HTTPClient,
+    InferenceEngine,
+    LocalClient,
+    ModelServer,
+    ServeClientError,
+    ServeCluster,
+    run_load,
+    train_and_export,
+)
+
+SAMPLE = np.zeros(2)
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    base = dict(name="backpressure_test", dataset="blobs", model="mlp",
+                policy="posit(8,1)", epochs=1, train_size=64, test_size=32,
+                batch_size=16, num_classes=3, model_kwargs={"hidden": [16]})
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("backpressure") / "model.rpak"
+    train_and_export(small_config(), path)
+    return str(path)
+
+
+class _ParkedEngine:
+    """An engine whose forward pass is parked on an event.
+
+    With ``max_batch=1`` the batch loop takes exactly one request into the
+    forward pass and parks; everything submitted after that sits in the
+    bounded queue — so overflow is reached deterministically, no timing.
+    """
+
+    def __init__(self, artifact: str, queue_size: int = 2):
+        self.engine = InferenceEngine(
+            artifact,
+            BatchingConfig(max_batch=1, max_wait_ms=0.0,
+                           queue_size=queue_size))
+        self.release = threading.Event()
+        original = self.engine._forward
+
+        def parked(batch):
+            self.release.wait(timeout=30.0)
+            return original(batch)
+
+        self.engine._forward = parked
+
+    def __enter__(self) -> "_ParkedEngine":
+        self.engine.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release.set()
+        self.engine.stop()
+
+    def fill(self) -> list:
+        """One request into the parked forward, then fill the queue."""
+        futures = [self.engine.submit(SAMPLE)]
+        deadline = time.time() + 10.0
+        while self.engine.queue_depth > 0:  # loop picked up the first one
+            assert time.time() < deadline, "batch loop never took a request"
+            time.sleep(0.005)
+        for _ in range(self.engine.batching.queue_size):
+            futures.append(self.engine.submit(SAMPLE))
+        return futures
+
+
+class TestEngineAdmission:
+    def test_overflow_raises_admission_error_with_retry_hint(self, artifact):
+        with _ParkedEngine(artifact) as parked:
+            futures = parked.fill()
+            with pytest.raises(AdmissionError) as excinfo:
+                parked.engine.submit(SAMPLE)
+            assert excinfo.value.retry_after_s > 0
+            assert parked.engine.load_state() == "overloaded"
+            stats = parked.engine.stats()
+            assert stats["rejected"] == 1
+            assert stats["load_state"] == "overloaded"
+            parked.release.set()
+            # Every admitted request still completes: rejection sheds *new*
+            # load, it never cancels accepted work.
+            for future in futures:
+                assert future.result(timeout=30.0).shape == (3,)
+        assert parked.engine.stats()["requests"] == len(futures)
+
+    def test_admission_error_is_runtime_error(self, artifact):
+        # Callers that predate the typed exception catch RuntimeError.
+        assert issubclass(AdmissionError, RuntimeError)
+
+    def test_recovers_to_ok_after_drain(self, artifact):
+        with _ParkedEngine(artifact) as parked:
+            futures = parked.fill()
+            with pytest.raises(AdmissionError):
+                parked.engine.submit(SAMPLE)
+            parked.release.set()
+            for future in futures:
+                future.result(timeout=30.0)
+            # "overloaded" persists while the reject is inside the 1 s
+            # observation window, then the state heals.
+            deadline = time.time() + 10.0
+            while parked.engine.load_state() != "ok":
+                assert time.time() < deadline, "load state never recovered"
+                time.sleep(0.1)
+
+
+class TestLocalClient429:
+    def test_maps_admission_to_429(self, artifact):
+        with _ParkedEngine(artifact) as parked:
+            parked.fill()
+            client = LocalClient(parked.engine)
+            with pytest.raises(ServeClientError) as excinfo:
+                client.predict([SAMPLE])
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after > 0
+            assert client.healthz()["status"] == "overloaded"
+            assert "repro_serve_rejected_total 1" in client.metrics()
+
+
+class TestHttp429:
+    def test_429_with_retry_after_header_and_health_transitions(self, artifact):
+        with _ParkedEngine(artifact) as parked:
+            server = ModelServer(parked.engine, port=0)
+            server.start()
+            try:
+                client = HTTPClient(server.url, timeout=30.0)
+                parked.fill()
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.predict([SAMPLE.tolist()])
+                # 429, not 500 — and the Retry-After header round-tripped.
+                assert excinfo.value.status == 429
+                assert excinfo.value.retry_after is not None
+                assert excinfo.value.retry_after >= 1.0  # integer seconds
+                assert client.healthz()["status"] == "overloaded"
+                exposition = client.metrics()
+                assert "repro_serve_rejected_total 1" in exposition
+                assert "repro_serve_arrivals_total" in exposition
+                parked.release.set()
+                deadline = time.time() + 10.0
+                while client.healthz()["status"] != "ok":
+                    assert time.time() < deadline
+                    time.sleep(0.1)
+            finally:
+                server.stop()
+
+
+class _ShedClient:
+    """Stub transport client: rejects the first ``shed`` calls, then serves."""
+
+    def __init__(self, shed: int, exc_factory):
+        self.shed = shed
+        self.exc_factory = exc_factory
+        self.calls = 0
+
+    def predict(self, samples):
+        self.calls += 1
+        if self.calls <= self.shed:
+            raise self.exc_factory()
+        return {"predictions": [0] * len(samples)}
+
+
+class TestLoadgenAccounting:
+    def test_429_tallied_as_rejected_not_failed(self):
+        client = _ShedClient(3, lambda: ServeClientError(
+            429, "queue full", retry_after=0.01))
+        report = run_load(client, [SAMPLE], concurrency=1,
+                          requests_per_client=8)
+        assert report["rejected"] == 3
+        assert report["failed"] == 0
+        assert report["completed"] == 5
+        assert report["retry_wait_seconds"] == pytest.approx(0.03)
+
+    def test_raw_admission_error_counts_as_rejected(self):
+        # The cluster is also driven directly as a client (no transport);
+        # its rejections arrive as AdmissionError, not HTTP 429.
+        client = _ShedClient(2, lambda: AdmissionError(
+            "queue full", retry_after_s=0.01))
+        report = run_load(client, [SAMPLE], concurrency=1,
+                          requests_per_client=4)
+        assert report["rejected"] == 2
+        assert report["failed"] == 0
+
+    def test_retry_after_is_capped(self):
+        client = _ShedClient(1, lambda: ServeClientError(
+            429, "queue full", retry_after=60.0))
+        begin = time.perf_counter()
+        report = run_load(client, [SAMPLE], concurrency=1,
+                          requests_per_client=2, retry_after_cap_s=0.05)
+        assert time.perf_counter() - begin < 5.0
+        assert report["rejected"] == 1
+        assert report["retry_wait_seconds"] == pytest.approx(0.05)
+
+    def test_genuine_failures_still_fail(self):
+        client = _ShedClient(1, lambda: ServeClientError(500, "boom"))
+        report = run_load(client, [SAMPLE], concurrency=1,
+                          requests_per_client=2)
+        assert report["failed"] == 1
+        assert report["rejected"] == 0
+
+
+class TestClusterScaling:
+    def test_scale_up_and_down_with_zero_inflight_drops(self, artifact):
+        cluster = ServeCluster(
+            artifact, ClusterConfig(workers=1),
+            batching=BatchingConfig(max_batch=8, max_wait_ms=1.0))
+        with cluster:
+            errors: list[str] = []
+            done = threading.Event()
+
+            def pound():
+                while not done.is_set():
+                    try:
+                        cluster.predict([SAMPLE])
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        errors.append(f"{type(exc).__name__}: {exc}")
+
+            threads = [threading.Thread(target=pound, daemon=True)
+                       for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            try:
+                assert cluster.scale_to(2) == 1
+                assert cluster.target_workers == 2
+                deadline = time.time() + 30.0
+                while cluster.healthz()["alive"] < 2:
+                    assert time.time() < deadline, "scale-up never completed"
+                    time.sleep(0.1)
+                time.sleep(0.5)  # traffic across both workers
+                assert cluster.scale_to(1) == -1
+                assert cluster.target_workers == 1
+                time.sleep(0.5)  # traffic across the retirement
+            finally:
+                done.set()
+                for thread in threads:
+                    thread.join(timeout=10.0)
+            assert errors == []  # zero client-observed drops
+            assert cluster.healthz()["status"] == "ok"
+            stats = cluster.stats()
+            assert stats["workers"] == 1
+            # The cluster still answers after the dance.
+            assert cluster.predict([SAMPLE])["predictions"][0] in (0, 1, 2)
+
+    def test_scale_to_validates(self, artifact):
+        cluster = ServeCluster(artifact, ClusterConfig(workers=1))
+        with cluster:
+            with pytest.raises(ValueError):
+                cluster.scale_to(0)
+            assert cluster.scale_to(1) == 0  # no-op
+
+    def test_tuned_wait_broadcasts_and_sticks(self, artifact):
+        cluster = ServeCluster(artifact, ClusterConfig(workers=1))
+        with cluster:
+            cluster.set_max_wait_ms(7.5)
+            assert cluster.max_wait_ms == 7.5
+            deadline = time.time() + 10.0
+            while True:
+                rows = cluster.worker_metrics()
+                if rows and all(row["max_wait_ms"] == 7.5 for row in rows):
+                    break
+                assert time.time() < deadline, "control broadcast never landed"
+                time.sleep(0.1)
+            assert cluster.stats()["max_wait_ms"] == 7.5
+
+
+class TestArtifactInspectCLI:
+    def test_inspect_summary(self, artifact, capsys):
+        assert main(["artifact", "inspect", artifact]) == 0
+        out = capsys.readouterr().out
+        assert "format=posit(8,1)" in out
+        assert "guardrail: 16 held-out samples" in out
+
+    def test_inspect_json_has_segments(self, artifact, capsys):
+        assert main(["artifact", "inspect", artifact, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["version"] == 2
+        assert summary["tensors"] == 4
+        assert {row["name"] for row in summary["segments"]} == {
+            "body.0.weight", "body.0.bias", "body.2.weight", "body.2.bias"}
+        assert all(row["nbytes"] > 0 for row in summary["segments"])
+        assert summary["guardrail"]["samples"] == 16
+
+    def test_inspect_missing_file_exits_2(self, capsys):
+        assert main(["artifact", "inspect", "/nonexistent.rpak"]) == 2
