@@ -1,0 +1,81 @@
+"""Codec hot-path baseline: per-format, per-op call cost, measured.
+
+The ROADMAP's top open item — vectorized/LUT codec kernels — needs a
+committed baseline to optimize against.  This benchmark drives every
+registered number format (deduplicated by canonical spec) through the
+three codec entry points the profiler accounts — ``quantize`` /
+``to_bits`` / ``from_bits`` — over 4096-element arrays, via the
+:mod:`repro.obs` profiler's real hooks (the same patching a traced
+serving engine uses).  The result is the scoreboard
+``benchmarks/results/codec_profile_baseline.json``: calls, elements,
+cumulative nanoseconds, and ns/element per (format, op) — the numbers a
+future kernel PR must beat.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import available_formats
+from repro.obs import CodecProfiler
+
+#: Array size per profiled call — big enough that per-element cost
+#: dominates Python call overhead, small enough to keep the sweep fast.
+ELEMENTS = 4096
+#: Repetitions per (format, op) so the ns figures average real work.
+REPEATS = 3
+
+
+def test_bench_codec_profile_baseline(benchmark, save_result, bench_rng):
+    formats = {}
+    for fmt in available_formats().values():
+        formats.setdefault(fmt.spec(), fmt)
+
+    values = bench_rng.normal(size=ELEMENTS)
+    profiler = CodecProfiler()
+    with profiler:
+        for fmt in formats.values():
+            for _ in range(REPEATS):
+                bits = fmt.to_bits(values)
+                fmt.from_bits(bits)
+                fmt.quantize(values)
+
+    snapshot = profiler.snapshot()
+    table = profiler.format_table(snapshot)
+    print("\n" + table)
+
+    # Timed region: one full codec round trip for the paper's headline
+    # format, through the profiled methods (the serving-path shape).
+    posit8 = formats["posit(8,1)"]
+    with profiler:
+        benchmark(lambda: posit8.from_bits(posit8.to_bits(values)))
+
+    rows = []
+    for spec in sorted(snapshot["formats"]):
+        for op, entry in sorted(snapshot["formats"][spec].items()):
+            rows.append({
+                "format": spec,
+                "op": op,
+                "calls": entry["calls"],
+                "elements": entry["elements"],
+                "total_ns": entry["ns"],
+                "ns_per_element": entry["ns"] / entry["elements"],
+            })
+    save_result("codec_profile_baseline", {
+        "elements_per_call": ELEMENTS,
+        "repeats": REPEATS,
+        "formats_profiled": len(formats),
+        "table": table,
+        "rows": rows,
+    })
+
+    # The baseline is only a baseline if it measured something: every
+    # registered format must show all three ops with non-zero cost.
+    specs_seen = {row["format"] for row in rows}
+    assert specs_seen == set(formats), (specs_seen, set(formats))
+    for spec in formats:
+        ops = snapshot["formats"][spec]
+        assert set(ops) == {"quantize", "to_bits", "from_bits"}, (spec, ops)
+        for op, entry in ops.items():
+            assert entry["calls"] >= REPEATS, (spec, op, entry)
+            assert entry["elements"] >= REPEATS * ELEMENTS, (spec, op, entry)
+            assert entry["ns"] > 0, (spec, op, entry)

@@ -30,6 +30,13 @@ usual concurrency into a deliberately small admission queue: the excess
 must be shed as typed 429-style rejections (zero request failures) while
 the queue bound keeps the admitted p99 within 2x the SLO.
 
+A *tracing* axis prices the observability layer: the same closed loop
+with the :mod:`repro.obs` tracer off vs sampled on (``sample_rate=0.1``,
+the production-shaped setting), best-of-2 runs each to damp shared-runner
+noise.  The sampled-on run must stay within 5% of the untraced
+throughput — the "negligible overhead enabled" contract, asserted rather
+than assumed.
+
 Correctness riders (asserted, not just recorded): the micro-batched
 predictions are bit-identical to a direct forward pass, batched and
 single-sample cluster predictions are bit-identical across workers, and the
@@ -43,6 +50,7 @@ import numpy as np
 import pytest
 
 from repro.api import ExperimentConfig
+from repro.obs import TraceConfig
 from repro.serve import (
     BatchingConfig,
     ClusterConfig,
@@ -196,6 +204,49 @@ def _drive_cluster_controlled(path: str, samples: np.ndarray) -> dict:
     }
 
 
+#: Head-sampling rate for the tracing-overhead axis — the production-shaped
+#: setting (trace some requests, not all), and the one the 5% bound covers.
+TRACE_SAMPLE_RATE = 0.1
+
+
+def _measure_tracing_overhead(path: str, samples: np.ndarray) -> dict:
+    """The observability tax, measured: tracer off vs sampled on.
+
+    Identical closed-loop load either way; best-of-2 per configuration so
+    one noisy run on a shared host doesn't decide the ratio.
+    """
+    batching = BatchingConfig(max_batch=CONCURRENCY, max_wait_ms=5.0)
+
+    def best_of_two(tracing) -> dict:
+        best = None
+        for _ in range(2):
+            with InferenceEngine(path, batching, tracing=tracing) as engine:
+                report = run_load(LocalClient(engine), samples,
+                                  concurrency=CONCURRENCY,
+                                  requests_per_client=REQUESTS_PER_CLIENT)
+                tracer_summary = engine.tracer.summary()
+            assert report["failed"] == 0, report["errors"]
+            if best is None or report["throughput_rps"] > best["throughput_rps"]:
+                best = {
+                    "throughput_rps": report["throughput_rps"],
+                    "latency_p50_ms": report["latency_p50_ms"],
+                    "latency_p99_ms": report["latency_p99_ms"],
+                    "spans_recorded": tracer_summary["spans_total"],
+                    "traces_recorded": tracer_summary["traces_total"],
+                }
+        return best
+
+    off = best_of_two(None)
+    on = best_of_two(TraceConfig(enabled=True,
+                                 sample_rate=TRACE_SAMPLE_RATE))
+    return {
+        "sample_rate": TRACE_SAMPLE_RATE,
+        "off": off,
+        "sampled_on": on,
+        "throughput_ratio": on["throughput_rps"] / off["throughput_rps"],
+    }
+
+
 def _drive_overload(path: str, samples: np.ndarray) -> dict:
     """A 4x overload burst against a deliberately small admission queue.
 
@@ -250,6 +301,9 @@ def test_bench_serve_throughput(benchmark, save_result, artifact, bench_rng):
     controlled_row = _drive_cluster_controlled(path, samples)
     overload_row = _drive_overload(path, samples)
 
+    # The observability tax: tracer off vs sampled on, best-of-2 each.
+    tracing_row = _measure_tracing_overhead(path, samples)
+
     artifact_bytes = os.path.getsize(path)
     payload = {
         "artifact_bytes": artifact_bytes,
@@ -261,8 +315,15 @@ def test_bench_serve_throughput(benchmark, save_result, artifact, bench_rng):
         "worker_runs": worker_rows,
         "controlled_run": controlled_row,
         "overload_run": overload_row,
+        "tracing_overhead": tracing_row,
     }
     save_result("serve_throughput", payload)
+
+    # Tracing must be cheap enough to leave on: sampled-on throughput
+    # within 5% of the untraced engine (and the sampler actually sampled —
+    # a 0-span run would make the bound vacuous).
+    assert tracing_row["sampled_on"]["spans_recorded"] > 0, tracing_row
+    assert tracing_row["throughput_ratio"] >= 0.95, tracing_row
 
     single_worker, multi_worker = worker_rows[0], worker_rows[-1]
     assert multi_worker["requests"] == CONCURRENCY * REQUESTS_PER_CLIENT

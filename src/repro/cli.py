@@ -21,7 +21,10 @@ Commands::
                  [--port P] [--max-batch N] [--max-wait-ms F]
                  [--queue-size N] [--slo-p99-ms F]
                  [--min-workers N] [--max-workers N] [--no-autoscale]
+                 [--trace] [--trace-sample-rate F] [--trace-file PATH]
                  [--no-activation-quant] [--no-guardrail]
+    repro trace summary FILE [--slow-ms F] [--json]
+    repro trace export  FILE --output PATH
     repro artifact inspect FILE [--json]
 
 Sweep files are committed JSON / YAML-lite documents (see
@@ -46,6 +49,14 @@ coalescing wait against ``--slo-p99-ms``, and sheds overload as HTTP 429 +
 worker count.  ``artifact inspect`` prints an artifact's manifest summary
 (version, per-tensor formats, guardrail, segment table) from the header
 alone — no blob decode, so it is instant on any size artifact.
+
+``serve --trace`` turns on the :mod:`repro.obs` request tracer: every
+sampled ``/predict`` is recorded as one span tree (admission → queue →
+batch → codec → forward → respond), the trace id is echoed in the
+``X-Repro-Trace-Id`` response header, and on shutdown the collected spans
+are written to ``--trace-file`` as JSONL.  ``trace summary`` aggregates a
+span JSONL into per-trace and per-stage tables; ``trace export`` converts
+it to Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -189,12 +200,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-control", action="store_true",
                        help="disable the control loop entirely (static "
                             "max_wait_ms and worker count)")
+    serve.add_argument("--trace", action="store_true",
+                       help="record per-request span traces (admission → "
+                            "queue → batch → codec → forward → respond) and "
+                            "echo X-Repro-Trace-Id on responses")
+    serve.add_argument("--trace-sample-rate", type=float, default=1.0,
+                       metavar="F",
+                       help="fraction of requests traced when --trace is on "
+                            "(default: 1.0; head-based, whole trace or none)")
+    serve.add_argument("--trace-file", default=None, metavar="PATH",
+                       help="write collected spans as JSONL on shutdown "
+                            "(feed to 'repro trace summary|export')")
     serve.add_argument("--no-activation-quant", action="store_true",
                        help="run activations in FP32 (weights stay in the "
                             "artifact format)")
     serve.add_argument("--no-guardrail", action="store_true",
                        help="skip the startup guardrail replay (serve even if "
                             "the artifact cannot reproduce its recorded logits)")
+
+    trace = subcommands.add_parser(
+        "trace", help="inspect and convert span traces (repro.obs JSONL)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-trace and per-stage aggregates from a span JSONL")
+    trace_summary.add_argument("file", help="span JSONL (serve --trace-file output)")
+    trace_summary.add_argument("--slow-ms", type=float, default=None,
+                               help="also list traces slower than this threshold")
+    trace_summary.add_argument("--json", action="store_true",
+                               help="machine-readable output")
+    trace_export = trace_sub.add_parser(
+        "export", help="convert a span JSONL to Chrome trace-event JSON")
+    trace_export.add_argument("file", help="span JSONL (serve --trace-file output)")
+    trace_export.add_argument("--output", "-o", required=True,
+                              help="Chrome trace JSON output path (load in "
+                                   "Perfetto or chrome://tracing)")
 
     artifact = subcommands.add_parser(
         "artifact", help="packed-artifact tools (header-only, no blob decode)")
@@ -398,6 +437,13 @@ def _cmd_serve(args) -> int:
     if args.queue_size is not None:
         batching_kwargs["queue_size"] = args.queue_size
     batching = BatchingConfig(**batching_kwargs)
+    tracing = None
+    if args.trace:
+        from .obs import TraceConfig
+
+        tracing = TraceConfig(enabled=True,
+                              sample_rate=args.trace_sample_rate,
+                              slow_ms=args.slo_p99_ms)
     max_workers = args.max_workers if args.max_workers is not None else args.workers
     control = ControlConfig(slo_p99_ms=args.slo_p99_ms,
                             min_workers=args.min_workers,
@@ -411,26 +457,34 @@ def _cmd_serve(args) -> int:
             ClusterConfig(workers=args.workers, max_restarts=args.max_restarts),
             batching=batching,
             quantize_activations=not args.no_activation_quant,
-            verify_guardrail=not args.no_guardrail)
+            verify_guardrail=not args.no_guardrail,
+            tracing=tracing)
         server = ClusterServer(cluster, host=args.host, port=args.port)
         print(f"serving {args.artifact} on {server.url} "
               f"({args.workers} worker processes, guardrail "
               f"{'off' if args.no_guardrail else 'on'})")
         backend_stop = cluster.stop
         plant = ClusterPlant(cluster)
+        tracer = cluster.tracer
     else:
         engine = InferenceEngine(
             args.artifact, batching,
             quantize_activations=not args.no_activation_quant,
-            verify_guardrail=not args.no_guardrail)
+            verify_guardrail=not args.no_guardrail,
+            tracing=tracing)
         server = ModelServer(engine, host=args.host, port=args.port)
         print(f"serving {args.artifact} [{engine.format.spec()}] on {server.url} "
               f"(guardrail: {engine.guardrail_status})")
         backend_stop = engine.stop
         plant = EnginePlant(engine)
+        tracer = engine.tracer
     controller = None if args.no_control else Controller(plant, control).start()
+    if controller is not None:
+        # Surface scale/AIMD decisions in /stats and /metrics.
+        server.attach_controller(controller)
     print(f"  POST {server.url}/predict   "
-          f"GET {server.url}/healthz|/stats|/metrics")
+          f"GET {server.url}/healthz|/stats|/metrics"
+          + ("|/traces" if tracing is not None else ""))
     print(f"  micro-batching: max_batch={args.max_batch} "
           f"max_wait_ms={args.max_wait_ms}")
     if controller is not None:
@@ -439,6 +493,10 @@ def _cmd_serve(args) -> int:
               f"workers=[{control.min_workers}, {control.max_workers}] "
               f"(cpu cap: {cap}) "
               f"autoscale={'off' if args.no_autoscale else 'on'}")
+    if tracing is not None:
+        print(f"  tracing: sample_rate={tracing.sample_rate} "
+              f"slow_ms={tracing.slow_ms}"
+              + (f" -> {args.trace_file}" if args.trace_file else ""))
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -446,6 +504,65 @@ def _cmd_serve(args) -> int:
         if controller is not None:
             controller.stop()
         backend_stop()
+        if args.trace_file and tracing is not None:
+            from .obs import write_jsonl
+
+            spans = tracer.spans()
+            write_jsonl(spans, args.trace_file)
+            print(f"wrote {len(spans)} span(s) to {args.trace_file}")
+    return 0
+
+
+def _cmd_trace_summary(args) -> int:
+    from .obs import read_jsonl, summarize_traces
+
+    spans = read_jsonl(args.file)
+    if not spans:
+        print(f"error: no spans in {args.file}", file=sys.stderr)
+        return 2
+    summary = summarize_traces(spans, slow_ms=args.slow_ms)
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+        return 0
+    from .sweeps import format_table
+
+    print(f"{args.file}: {len(spans)} span(s), "
+          f"{len(summary['traces'])} trace(s)")
+    print()
+    print("per-stage aggregates:")
+    stage_rows = [{"stage": name, **row}
+                  for name, row in summary["stages"].items()]
+    print(format_table(stage_rows, columns=("stage", "count", "total_ms",
+                                            "mean_ms", "max_ms")))
+    print()
+    print("slowest traces:")
+    trace_rows = [{"trace": row["trace_id"][:16], "root": row["root"],
+                   "spans": row["spans"],
+                   "duration_ms": round(row["duration_ms"], 3)}
+                  for row in summary["traces"][:10]]
+    print(format_table(trace_rows, columns=("trace", "root", "spans",
+                                            "duration_ms")))
+    if args.slow_ms is not None:
+        slow = summary.get("slow_traces", [])
+        print(f"\n{len(slow)} trace(s) over {args.slow_ms} ms")
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    from .obs import read_jsonl, to_chrome_trace, validate_chrome_trace, write_chrome_trace
+
+    spans = read_jsonl(args.file)
+    if not spans:
+        print(f"error: no spans in {args.file}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(to_chrome_trace(spans))
+    if problems:
+        print("error: generated trace fails validation: "
+              + "; ".join(problems), file=sys.stderr)
+        return 2
+    write_chrome_trace(spans, args.output)
+    print(f"wrote {len(spans)} event(s) to {args.output} "
+          f"(load in Perfetto or chrome://tracing)")
     return 0
 
 
@@ -537,6 +654,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         handler = _cmd_export
     elif args.command == "serve":
         handler = _cmd_serve
+    elif args.command == "trace":
+        handler = {"summary": _cmd_trace_summary,
+                   "export": _cmd_trace_export}[args.trace_command]
     elif args.command == "artifact":
         handler = _cmd_artifact_inspect
     else:

@@ -34,7 +34,13 @@ def _build(fmt: NumberFormat, rounding: str,
         raise TypeError(
             f"unsupported format descriptor: {fmt!r} (no make_quantizer hook)"
         )
-    return maker(rounding=rounding, rng=rng)
+    # Every quantizer leaves the factory wrapped for the codec profiler
+    # (repro.obs.profiler).  The proxy is cached like the bare quantizer
+    # would be — identity and attribute semantics are unchanged — and
+    # while profiling is off it costs one flag check per call.
+    from repro.obs.profiler import wrap_quantizer
+
+    return wrap_quantizer(maker(rounding=rounding, rng=rng), fmt)
 
 
 def get_quantizer(fmt: Union[NumberFormat, str, None], rounding: str = "zero",

@@ -1,0 +1,238 @@
+"""Trace exporters: JSONL interchange and Chrome trace-event format.
+
+JSONL (one serialized :class:`~repro.obs.tracing.Span` per line) is the
+interchange format the ``repro trace`` CLI reads back.  The Chrome
+trace-event document (``{"traceEvents": [...]}`` with complete ``"X"``
+events) loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.
+
+The exporter maps span fields onto trace-event fields as:
+
+* ``ts``/``dur`` — microseconds on the span's monotonic clock (shared
+  machine-wide, so supervisor and worker-process spans align);
+* ``pid`` — the recording process, so cluster hops render as lanes;
+* ``tid`` — a small integer per trace id, so concurrent requests stack
+  into separate rows instead of overlapping;
+* ``args`` — the span's annotations plus its trace/span/parent ids.
+
+:func:`validate_chrome_trace` is the schema gate used by tests and CI:
+required keys per event, non-negative monotonic-sane timestamps, and
+matched ``B``/``E`` pairs for any duration events (ours are all ``X``,
+but hand-edited traces are checked too).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from .tracing import Span
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "span_to_chrome_event",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "summarize_traces",
+]
+
+SpanLike = Union[Span, Mapping[str, Any]]
+
+_REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def _as_span(item: SpanLike) -> Span:
+    return item if isinstance(item, Span) else Span.from_dict(item)
+
+
+# -- JSONL ----------------------------------------------------------------
+
+def write_jsonl(spans: Iterable[SpanLike], path: str) -> int:
+    """Write one span per line; returns the number written."""
+
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for item in spans:
+            span = _as_span(item)
+            fh.write(json.dumps(span.to_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Span]:
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# -- Chrome trace-event ---------------------------------------------------
+
+def span_to_chrome_event(span: SpanLike, tid: int = 0) -> Dict[str, Any]:
+    """One complete ("X") trace event for a finished span."""
+
+    s = _as_span(span)
+    args = dict(s.annotations)
+    args["trace_id"] = s.trace_id
+    args["span_id"] = s.span_id
+    if s.parent_id:
+        args["parent_id"] = s.parent_id
+    return {
+        "name": s.name,
+        "ph": "X",
+        "cat": "repro",
+        "ts": s.start_s * 1e6,
+        "dur": max(0.0, (s.end_s - s.start_s) * 1e6),
+        "pid": s.pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def to_chrome_trace(spans: Iterable[SpanLike]) -> Dict[str, Any]:
+    """A Perfetto-loadable trace-event document for a batch of spans."""
+
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    for item in spans:
+        span = _as_span(item)
+        tid = tids.setdefault(span.trace_id, len(tids) + 1)
+        events.append(span_to_chrome_event(span, tid=tid))
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "span_count": len(events)},
+    }
+
+
+def write_chrome_trace(spans: Iterable[SpanLike], path: str) -> Dict[str, Any]:
+    doc = to_chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema-check a trace-event document; returns problems ([] = valid).
+
+    Checks: top-level shape, required keys per event, numeric
+    non-negative ``ts`` (and ``dur`` for ``X`` events), events sorted by
+    ``ts`` (monotonic within the document), and matched ``B``/``E``
+    nesting per ``(pid, tid)`` stack.
+    """
+
+    problems: List[str] = []
+    if not isinstance(doc, Mapping):
+        return [f"document is {type(doc).__name__}, expected a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+        return ["traceEvents missing or not an array"]
+
+    last_ts = None
+    stacks: Dict[tuple, List[str]] = {}
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, Mapping):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = [k for k in _REQUIRED_EVENT_KEYS if k not in event]
+        if missing:
+            problems.append(f"{where}: missing keys {missing}")
+            continue
+        ph = event["ph"]
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"{where}: ts {ts} is before previous event ts {last_ts}"
+                " (events must be sorted)"
+            )
+        last_ts = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: complete event needs non-negative dur, got {dur!r}"
+                )
+        elif ph == "B":
+            stacks.setdefault((event["pid"], event["tid"]), []).append(event["name"])
+        elif ph == "E":
+            stack = stacks.setdefault((event["pid"], event["tid"]), [])
+            if not stack:
+                problems.append(f"{where}: E event with no matching B")
+            else:
+                stack.pop()
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            problems.append(
+                f"unclosed B events on pid={pid} tid={tid}: {stack}"
+            )
+    return problems
+
+
+# -- summaries ------------------------------------------------------------
+
+def summarize_traces(spans: Iterable[SpanLike],
+                     slow_ms: Optional[float] = None) -> Dict[str, Any]:
+    """Aggregate spans into per-trace and per-stage views for the CLI.
+
+    Returns ``{"traces": [...], "stages": {...}, "span_count", ...}`` with
+    one row per trace (root name, duration, per-stage ms) and per-stage
+    aggregate count / total / mean / max across all traces.
+    """
+
+    by_trace: Dict[str, List[Span]] = {}
+    for item in spans:
+        span = _as_span(item)
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    traces: List[Dict[str, Any]] = []
+    stages: Dict[str, Dict[str, float]] = {}
+    for trace_id, members in by_trace.items():
+        members.sort(key=lambda s: s.start_s)
+        roots = [s for s in members if s.parent_id is None]
+        root = roots[0] if roots else min(members, key=lambda s: s.start_s)
+        stage_ms: Dict[str, float] = {}
+        for span in members:
+            stage_ms[span.name] = stage_ms.get(span.name, 0.0) + span.duration_ms
+            agg = stages.setdefault(
+                span.name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+            )
+            agg["count"] += 1
+            agg["total_ms"] += span.duration_ms
+            agg["max_ms"] = max(agg["max_ms"], span.duration_ms)
+        duration = (max(s.end_s for s in members) - min(s.start_s for s in members)) * 1e3
+        traces.append({
+            "trace_id": trace_id,
+            "root": root.name,
+            "spans": len(members),
+            "duration_ms": round(duration, 3),
+            "stage_ms": {k: round(v, 3) for k, v in stage_ms.items()},
+        })
+    traces.sort(key=lambda t: t["duration_ms"], reverse=True)
+
+    for agg in stages.values():
+        agg["mean_ms"] = agg["total_ms"] / agg["count"] if agg["count"] else 0.0
+        agg["total_ms"] = round(agg["total_ms"], 3)
+        agg["mean_ms"] = round(agg["mean_ms"], 3)
+        agg["max_ms"] = round(agg["max_ms"], 3)
+
+    summary: Dict[str, Any] = {
+        "span_count": sum(t["spans"] for t in traces),
+        "trace_count": len(traces),
+        "traces": traces,
+        "stages": stages,
+    }
+    if slow_ms is not None:
+        summary["slow_ms"] = float(slow_ms)
+        summary["slow_traces"] = [t for t in traces if t["duration_ms"] >= slow_ms]
+    return summary

@@ -1,0 +1,254 @@
+"""Codec hot-path profiler: per-format, per-op call counts and time.
+
+The ROADMAP's top open item — vectorized/LUT codec kernels — needs a
+measured baseline: for each number format, how many times do we call
+``quantize`` / ``to_bits`` / ``from_bits`` and how many nanoseconds do
+they cost?  This module collects exactly that, from two hook points:
+
+* the **quantizer factory** (:func:`repro.formats.get_quantizer`) wraps
+  every quantizer it hands out in a cached :class:`_ProfiledQuantizer`
+  proxy — identity semantics are preserved (same ``(format, rounding)``
+  → the *same* proxy object, attribute access delegates), so the policy
+  layer's memoization contract is untouched and the proxy costs one flag
+  check per call while profiling is off;
+* :meth:`CodecProfiler.enable` additionally patches the ``quantize`` /
+  ``to_bits`` / ``from_bits`` methods of the concrete format classes
+  (posit, float, fixed-point), which is what catches the artifact
+  save/load weight codec (``fmt.to_bits(...)`` / ``fmt.from_bits(...)``)
+  without touching the artifact code.
+
+The two hooks never double-count: the quantizer objects call the
+module-level kernels directly, not the format methods.
+
+``enable``/``disable`` are refcounted so nested scopes (a traced engine
+inside a profiled benchmark) compose; stats survive disable until
+:func:`reset_profile`.  All counters live in one process — cluster
+workers each profile their own engine and report through their own
+``/stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "CodecProfiler",
+    "profiler",
+    "enable_profiling",
+    "disable_profiling",
+    "reset_profile",
+    "profile_snapshot",
+    "format_table",
+]
+
+#: The codec entry points we account, in scoreboard column order.
+OPS = ("quantize", "to_bits", "from_bits")
+
+
+class CodecProfiler:
+    """Aggregates ``(format spec, op) -> calls / elements / nanoseconds``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats: Dict[tuple, Dict[str, int]] = {}
+        self._refcount = 0
+        self._patched: list = []  # (cls, op, original) for restore
+        self._total_ns = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._refcount > 0
+
+    def enable(self) -> "CodecProfiler":
+        """Turn accounting on (refcounted); patches format classes once."""
+
+        with self._lock:
+            self._refcount += 1
+            if self._refcount == 1:
+                self._patch_formats()
+        return self
+
+    def disable(self) -> None:
+        """Undo one :meth:`enable`; restores format classes at zero."""
+
+        with self._lock:
+            if self._refcount == 0:
+                return
+            self._refcount -= 1
+            if self._refcount == 0:
+                for cls, op, original in self._patched:
+                    setattr(cls, op, original)
+                self._patched.clear()
+
+    def __enter__(self) -> "CodecProfiler":
+        return self.enable()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.disable()
+
+    # -- accounting -------------------------------------------------------
+
+    def record(self, spec: str, op: str, ns: int, elements: int) -> None:
+        with self._lock:
+            entry = self._stats.get((spec, op))
+            if entry is None:
+                entry = {"calls": 0, "elements": 0, "ns": 0}
+                self._stats[(spec, op)] = entry
+            entry["calls"] += 1
+            entry["elements"] += elements
+            entry["ns"] += ns
+            self._total_ns += ns
+
+    def total_ns(self) -> int:
+        """Cumulative profiled nanoseconds — cheap, for per-batch deltas."""
+
+        return self._total_ns
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+            self._total_ns = 0
+
+    # -- reporting --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``{"active", "total_ns", "formats": {spec: {op: {...}}}}``."""
+
+        with self._lock:
+            formats: Dict[str, Dict[str, Dict[str, int]]] = {}
+            for (spec, op), entry in self._stats.items():
+                formats.setdefault(spec, {})[op] = dict(entry)
+            return {
+                "active": self._refcount > 0,
+                "total_ns": self._total_ns,
+                "formats": formats,
+            }
+
+    def format_table(self, snapshot: Optional[Dict[str, Any]] = None) -> str:
+        """The baseline scoreboard: one row per (format, op), aligned text."""
+
+        snap = snapshot if snapshot is not None else self.snapshot()
+        rows = [("format", "op", "calls", "elements", "total_ms", "ns/elem")]
+        for spec in sorted(snap["formats"]):
+            ops = snap["formats"][spec]
+            for op in OPS:
+                entry = ops.get(op)
+                if entry is None:
+                    continue
+                per_elem = entry["ns"] / entry["elements"] if entry["elements"] else 0.0
+                rows.append((
+                    spec,
+                    op,
+                    str(entry["calls"]),
+                    str(entry["elements"]),
+                    f"{entry['ns'] / 1e6:.3f}",
+                    f"{per_elem:.1f}",
+                ))
+        widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+        lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+                 for row in rows]
+        lines.insert(1, "  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    # -- format-class patching -------------------------------------------
+
+    def _patch_formats(self) -> None:
+        # Caller holds the lock.  Imported here (not at module top) so the
+        # obs package never participates in formats' import cycle.
+        from repro.formats.fixedpoint import FixedPointFormat
+        from repro.posit.config import PositConfig
+        from repro.posit.floatformats import FloatFormat
+
+        for cls in (PositConfig, FloatFormat, FixedPointFormat):
+            for op in OPS:
+                original = cls.__dict__.get(op)
+                if original is None or getattr(original, "_repro_profiled", False):
+                    continue
+                wrapper = _profiled_method(self, op, original)
+                setattr(cls, op, wrapper)
+                self._patched.append((cls, op, original))
+
+
+def _profiled_method(prof: CodecProfiler, op: str, original):
+    def wrapper(self, values, *args, **kwargs):
+        if not prof.active:
+            return original(self, values, *args, **kwargs)
+        t0 = time.perf_counter_ns()
+        out = original(self, values, *args, **kwargs)
+        ns = time.perf_counter_ns() - t0
+        prof.record(self.spec(), op, ns, int(np.size(values)))
+        return out
+
+    wrapper._repro_profiled = True
+    wrapper.__name__ = getattr(original, "__name__", op)
+    wrapper.__doc__ = getattr(original, "__doc__", None)
+    wrapper.__wrapped__ = original
+    return wrapper
+
+
+class _ProfiledQuantizer:
+    """Transparent callable proxy accounting ``quantize`` calls.
+
+    Cached by the factory exactly like the bare quantizer it wraps, so
+    ``get_quantizer(f, r) is get_quantizer(f, r)`` still holds; every
+    other attribute (``rng``, ``format``, ``rounding``, ...) delegates.
+    """
+
+    __slots__ = ("_inner", "_spec")
+
+    def __init__(self, inner, spec: str) -> None:
+        object.__setattr__(self, "_inner", inner)
+        object.__setattr__(self, "_spec", spec)
+
+    def __call__(self, values, *args, **kwargs):
+        prof = profiler
+        if not prof.active:
+            return self._inner(values, *args, **kwargs)
+        t0 = time.perf_counter_ns()
+        out = self._inner(values, *args, **kwargs)
+        ns = time.perf_counter_ns() - t0
+        prof.record(self._spec, "quantize", ns, int(np.size(values)))
+        return out
+
+    def __getattr__(self, name):
+        return getattr(object.__getattribute__(self, "_inner"), name)
+
+    def __repr__(self) -> str:
+        return f"profiled({self._inner!r})"
+
+
+def wrap_quantizer(quantizer, fmt) -> _ProfiledQuantizer:
+    """Factory hook: wrap a freshly built quantizer for accounting."""
+
+    return _ProfiledQuantizer(quantizer, fmt.spec())
+
+
+#: Process-wide profiler instance; the module-level helpers below and the
+#: serving/CLI layers all talk to this one.
+profiler = CodecProfiler()
+
+
+def enable_profiling() -> CodecProfiler:
+    return profiler.enable()
+
+
+def disable_profiling() -> None:
+    profiler.disable()
+
+
+def reset_profile() -> None:
+    profiler.reset()
+
+
+def profile_snapshot() -> Dict[str, Any]:
+    return profiler.snapshot()
+
+
+def format_table(snapshot: Optional[Dict[str, Any]] = None) -> str:
+    return profiler.format_table(snapshot)

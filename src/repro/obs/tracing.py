@@ -1,0 +1,485 @@
+"""Span-based tracing with monotonic clocks and a bounded ring recorder.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  Serving code guards every trace touch with
+   ``if tracer.enabled`` (one attribute read) or carries ``None`` where a
+   span would be; a disabled tracer never allocates.
+2. **Negligible overhead when on.**  Head-based sampling: the *root* of a
+   request decides once (one ``random()``) whether the request is traced;
+   everything downstream either receives an :class:`ActiveSpan` / context
+   dict (traced) or ``None`` (not).  Unsampled requests pay nothing past
+   the root check.
+3. **Cross-thread and cross-process assembly.**  The engine's stages run
+   on different threads (submit on the request thread, batching on the
+   batcher thread) and — under :class:`~repro.serve.cluster.ServeCluster`
+   — in different *processes*.  Thread-local context cannot flow there,
+   so spans carry explicit ``trace_id``/``parent_id`` strings and may be
+   recorded *retroactively* from timestamps the pipeline already collects
+   (:meth:`ActiveSpan.record_child`).  Clocks are ``time.perf_counter``,
+   which on Linux is ``CLOCK_MONOTONIC`` — a machine-wide timebase, so
+   spans recorded in forked worker processes land on the same axis as the
+   supervisor's when merged into one Chrome trace.
+
+Trace context is a plain dict — ``{"trace_id", "parent_id", "sampled"}``
+— so it rides HTTP headers and worker-pipe payloads without a codec.  The
+HTTP header carrying the trace id in both directions is
+:data:`TRACE_HEADER` (``X-Repro-Trace-Id``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceConfig",
+    "Span",
+    "ActiveSpan",
+    "Tracer",
+    "new_trace_id",
+    "new_span_id",
+]
+
+# Header used to accept an incoming trace id on /predict and to echo the
+# request's trace id back on the response (both HTTP transports).
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+# Fork-aware RNG: cluster workers are forked with the supervisor's RNG
+# state, so a module-level Random would deal *identical* id streams in
+# every process — colliding span ids inside one merged trace.  Reseed on
+# first use in each new pid.
+_rand = random.Random()
+_rand_pid = os.getpid()
+
+
+def _rng() -> random.Random:
+    global _rand, _rand_pid
+    pid = os.getpid()
+    if pid != _rand_pid:
+        _rand = random.Random()
+        _rand_pid = pid
+    return _rand
+
+
+def new_trace_id() -> str:
+    """A 32-hex-char trace id (128 random bits)."""
+
+    return f"{_rng().getrandbits(128):032x}"
+
+
+def new_span_id() -> str:
+    """A 16-hex-char span id (64 random bits)."""
+
+    return f"{_rng().getrandbits(64):016x}"
+
+
+@dataclass
+class TraceConfig:
+    """Tracer settings.
+
+    ``enabled=False`` is the hard off switch: no sampling roll, no spans,
+    no ring.  ``sample_rate`` is the head-based probability that a given
+    request is traced (``1.0`` = every request, ``0.0`` = armed but
+    recording nothing).  ``capacity`` bounds the in-memory span ring;
+    ``slow_ms``/``slow_keep`` control the top-K slow-request exemplars
+    kept alongside it; ``profile_codec`` additionally enables the
+    per-format codec profiler for the lifetime of the traced engine so
+    traces carry a codec span.
+    """
+
+    enabled: bool = False
+    sample_rate: float = 1.0
+    capacity: int = 4096
+    slow_ms: float = 250.0
+    slow_keep: int = 8
+    profile_codec: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= float(self.sample_rate) <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {self.sample_rate}"
+            )
+        if int(self.capacity) < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if int(self.slow_keep) < 1:
+            raise ValueError(f"slow_keep must be >= 1, got {self.slow_keep}")
+        if float(self.slow_ms) < 0:
+            raise ValueError(f"slow_ms must be >= 0, got {self.slow_ms}")
+        self.sample_rate = float(self.sample_rate)
+        self.capacity = int(self.capacity)
+        self.slow_ms = float(self.slow_ms)
+        self.slow_keep = int(self.slow_keep)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "enabled": bool(self.enabled),
+            "sample_rate": self.sample_rate,
+            "capacity": self.capacity,
+            "slow_ms": self.slow_ms,
+            "slow_keep": self.slow_keep,
+            "profile_codec": bool(self.profile_codec),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Mapping[str, Any]]) -> "TraceConfig":
+        if payload is None:
+            return cls()
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass
+class Span:
+    """A finished span: a named interval on the shared monotonic clock."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start_s: float
+    end_s: float
+    pid: int = field(default_factory=os.getpid)
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end_s - self.start_s) * 1e3
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "pid": self.pid,
+            "annotations": dict(self.annotations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Span":
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            name=str(payload["name"]),
+            start_s=float(payload["start_s"]),
+            end_s=float(payload["end_s"]),
+            pid=int(payload.get("pid", 0)),
+            annotations=dict(payload.get("annotations") or {}),
+        )
+
+
+class ActiveSpan:
+    """An in-flight span.  Finish it (or record children) to emit.
+
+    Not a context manager by accident of the serving pipeline: engine
+    stages start and end on different threads, so spans are closed
+    explicitly with :meth:`finish` or recorded after the fact with
+    :meth:`record_child`.  For straight-line code, ``with`` works too.
+    """
+
+    __slots__ = (
+        "tracer",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start_s",
+        "annotations",
+        "_done",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        start_s: Optional[float] = None,
+        annotations: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.start_s = tracer.clock() if start_s is None else start_s
+        self.annotations: Dict[str, Any] = dict(annotations or {})
+        self._done = False
+
+    def annotate(self, **annotations: Any) -> "ActiveSpan":
+        self.annotations.update(annotations)
+        return self
+
+    def context(self) -> Dict[str, Any]:
+        """Propagation context: ship this dict; the receiver adopts it."""
+
+        return {"trace_id": self.trace_id, "parent_id": self.span_id, "sampled": True}
+
+    def child(
+        self,
+        name: str,
+        start_s: Optional[float] = None,
+        annotations: Optional[Dict[str, Any]] = None,
+    ) -> "ActiveSpan":
+        return ActiveSpan(
+            self.tracer,
+            name,
+            trace_id=self.trace_id,
+            parent_id=self.span_id,
+            start_s=start_s,
+            annotations=annotations,
+        )
+
+    def record_child(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent_id: Optional[str] = None,
+        **annotations: Any,
+    ) -> Span:
+        """Retroactively record a finished child from collected timestamps."""
+
+        return self.tracer.record_span(
+            name,
+            start_s,
+            end_s,
+            trace_id=self.trace_id,
+            parent_id=self.span_id if parent_id is None else parent_id,
+            annotations=annotations or None,
+        )
+
+    def finish(self, end_s: Optional[float] = None, **annotations: Any) -> Optional[Span]:
+        """Close the span and record it.  Idempotent: repeats are no-ops."""
+
+        if self._done:
+            return None
+        self._done = True
+        if annotations:
+            self.annotations.update(annotations)
+        span = Span(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            start_s=self.start_s,
+            end_s=self.tracer.clock() if end_s is None else end_s,
+            annotations=self.annotations,
+        )
+        self.tracer.record(span)
+        return span
+
+    def __enter__(self) -> "ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and "error" not in self.annotations:
+            self.annotations["error"] = repr(exc)
+        self.finish()
+
+
+class Tracer:
+    """Bounded-ring span recorder with head-based probabilistic sampling.
+
+    Thread-safe; every engine/cluster owns one.  ``enabled`` mirrors the
+    config and is the only thing the hot path reads when tracing is off.
+    """
+
+    def __init__(
+        self,
+        config: Optional[TraceConfig] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        sampler: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config or TraceConfig()
+        self.clock = clock
+        self._sampler = sampler or (lambda: _rng().random())
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=self.config.capacity)
+        self._slow: List[Dict[str, Any]] = []
+        self.spans_total = 0
+        self.traces_total = 0
+        self.dropped_unsampled = 0
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    @property
+    def sample_rate(self) -> float:
+        return self.config.sample_rate
+
+    # -- span creation ----------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        sampled: Optional[bool] = None,
+        annotations: Optional[Dict[str, Any]] = None,
+        start_s: Optional[float] = None,
+    ) -> Optional[ActiveSpan]:
+        """Start a root (or explicitly-parented) span, or ``None``.
+
+        ``None`` means "this request is not traced" and is what the whole
+        pipeline passes around for the unsampled/disabled case.  When
+        ``sampled`` is not forced by an upstream decision, the sampling
+        roll happens here — once per request.
+        """
+
+        if not self.config.enabled:
+            return None
+        if sampled is None:
+            rate = self.config.sample_rate
+            sampled = rate >= 1.0 or (rate > 0.0 and self._sampler() < rate)
+        if not sampled:
+            self.dropped_unsampled += 1
+            return None
+        return ActiveSpan(
+            self,
+            name,
+            trace_id=trace_id or new_trace_id(),
+            parent_id=parent_id,
+            start_s=start_s,
+            annotations=annotations,
+        )
+
+    def adopt(
+        self,
+        context: Optional[Mapping[str, Any]],
+        name: str,
+        annotations: Optional[Dict[str, Any]] = None,
+        start_s: Optional[float] = None,
+    ) -> Optional[ActiveSpan]:
+        """Continue a propagated trace context (from a header or a pipe).
+
+        An upstream sampling decision is authoritative: a context with
+        ``sampled=True`` records here even if this tracer's own rate would
+        have skipped it, so one request yields one *complete* trace.
+        """
+
+        if not self.config.enabled or not context:
+            return None
+        if not context.get("sampled", True):
+            return None
+        return ActiveSpan(
+            self,
+            name,
+            trace_id=str(context.get("trace_id") or new_trace_id()),
+            parent_id=context.get("parent_id"),
+            start_s=start_s,
+            annotations=annotations,
+        )
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._ring.append(span)
+            self.spans_total += 1
+            if span.parent_id is None:
+                self.traces_total += 1
+                self._note_slow(span)
+
+    def record_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        annotations: Optional[Mapping[str, Any]] = None,
+    ) -> Span:
+        span = Span(
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            name=name,
+            start_s=start_s,
+            end_s=end_s,
+            annotations=dict(annotations or {}),
+        )
+        self.record(span)
+        return span
+
+    def ingest(self, payloads: Iterable[Mapping[str, Any]]) -> int:
+        """Merge serialized spans (e.g. returned over a worker pipe)."""
+
+        count = 0
+        for payload in payloads:
+            self.record(Span.from_dict(payload))
+            count += 1
+        return count
+
+    def _note_slow(self, span: Span) -> None:
+        # Caller holds the lock.  Top-K root spans over the SLO threshold,
+        # kept sorted slowest-first.
+        if span.duration_ms < self.config.slow_ms:
+            return
+        exemplar = {
+            "trace_id": span.trace_id,
+            "name": span.name,
+            "duration_ms": round(span.duration_ms, 3),
+            "annotations": dict(span.annotations),
+        }
+        self._slow.append(exemplar)
+        self._slow.sort(key=lambda e: e["duration_ms"], reverse=True)
+        del self._slow[self.config.slow_keep :]
+
+    # -- inspection -------------------------------------------------------
+
+    def spans(self, trace_id: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            if trace_id is None:
+                return list(self._ring)
+            return [s for s in self._ring if s.trace_id == trace_id]
+
+    def traces(self) -> Dict[str, List[Span]]:
+        """Spans in the ring grouped by trace id, each sorted by start."""
+
+        grouped: Dict[str, List[Span]] = {}
+        for span in self.spans():
+            grouped.setdefault(span.trace_id, []).append(span)
+        for spans in grouped.values():
+            spans.sort(key=lambda s: s.start_s)
+        return grouped
+
+    def slow_traces(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(e) for e in self._slow]
+
+    def summary(self) -> Dict[str, Any]:
+        with self._lock:
+            in_ring = len(self._ring)
+            slow = [dict(e) for e in self._slow]
+        return {
+            "enabled": self.config.enabled,
+            "sample_rate": self.config.sample_rate,
+            "spans_total": self.spans_total,
+            "traces_total": self.traces_total,
+            "dropped_unsampled": self.dropped_unsampled,
+            "spans_in_ring": in_ring,
+            "slow_ms": self.config.slow_ms,
+            "slow_traces": slow,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._slow.clear()
+            self.spans_total = 0
+            self.traces_total = 0
+            self.dropped_unsampled = 0

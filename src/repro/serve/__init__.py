@@ -41,6 +41,12 @@ in posit is *served* in posit.  Four layers, composable separately:
   against a p99 SLO, and grades load as ok/busy/overloaded.  Overflowing
   the bounded admission queue is backpressure, not failure:
   :class:`AdmissionError` maps to HTTP 429 + ``Retry-After``.
+* :mod:`repro.obs` (cross-cutting) — optional request tracing: pass a
+  :class:`~repro.obs.TraceConfig` as ``tracing=`` to
+  :class:`InferenceEngine` or :class:`ServeCluster` and every sampled
+  request is recorded as one span tree (admission → queue → batch → codec
+  → forward → respond), exposed at ``/traces``, echoed via
+  ``X-Repro-Trace-Id``, and exportable as Chrome trace-event JSON.
 * :mod:`repro.serve.export` — training-stack integration:
   :func:`export_experiment`, :func:`train_and_export`, and
   :func:`serve_best` (promote a sweep store's winner to an artifact);

@@ -49,6 +49,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs.tracing import TraceConfig, Tracer
 from .control import load_state as classify_load
 from .engine import AdmissionError, BatchingConfig, GuardrailError, InferenceEngine
 from .metrics import MetricsCollector, merge_snapshots
@@ -88,7 +89,7 @@ def _cluster_context(name: Optional[str]) -> mp.context.BaseContext:
 
 def _worker_main(index: int, artifact: str, batching: Optional[dict],
                  quantize_activations: bool, verify_guardrail: bool,
-                 conn) -> None:
+                 conn, tracing: Optional[dict] = None) -> None:
     """Engine worker process body.
 
     Handshake first: construct the engine (which replays the guardrail) and
@@ -120,7 +121,8 @@ def _worker_main(index: int, artifact: str, batching: Optional[dict],
             artifact,
             BatchingConfig(**batching) if batching else None,
             quantize_activations=quantize_activations,
-            verify_guardrail=verify_guardrail)
+            verify_guardrail=verify_guardrail,
+            tracing=TraceConfig.from_dict(tracing) if tracing else None)
     except BaseException as exc:  # noqa: BLE001 - report, then refuse to serve
         reply({"kind": "failed", "worker": index,
                "etype": type(exc).__name__, "error": str(exc)})
@@ -136,7 +138,9 @@ def _worker_main(index: int, artifact: str, batching: Optional[dict],
             if message["kind"] == "predict":
                 samples = [np.asarray(sample, dtype=np.float64)
                            for sample in message["samples"]]
-                futures = [engine.submit(sample) for sample in samples]
+                trace_ctx = message.get("trace")
+                futures = [engine.submit(sample, trace=trace_ctx)
+                           for sample in samples]
                 logits = [future.result(timeout=60.0) for future in futures]
                 result = {
                     "predictions": [int(np.argmax(row)) for row in logits],
@@ -144,6 +148,14 @@ def _worker_main(index: int, artifact: str, batching: Optional[dict],
                                for row in logits],
                     "worker": index,
                 }
+                if trace_ctx and trace_ctx.get("sampled", True):
+                    # Ship this request's worker-side spans back with the
+                    # reply; the supervisor merges them into one trace.
+                    # Safe to collect here: the engine closes a request's
+                    # spans before resolving its future.
+                    result["trace_spans"] = [
+                        span.to_dict() for span in
+                        engine.tracer.spans(trace_ctx.get("trace_id"))]
             elif message["kind"] == "stats":
                 result = {**engine.stats(), "worker": index, "pid": os.getpid()}
             elif message["kind"] == "metrics":
@@ -283,12 +295,21 @@ class ServeCluster:
                  config: Optional[ClusterConfig] = None,
                  batching: Optional[BatchingConfig] = None,
                  quantize_activations: bool = True,
-                 verify_guardrail: bool = True):
+                 verify_guardrail: bool = True,
+                 tracing: Optional[TraceConfig] = None):
         self.artifact_path = os.fspath(artifact)
         self.config = config or ClusterConfig()
         self.batching = batching
         self.quantize_activations = quantize_activations
         self.verify_guardrail = verify_guardrail
+        #: Request tracing (repro.obs).  The supervisor owns the sampling
+        #: decision (head-based, once per request); workers receive the
+        #: same config at spawn and record spans only for requests whose
+        #: pipe message carries a sampled trace context, which the reply
+        #: ships back for the supervisor to merge — one request, one trace,
+        #: across processes.
+        self.tracing = tracing
+        self.tracer = Tracer(tracing)
         self._ctx = _cluster_context(self.config.mp_context)
         self._handles: list[_WorkerHandle] = []
         #: Workers the autoscaler removed: kept until drained so their
@@ -337,7 +358,8 @@ class ServeCluster:
             args=(handle.index, self.artifact_path,
                   self._batching_payload(),
                   self.quantize_activations, self.verify_guardrail,
-                  child_conn),
+                  child_conn,
+                  self.tracing.to_dict() if self.tracing else None),
             name=f"repro-serve-worker-{handle.index}",
             daemon=True)
         handle.conn = parent_conn
@@ -568,14 +590,22 @@ class ServeCluster:
             handle.dispatched += 1
         return future.result(timeout=timeout)
 
-    def predict(self, samples: Sequence, timeout: float = 60.0) -> dict:
+    def predict(self, samples: Sequence, timeout: float = 60.0,
+                trace_id: Optional[str] = None) -> dict:
         """Transport-contract prediction: route one request to one worker.
 
         A request whose worker dies mid-flight is retried once on a
         surviving worker — the failover that makes ``kill -9`` of a worker
-        invisible to well-behaved clients.  Raises ``ValueError`` for
-        malformed input (mapped to HTTP 400), :class:`ClusterError` when no
-        workers are live (503), and
+        invisible to well-behaved clients.  With tracing enabled (and the
+        request sampled) the supervisor opens the ``request`` root span,
+        wraps each attempt in a ``dispatch`` child (a failover retry is
+        the *same* trace, second dispatch annotated ``retry=True``), ships
+        the context to the worker in the pipe message, merges the worker's
+        spans from the reply, and echoes ``trace_id`` in the payload.
+        ``trace_id`` lets a client (the HTTP header path) supply its own.
+
+        Raises ``ValueError`` for malformed input (mapped to HTTP 400),
+        :class:`ClusterError` when no workers are live (503), and
         :class:`concurrent.futures.TimeoutError` on timeout (504).
         """
         if not self._started or self._stopping:
@@ -583,17 +613,55 @@ class ServeCluster:
         if not isinstance(samples, (list, tuple)) or not samples:
             raise ValueError("'inputs' must be a non-empty list of samples")
         payload = [np.asarray(sample, dtype=np.float64) for sample in samples]
+        root = self.tracer.begin("request", trace_id=trace_id,
+                                 annotations={"samples": len(payload)})
+        # An explicitly unsampled context stops worker engines from rolling
+        # their own dice on this request — the supervisor's decision is the
+        # only one, so a trace is always whole or absent.
+        ctx_unsampled = {"sampled": False} if self.tracer.enabled else None
         last_error: Optional[BaseException] = None
         tried: set[int] = set()
-        for _attempt in range(2):
-            handle = self._pick_worker(exclude=frozenset(tried))
-            tried.add(handle.index)
+        for attempt in range(2):
             try:
-                return self._request(handle, {"kind": "predict",
-                                              "samples": payload}, timeout)
+                handle = self._pick_worker(exclude=frozenset(tried))
+            except ClusterError:
+                if root is not None:
+                    root.finish(error="no live workers")
+                raise
+            tried.add(handle.index)
+            message = {"kind": "predict", "samples": payload}
+            dispatch = None
+            if root is not None:
+                dispatch = root.child("dispatch", annotations={
+                    "worker": handle.index, "attempt": attempt,
+                    "retry": attempt > 0})
+                message["trace"] = dispatch.context()
+            elif ctx_unsampled is not None:
+                message["trace"] = ctx_unsampled
+            try:
+                result = self._request(handle, message, timeout)
             except WorkerCrashed as exc:
+                if dispatch is not None:
+                    dispatch.finish(error=str(exc))
                 last_error = exc
                 continue
+            except BaseException as exc:
+                if dispatch is not None:
+                    dispatch.finish(error=repr(exc))
+                if root is not None:
+                    root.finish(error=repr(exc))
+                raise
+            if dispatch is not None:
+                dispatch.finish()
+            if root is not None:
+                self.tracer.ingest(result.pop("trace_spans", ()))
+                root.finish()
+                result.setdefault("trace_id", root.trace_id)
+            else:
+                result.pop("trace_spans", None)
+            return result
+        if root is not None:
+            root.finish(error=f"failed over twice: {last_error}")
         raise ClusterError(
             f"request failed over twice without a survivor: {last_error}")
 
@@ -859,6 +927,10 @@ class ServeCluster:
             "uptime_s": time.perf_counter() - self._started_at,
             "metrics": merge_snapshots([row["metrics"] for row in per_worker
                                         if "metrics" in row]),
+            # The supervisor's ring holds the merged (cross-process) traces,
+            # so its summary — not the per-worker ones — carries the
+            # slow-request exemplars clients should start from.
+            "tracing": self.tracer.summary(),
             "per_worker": per_worker,
         }
 

@@ -45,6 +45,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -211,6 +212,13 @@ class Controller:
         self.ticks = 0
         self.scale_events: list[dict] = []
         self.last_decision: Optional[dict] = None
+        #: Bounded history of every *actuation* (scale moves and AIMD wait
+        #: changes) with its reason — decisions used to be invisible the
+        #: tick after they happened; /stats and the
+        #: ``repro_controller_decisions_total`` Prometheus family read
+        #: from here.
+        self.decision_log: deque = deque(maxlen=256)
+        self.decision_counts: dict[str, int] = {}
         self._high_ticks = 0
         self._low_ticks = 0
         self._cooldown = 0
@@ -246,6 +254,9 @@ class Controller:
             self.plant.set_max_wait_ms(target)
             decision["max_wait_ms"] = target
             decision["wait_reason"] = reason
+            self._note("wait_backoff" if reason == "p99-over-slo"
+                       else "wait_increase",
+                       reason, **{"from": wait, "to": target, "p99_ms": p99})
 
     def _autoscale(self, observation: dict, decision: dict) -> None:
         config = self.config
@@ -291,6 +302,15 @@ class Controller:
         self.scale_events.append(event)
         del self.scale_events[:-64]
         decision["scaled"] = event
+        self._note("scale_up" if target > current else "scale_down",
+                   reason, **{"from": current, "to": target})
+
+    def _note(self, action: str, reason: str, **fields) -> None:
+        """Log one actuation into the bounded decision history."""
+        entry = {"tick": self.ticks, "at": self.clock(),
+                 "action": action, "reason": reason, **fields}
+        self.decision_log.append(entry)
+        self.decision_counts[action] = self.decision_counts.get(action, 0) + 1
 
     def tick(self, observation: Optional[dict] = None) -> dict:
         """One control step; pass ``observation`` to bypass the plant read.
@@ -359,4 +379,6 @@ class Controller:
             "ticks": self.ticks,
             "scale_events": list(self.scale_events[-8:]),
             "last_decision": self.last_decision,
+            "decisions": list(self.decision_log)[-16:],
+            "decision_counts": dict(self.decision_counts),
         }

@@ -48,6 +48,8 @@ import numpy as np
 from ..core.policy import QuantizationPolicy, RoleFormats
 from ..formats import NumberFormat, parse_format
 from ..nn import Module
+from ..obs.profiler import profiler as _codec_profiler
+from ..obs.tracing import TraceConfig, Tracer
 from ..tensor import Tensor, no_grad
 from .artifact import format_breakdown, load_model
 from .control import load_state as classify_load
@@ -104,14 +106,25 @@ class BatchingConfig:
 
 
 class _Request:
-    """One queued sample: input array + future + enqueue timestamp."""
+    """One queued sample: input array + future + enqueue timestamp.
 
-    __slots__ = ("inputs", "future", "enqueued_at")
+    ``trace`` carries the request's root :class:`~repro.obs.tracing.ActiveSpan`
+    (or ``None`` for untraced requests — the common case, so every trace
+    touch downstream is a single ``is not None`` check); ``picked_at`` is
+    the batcher's pickup timestamp, recorded only for traced requests so
+    queue-wait and batch-assembly spans can be reconstructed after the
+    fact.  Spans are recorded retroactively from these timestamps because
+    submit and the batch loop run on different threads.
+    """
+
+    __slots__ = ("inputs", "future", "enqueued_at", "trace", "picked_at")
 
     def __init__(self, inputs: np.ndarray):
         self.inputs = inputs
         self.future: Future = Future()
         self.enqueued_at = time.perf_counter()
+        self.trace = None
+        self.picked_at: Optional[float] = None
 
 
 _SHUTDOWN = object()
@@ -153,9 +166,19 @@ class InferenceEngine:
                  batching: Optional[BatchingConfig] = None,
                  quantize_activations: bool = True,
                  input_hw: tuple[int, int] = (32, 32),
-                 verify_guardrail: bool = True):
+                 verify_guardrail: bool = True,
+                 tracing: Optional[TraceConfig] = None):
         self.artifact_path = os.fspath(artifact)
         self.batching = batching or BatchingConfig()
+        #: Request tracing (repro.obs): disabled by default, in which case
+        #: the hot path pays one attribute check per submit and nothing else.
+        self.tracer = Tracer(tracing)
+        self._codec_profiling = False
+        if self.tracer.enabled and self.tracer.config.profile_codec:
+            # Enabled before the artifact loads so the weight-decode
+            # (from_bits) cost of startup lands in the codec profile too.
+            _codec_profiler.enable()
+            self._codec_profiling = True
         self.model, self.manifest = load_model(self.artifact_path)
         #: The artifact's *default* format — the activation-quantization
         #: grid and the MAC datapath the energy model prices.  Weights are
@@ -339,6 +362,12 @@ class InferenceEngine:
     # ------------------------------------------------------------------ #
     def start(self) -> "InferenceEngine":
         """Start the micro-batcher thread (idempotent)."""
+        if (self.tracer.enabled and self.tracer.config.profile_codec
+                and not self._codec_profiling):
+            # Re-arm codec profiling after a stop()/start() cycle (the
+            # constructor enabled it the first time, to cover weight decode).
+            _codec_profiler.enable()
+            self._codec_profiling = True
         if self._worker is None or not self._worker.is_alive():
             self._stop_event.clear()
             self._worker = threading.Thread(target=self._batch_loop,
@@ -348,6 +377,11 @@ class InferenceEngine:
 
     def stop(self) -> None:
         """Drain already-queued requests, then stop the micro-batcher thread."""
+        if self._codec_profiling:
+            # Balance this engine's enable so profiling doesn't leak past
+            # the engine's lifetime (the profiler refcounts).
+            _codec_profiler.disable()
+            self._codec_profiling = False
         if self._worker is not None and self._worker.is_alive():
             self._stop_event.set()
             try:
@@ -369,8 +403,18 @@ class InferenceEngine:
     # ------------------------------------------------------------------ #
     # Prediction paths
     # ------------------------------------------------------------------ #
-    def submit(self, inputs) -> Future:
+    def submit(self, inputs, trace: Optional[dict] = None) -> Future:
         """Enqueue one sample; returns a future resolving to its logits row.
+
+        ``trace`` is an optional propagated trace context
+        (``{"trace_id", "parent_id", "sampled"}`` — see
+        :mod:`repro.obs.tracing`): when the engine's tracer is enabled the
+        request becomes the ``engine`` root span (or a child of the
+        propagated parent) and every pipeline stage it crosses —
+        admission, queue wait, batch assembly, codec, forward, respond —
+        is recorded into the trace.  An upstream ``sampled`` decision is
+        honored verbatim; without a context the engine rolls its own
+        sampling dice.
 
         Raises :class:`AdmissionError` (a ``RuntimeError``) when the
         bounded admission queue is full — carrying a measured
@@ -387,6 +431,11 @@ class InferenceEngine:
                 f"sample shape {sample.shape} does not match the model's "
                 f"input shape {self._input_shape}")
         request = _Request(sample)
+        if self.tracer.enabled:
+            request.trace = (
+                self.tracer.adopt(trace, "engine", start_s=request.enqueued_at)
+                if trace is not None
+                else self.tracer.begin("engine", start_s=request.enqueued_at))
         self.metrics.count("arrivals")
         try:
             self._queue.put_nowait(request)
@@ -394,10 +443,19 @@ class InferenceEngine:
             with self._lock:
                 self._rejected += 1
             self.metrics.count("rejected")
+            if request.trace is not None:
+                now = time.perf_counter()
+                request.trace.record_child(
+                    "admission", request.enqueued_at, now, rejected=True)
+                request.trace.finish(now, error="admission-rejected")
             raise AdmissionError(
                 f"request queue full ({self.batching.queue_size} in flight)",
                 retry_after_s=self.retry_after_s()) from None
         self.metrics.gauge("queue_depth", self._queue.qsize())
+        if request.trace is not None:
+            request.trace.record_child(
+                "admission", request.enqueued_at, time.perf_counter(),
+                queue_depth=self._queue.qsize())
         return request.future
 
     def predict(self, inputs, timeout: Optional[float] = 30.0) -> np.ndarray:
@@ -469,6 +527,8 @@ class InferenceEngine:
                 continue
             if first is _SHUTDOWN:
                 first = None
+        if first.trace is not None:
+            first.picked_at = time.perf_counter()
         batch = [first]
         deadline = time.perf_counter() + self._max_wait_ms / 1000.0
         while len(batch) < self.batching.max_batch:
@@ -488,6 +548,8 @@ class InferenceEngine:
                     break
             if item is _SHUTDOWN:
                 continue
+            if item.trace is not None:
+                item.picked_at = time.perf_counter()
             batch.append(item)
         return batch
 
@@ -515,6 +577,13 @@ class InferenceEngine:
             batch = self._collect_batch()
             if batch is None:
                 return
+            traced = [r for r in batch if r.trace is not None]
+            # Codec time is measured as the profiler's cumulative-ns delta
+            # around the forward pass — the activation quantize/to_bits
+            # calls are interleaved with the matmuls, so a batch-aggregated
+            # child span is the honest granularity.
+            codec_mark = (_codec_profiler.total_ns()
+                          if traced and _codec_profiler.active else None)
             forward_start = time.perf_counter()
             logits = self._serve_batch(batch)
             if not isinstance(logits, np.ndarray):
@@ -522,10 +591,14 @@ class InferenceEngine:
                 survivors = [(request, row)
                              for request, row in zip(batch, logits)
                              if row is not None]
+                for request, row in zip(batch, logits):
+                    if row is None and request.trace is not None:
+                        request.trace.finish(error="forward-failed")
                 if not survivors:
                     continue
                 batch = [request for request, _ in survivors]
                 logits = np.stack([row for _, row in survivors])
+                traced = [r for r in batch if r.trace is not None]
             done = time.perf_counter()
             self.metrics.count("completed", len(batch))
             self.metrics.gauge("batch_size", len(batch))
@@ -548,8 +621,44 @@ class InferenceEngine:
                     self._latencies.append(done - request.enqueued_at)
                 if len(self._latencies) > _LATENCY_WINDOW:
                     del self._latencies[:-_LATENCY_WINDOW]
+            if traced:
+                codec_ns = (None if codec_mark is None
+                            else _codec_profiler.total_ns() - codec_mark)
+                self._record_batch_spans(traced, len(batch), forward_start,
+                                         done, codec_ns)
             for row, request in enumerate(batch):
+                # Close the trace *before* resolving the future: a caller
+                # collecting spans right after .result() (the cluster
+                # worker reply path) must see a complete trace.
+                if request.trace is not None:
+                    now = time.perf_counter()
+                    request.trace.record_child("respond", done, now)
+                    request.trace.finish(now, batch_size=len(batch))
                 request.future.set_result(logits[row])
+
+    def _record_batch_spans(self, traced: list, batch_size: int,
+                            forward_start: float, done: float,
+                            codec_ns: Optional[int]) -> None:
+        """Retroactively emit queue/batch/codec/forward spans for a batch.
+
+        Stage boundaries come from timestamps the pipeline collected:
+        enqueue -> pickup is queue wait, pickup -> forward start is batch
+        assembly (waiting for company), then the shared forward pass with
+        its batch-aggregated codec child.
+        """
+        for request in traced:
+            root = request.trace
+            picked = request.picked_at if request.picked_at is not None else forward_start
+            root.record_child("queue", request.enqueued_at, picked)
+            root.record_child("batch", picked, forward_start,
+                              batch_size=batch_size)
+            fwd = root.record_child("forward", forward_start, done,
+                                    batch_size=batch_size)
+            if codec_ns:
+                self.tracer.record_span(
+                    "codec", forward_start, forward_start + codec_ns / 1e9,
+                    trace_id=root.trace_id, parent_id=fwd.span_id,
+                    annotations={"scope": "batch", "codec_ns": int(codec_ns)})
 
     # ------------------------------------------------------------------ #
     # Control surface
@@ -610,7 +719,7 @@ class InferenceEngine:
             energy = self._energy_uj
         percentile = (lambda q: float(np.percentile(latencies, q) * 1000.0)
                       if latencies.size else 0.0)
-        return {
+        payload = {
             "artifact": self.artifact_path,
             "format": self.format.spec(),
             "mixed_precision": self.mixed_precision,
@@ -640,7 +749,11 @@ class InferenceEngine:
             "energy_uj_total": energy,
             "energy_uj_per_request_observed": (energy / requests) if requests else 0.0,
             "uptime_s": time.perf_counter() - self._started_at,
+            "tracing": self.tracer.summary(),
         }
+        if self._codec_profiling:
+            payload["codec_profile"] = _codec_profiler.snapshot()
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"InferenceEngine({self.artifact_path!r}, "

@@ -59,10 +59,16 @@ class LoadReport(dict):
         return self["latency_p99_ms"]
 
 
+#: Cap on trace ids retained for slow requests — enough to paste into a
+#: trace viewer, bounded so an all-slow run cannot balloon the report.
+_SLOW_TRACE_IDS_KEPT = 32
+
+
 def run_load(client, samples: Sequence, concurrency: int = 64,
              requests_per_client: int = 8,
              client_factory: Optional[Callable[[], object]] = None,
-             retry_after_cap_s: float = 1.0) -> LoadReport:
+             retry_after_cap_s: float = 1.0,
+             slow_ms: Optional[float] = None) -> LoadReport:
     """Drive ``client`` with closed-loop single-sample requests.
 
     Parameters
@@ -81,6 +87,12 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
         Ceiling on how long a worker honours the server's ``Retry-After``
         hint after an admission rejection (keeps overload tests bounded
         while still modelling well-behaved clients).
+    slow_ms:
+        When set, tally requests whose client-observed latency exceeds
+        this threshold under ``slow`` and collect their echoed trace ids
+        (the ``trace_id`` the traced serving path stamps into responses)
+        under ``slow_trace_ids`` — the report then links straight into an
+        exported trace (``repro trace summary``/Perfetto).
 
     Returns a :class:`LoadReport` with totals, throughput, latency
     percentiles, and failure counts.  Admission rejections (429 /
@@ -103,9 +115,11 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
     rejected = 0
     retry_wait_s = 0.0
     served_by: dict[int, int] = {}
+    slow = 0
+    slow_trace_ids: list[str] = []
 
     def _worker(worker_index: int) -> None:
-        nonlocal predictions, rejected, retry_wait_s
+        nonlocal predictions, rejected, retry_wait_s, slow
         worker_client = client_factory() if client_factory is not None else client
         start_barrier.wait()
         for request_index in range(requests_per_client):
@@ -135,6 +149,11 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
                 if "worker" in response:
                     served_by[response["worker"]] = (
                         served_by.get(response["worker"], 0) + 1)
+                if slow_ms is not None and elapsed * 1000.0 > slow_ms:
+                    slow += 1
+                    trace_id = response.get("trace_id")
+                    if trace_id and len(slow_trace_ids) < _SLOW_TRACE_IDS_KEPT:
+                        slow_trace_ids.append(trace_id)
 
     threads = [threading.Thread(target=_worker, args=(index,), daemon=True)
                for index in range(concurrency)]
@@ -148,7 +167,11 @@ def run_load(client, samples: Sequence, concurrency: int = 64,
 
     observed = np.asarray(latencies, dtype=np.float64)
     completed = int(observed.size)
+    slow_fields = ({"slow_ms": float(slow_ms), "slow": slow,
+                    "slow_trace_ids": slow_trace_ids}
+                   if slow_ms is not None else {})
     return LoadReport(
+        **slow_fields,
         concurrency=concurrency,
         requests_per_client=requests_per_client,
         requests_total=concurrency * requests_per_client,

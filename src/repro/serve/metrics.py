@@ -278,23 +278,49 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
     }
 
 
+#: Help strings for metric families whose meaning is not obvious from the
+#: name alone; everything else gets a generated one-liner.
+_FAMILY_HELP = {
+    "latency_ms": "Rolling-window request latency per pipeline stage "
+                  "(milliseconds; quantile label selects p50/p99/mean/max).",
+    "latency_samples": "Latency samples observed per stage in the window.",
+    "queue_depth": "Admission-queue depth sampled by the engine.",
+    "batch_occupancy": "Realized batch size as a fraction of max_batch.",
+    "max_wait_ms_now": "Current (possibly AIMD-tuned) coalescing wait.",
+}
+
+
 def render_prometheus(snapshot: Mapping, prefix: str = "repro_serve",
-                      extra: Optional[Mapping] = None) -> str:
+                      extra: Optional[Mapping] = None,
+                      families: Optional[list] = None) -> str:
     """Render one snapshot in the Prometheus text exposition format.
 
     ``lifetime`` counters become ``*_total``, windowed rates ``*_per_s``,
     latency stages ``{prefix}_latency_ms{stage=...,quantile=...}``, gauges
     plain gauges.  ``extra`` appends scalar gauges (load state flags, the
     current ``max_wait_ms``, worker counts) without touching the collector.
+
+    Every series is preceded by ``# HELP``/``# TYPE`` comment lines (one
+    block per metric family, samples grouped under it) so a real
+    Prometheus scraper ingests the page cleanly; serve it with
+    ``Content-Type: text/plain; version=0.0.4``.  Names ending in
+    ``_total`` are typed ``counter``, everything else ``gauge``.
+
+    ``families`` appends fully-named extra families (each a dict with
+    ``name``, ``type``, ``help``, and ``samples`` — a list of
+    ``(labels_dict, value)``) for producers outside the collector, e.g.
+    the controller's ``repro_controller_decisions_total{action=...}``.
     """
-    lines: list[str] = []
+    # (family, labels, value) triples in emission order; HELP/TYPE blocks
+    # are written per family with its samples grouped beneath.
+    samples: list[tuple[str, str, float]] = []
 
     def emit(name: str, value, labels: str = "") -> None:
         if isinstance(value, bool):
             value = int(value)
         if not isinstance(value, (int, float)):
             return
-        lines.append(f"{prefix}_{name}{labels} {float(value):g}")
+        samples.append((f"{prefix}_{name}", labels, float(value)))
 
     for name, value in sorted((snapshot.get("lifetime") or {}).items()):
         emit(f"{name}_total", value)
@@ -312,4 +338,29 @@ def render_prometheus(snapshot: Mapping, prefix: str = "repro_serve",
         emit(f"{name}_max", cell.get("max", 0.0))
     for name, value in sorted((extra or {}).items()):
         emit(name, value)
+
+    grouped: dict[str, list[tuple[str, float]]] = {}
+    for family, labels, value in samples:
+        grouped.setdefault(family, []).append((labels, value))
+
+    lines: list[str] = []
+    for family, rows in grouped.items():
+        bare = family[len(prefix) + 1:] if family.startswith(f"{prefix}_") else family
+        kind = "counter" if family.endswith("_total") else "gauge"
+        help_text = _FAMILY_HELP.get(bare, f"repro serving metric '{bare}'.")
+        lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kind}")
+        for labels, value in rows:
+            lines.append(f"{family}{labels} {value:g}")
+
+    for family in families or ():
+        name = family["name"]
+        lines.append(f"# HELP {name} {family.get('help', name)}")
+        lines.append(f"# TYPE {name} {family.get('type', 'gauge')}")
+        for labels, value in family.get("samples", ()):
+            if isinstance(labels, Mapping):
+                labels = ("{" + ",".join(f'{key}="{val}"'
+                                         for key, val in sorted(labels.items()))
+                          + "}") if labels else ""
+            lines.append(f"{name}{labels} {float(value):g}")
     return "\n".join(lines) + "\n"

@@ -41,11 +41,29 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..obs.tracing import TRACE_HEADER
 from .engine import AdmissionError, InferenceEngine
 from .metrics import render_prometheus
 
 __all__ = ["ModelServer", "ClusterServer", "LocalClient", "HTTPClient",
            "ServeClientError"]
+
+
+def _controller_families(controller) -> Optional[list]:
+    """Prometheus families for an attached controller's decision counters."""
+    if controller is None:
+        return None
+    counts = getattr(controller, "decision_counts", None)
+    if not counts:
+        return None
+    return [{
+        "name": "repro_controller_decisions_total",
+        "type": "counter",
+        "help": "Control-loop decisions taken, by action "
+                "(scale_up/scale_down/wait_increase/wait_backoff).",
+        "samples": [({"action": action}, float(value))
+                    for action, value in sorted(counts.items())],
+    }]
 
 
 class ServeClientError(RuntimeError):
@@ -64,27 +82,62 @@ class ServeClientError(RuntimeError):
         self.retry_after = retry_after
 
 
-def _predict_payload(engine: InferenceEngine, samples: Sequence) -> dict:
-    """Shared request semantics for both transports: fan out, gather, reply."""
+def _predict_payload(engine: InferenceEngine, samples: Sequence,
+                     trace_id: Optional[str] = None) -> dict:
+    """Shared request semantics for both transports: fan out, gather, reply.
+
+    When the engine's tracer is enabled (and this request is sampled) a
+    ``request`` root span wraps the whole fan-out and its trace id is
+    echoed in the payload, so HTTP clients can correlate a slow response
+    with an exported trace.  ``trace_id`` lets the caller (the
+    ``X-Repro-Trace-Id`` header path) supply the id.
+    """
     if not isinstance(samples, (list, tuple)) or not samples:
         raise ValueError("'inputs' must be a non-empty list of samples")
-    futures = [engine.submit(np.asarray(sample, dtype=np.float64))
-               for sample in samples]
-    logits = [future.result(timeout=60.0) for future in futures]
-    return {
+    tracer = engine.tracer
+    root = tracer.begin("request", trace_id=trace_id,
+                        annotations={"samples": len(samples)})
+    # An explicitly unsampled context keeps the engine from re-rolling the
+    # sampling dice per sample: the transport's decision is the request's.
+    ctx = (root.context() if root is not None
+           else ({"sampled": False} if tracer.enabled else None))
+    try:
+        futures = [engine.submit(np.asarray(sample, dtype=np.float64),
+                                 trace=ctx)
+                   for sample in samples]
+        logits = [future.result(timeout=60.0) for future in futures]
+    except BaseException as exc:
+        if root is not None:
+            root.finish(error=repr(exc))
+        raise
+    payload = {
         "predictions": [int(np.argmax(row)) for row in logits],
         "logits": [np.asarray(row, dtype=np.float64).tolist() for row in logits],
     }
+    if root is not None:
+        root.finish()
+        payload["trace_id"] = root.trace_id
+    return payload
 
 
 class _EngineBackend:
-    """Serving backend over one in-process :class:`InferenceEngine`."""
+    """Serving backend over one in-process :class:`InferenceEngine`.
 
-    def __init__(self, engine: InferenceEngine):
+    ``controller`` (optional) is an attached control loop whose decision
+    history rides along in ``/stats`` and whose decision counters become
+    the ``repro_controller_decisions_total`` Prometheus family.
+    """
+
+    def __init__(self, engine: InferenceEngine, controller=None):
         self.engine = engine
+        self.controller = controller
 
-    def handle_predict(self, samples) -> dict:
-        return _predict_payload(self.engine, samples)
+    @property
+    def tracer(self):
+        return self.engine.tracer
+
+    def handle_predict(self, samples, trace_id: Optional[str] = None) -> dict:
+        return _predict_payload(self.engine, samples, trace_id=trace_id)
 
     def healthz(self) -> tuple[int, dict]:
         # Load states for a single engine: ok / busy / overloaded from its
@@ -97,14 +150,23 @@ class _EngineBackend:
         }
 
     def stats(self) -> dict:
-        return self.engine.stats()
+        payload = self.engine.stats()
+        if self.controller is not None:
+            payload["controller"] = self.controller.describe()
+        return payload
+
+    def traces(self) -> dict:
+        tracer = self.engine.tracer
+        return {"tracing": tracer.summary(),
+                "spans": [span.to_dict() for span in tracer.spans()]}
 
     def metrics_text(self) -> str:
         return render_prometheus(
             self.engine.metrics.snapshot(),
             extra={"queue_depth_now": self.engine.queue_depth,
                    "max_wait_ms_now": self.engine.max_wait_ms,
-                   "workers": 1})
+                   "workers": 1},
+            families=_controller_families(self.controller))
 
     def start(self) -> None:
         self.engine.start()
@@ -116,13 +178,18 @@ class _EngineBackend:
 class _ClusterBackend:
     """Serving backend over a multi-worker ``ServeCluster``."""
 
-    def __init__(self, cluster):
+    def __init__(self, cluster, controller=None):
         self.cluster = cluster
+        self.controller = controller
 
-    def handle_predict(self, samples) -> dict:
+    @property
+    def tracer(self):
+        return self.cluster.tracer
+
+    def handle_predict(self, samples, trace_id: Optional[str] = None) -> dict:
         if not isinstance(samples, (list, tuple)) or not samples:
             raise ValueError("'inputs' must be a non-empty list of samples")
-        return self.cluster.predict(list(samples))
+        return self.cluster.predict(list(samples), trace_id=trace_id)
 
     def healthz(self) -> tuple[int, dict]:
         payload = self.cluster.healthz()
@@ -133,7 +200,15 @@ class _ClusterBackend:
         return (503 if payload["status"] == "down" else 200), payload
 
     def stats(self) -> dict:
-        return self.cluster.stats()
+        payload = self.cluster.stats()
+        if self.controller is not None:
+            payload["controller"] = self.controller.describe()
+        return payload
+
+    def traces(self) -> dict:
+        tracer = self.cluster.tracer
+        return {"tracing": tracer.summary(),
+                "spans": [span.to_dict() for span in tracer.spans()]}
 
     def metrics_text(self) -> str:
         health = self.cluster.healthz()
@@ -141,7 +216,8 @@ class _ClusterBackend:
             self.cluster.metrics_snapshot(),
             extra={"workers": health["workers"],
                    "workers_alive": health["alive"],
-                   "max_wait_ms_now": self.cluster.max_wait_ms})
+                   "max_wait_ms_now": self.cluster.max_wait_ms},
+            families=_controller_families(self.controller))
 
     def start(self) -> None:
         self.cluster.start()
@@ -187,6 +263,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(status, payload)
         elif self.path == "/stats":
             self._reply(200, self.backend.stats())
+        elif self.path == "/traces":
+            self._reply(200, self.backend.traces())
         elif self.path == "/metrics":
             try:
                 self._reply_text(200, self.backend.metrics_text())
@@ -205,7 +283,12 @@ class _Handler(BaseHTTPRequestHandler):
             document = json.loads(self.rfile.read(length) or b"")
             if not isinstance(document, dict):
                 raise ValueError("request body must be a JSON object")
-            payload = self.backend.handle_predict(document.get("inputs"))
+            # Trace-context propagation: a client-supplied X-Repro-Trace-Id
+            # names the request's trace; the response echoes the id (header
+            # + payload) whenever the request was traced.
+            trace_id = self.headers.get(TRACE_HEADER) or None
+            payload = self.backend.handle_predict(document.get("inputs"),
+                                                  trace_id=trace_id)
         except FuturesTimeout as exc:  # wedged/overloaded batcher
             self._reply(504, {"error": f"prediction timed out: {exc}"})
             return
@@ -230,7 +313,9 @@ class _Handler(BaseHTTPRequestHandler):
             # transport's error contract.
             self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
             return
-        self._reply(200, payload)
+        headers = ({TRACE_HEADER: payload["trace_id"]}
+                   if payload.get("trace_id") else None)
+        self._reply(200, payload, headers=headers)
 
 
 class _Server(ThreadingHTTPServer):
@@ -308,9 +393,14 @@ class ModelServer(_HTTPShell):
     """
 
     def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
-                 port: int = 0):
-        super().__init__(_EngineBackend(engine), host=host, port=port)
+                 port: int = 0, controller=None):
+        super().__init__(_EngineBackend(engine, controller=controller),
+                         host=host, port=port)
         self.engine = engine
+
+    def attach_controller(self, controller) -> None:
+        """Expose a control loop's decisions via /stats and /metrics."""
+        self._backend.controller = controller
 
 
 class ClusterServer(_HTTPShell):
@@ -323,9 +413,15 @@ class ClusterServer(_HTTPShell):
     with HTTP 503).
     """
 
-    def __init__(self, cluster, host: str = "127.0.0.1", port: int = 0):
-        super().__init__(_ClusterBackend(cluster), host=host, port=port)
+    def __init__(self, cluster, host: str = "127.0.0.1", port: int = 0,
+                 controller=None):
+        super().__init__(_ClusterBackend(cluster, controller=controller),
+                         host=host, port=port)
         self.cluster = cluster
+
+    def attach_controller(self, controller) -> None:
+        """Expose a control loop's decisions via /stats and /metrics."""
+        self._backend.controller = controller
 
 
 class LocalClient:
@@ -338,9 +434,11 @@ class LocalClient:
     def __init__(self, engine: InferenceEngine):
         self.engine = engine
 
-    def predict(self, samples: Sequence) -> dict:
+    def predict(self, samples: Sequence,
+                trace_id: Optional[str] = None) -> dict:
         try:
-            return _predict_payload(self.engine, list(samples))
+            return _predict_payload(self.engine, list(samples),
+                                    trace_id=trace_id)
         except FuturesTimeout as exc:
             raise ServeClientError(504, f"prediction timed out: {exc}") from exc
         except (ValueError, TypeError) as exc:
@@ -360,6 +458,11 @@ class LocalClient:
     def stats(self) -> dict:
         return self.engine.stats()
 
+    def traces(self) -> dict:
+        tracer = self.engine.tracer
+        return {"tracing": tracer.summary(),
+                "spans": [span.to_dict() for span in tracer.spans()]}
+
     def metrics(self) -> str:
         return render_prometheus(
             self.engine.metrics.snapshot(),
@@ -375,12 +478,15 @@ class HTTPClient:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
-    def _request(self, path: str, payload: Optional[dict] = None) -> dict:
+    def _request(self, path: str, payload: Optional[dict] = None,
+                 headers: Optional[dict] = None) -> dict:
         url = f"{self.base_url}{path}"
         data = None if payload is None else json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            url, data=data,
-            headers={"Content-Type": "application/json"} if data else {})
+        request_headers = dict(headers or {})
+        if data:
+            request_headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data,
+                                         headers=request_headers)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read())
@@ -399,16 +505,22 @@ class HTTPClient:
             raise ServeClientError(exc.code, str(message),
                                    retry_after=retry_after) from exc
 
-    def predict(self, samples: Sequence) -> dict:
+    def predict(self, samples: Sequence,
+                trace_id: Optional[str] = None) -> dict:
         samples = [np.asarray(sample, dtype=np.float64).tolist()
                    for sample in samples]
-        return self._request("/predict", {"inputs": samples})
+        headers = {TRACE_HEADER: trace_id} if trace_id else None
+        return self._request("/predict", {"inputs": samples},
+                             headers=headers)
 
     def healthz(self) -> dict:
         return self._request("/healthz")
 
     def stats(self) -> dict:
         return self._request("/stats")
+
+    def traces(self) -> dict:
+        return self._request("/traces")
 
     def metrics(self) -> str:
         url = f"{self.base_url}/metrics"

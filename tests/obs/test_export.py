@@ -1,0 +1,168 @@
+"""Tests for trace exporters (:mod:`repro.obs.export`).
+
+The Chrome trace-event validator doubles as the CI gate for exported
+traces, so its rejection paths are tested as carefully as the happy path.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TraceConfig,
+    Tracer,
+    read_jsonl,
+    span_to_chrome_event,
+    summarize_traces,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def spans():
+    tracer = Tracer(TraceConfig(enabled=True))
+    for offset in (0.0, 10.0):
+        root = tracer.begin("request", start_s=offset)
+        root.record_child("queue", offset + 0.001, offset + 0.002)
+        fwd = root.child("forward", start_s=offset + 0.002)
+        fwd.finish(end_s=offset + 0.004, batch_size=4)
+        root.finish(end_s=offset + 0.005)
+    return tracer.spans()
+
+
+class TestJsonl:
+    def test_round_trip(self, spans, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        assert write_jsonl(spans, str(path)) == len(spans)
+        assert read_jsonl(str(path)) == spans
+
+    def test_blank_lines_skipped(self, spans, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_jsonl(spans, str(path))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n\n")
+        assert len(read_jsonl(str(path))) == len(spans)
+
+
+class TestChromeTrace:
+    def test_event_mapping(self, spans):
+        span = spans[0]
+        event = span_to_chrome_event(span, tid=3)
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(span.start_s * 1e6)
+        assert event["dur"] == pytest.approx(span.duration_ms * 1e3)
+        assert event["tid"] == 3
+        assert event["pid"] == span.pid
+        assert event["args"]["trace_id"] == span.trace_id
+        assert event["args"]["span_id"] == span.span_id
+
+    def test_document_is_valid(self, spans):
+        doc = to_chrome_trace(spans)
+        assert validate_chrome_trace(doc) == []
+        assert len(doc["traceEvents"]) == len(spans)
+
+    def test_events_sorted_by_ts(self, spans):
+        ts = [e["ts"] for e in to_chrome_trace(reversed(spans))["traceEvents"]]
+        assert ts == sorted(ts)
+
+    def test_traces_get_distinct_tids(self, spans):
+        events = to_chrome_trace(spans)["traceEvents"]
+        tids = {e["args"]["trace_id"]: e["tid"] for e in events}
+        assert len(set(tids.values())) == 2
+
+    def test_write_is_loadable_json(self, spans, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(spans, str(path))
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc) == []
+
+    def test_dict_spans_accepted(self, spans):
+        doc = to_chrome_trace([s.to_dict() for s in spans])
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"otherData": {}}) != []
+
+    def test_rejects_missing_keys(self):
+        doc = {"traceEvents": [{"name": "x", "ph": "X"}]}
+        problems = validate_chrome_trace(doc)
+        assert any("missing keys" in p for p in problems)
+
+    def test_rejects_negative_ts(self):
+        doc = {"traceEvents": [
+            {"name": "x", "ph": "X", "ts": -1, "dur": 1, "pid": 1, "tid": 1},
+        ]}
+        assert validate_chrome_trace(doc) != []
+
+    def test_rejects_negative_dur(self):
+        doc = {"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "dur": -5, "pid": 1, "tid": 1},
+        ]}
+        assert validate_chrome_trace(doc) != []
+
+    def test_rejects_unsorted_events(self):
+        event = {"name": "x", "ph": "X", "dur": 1, "pid": 1, "tid": 1}
+        doc = {"traceEvents": [dict(event, ts=10), dict(event, ts=5)]}
+        problems = validate_chrome_trace(doc)
+        assert any("sorted" in p for p in problems)
+
+    def test_rejects_unmatched_begin(self):
+        doc = {"traceEvents": [
+            {"name": "x", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert any("unclosed" in p for p in problems)
+
+    def test_rejects_end_without_begin(self):
+        doc = {"traceEvents": [
+            {"name": "x", "ph": "E", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert any("no matching B" in p for p in problems)
+
+    def test_accepts_matched_begin_end(self):
+        doc = {"traceEvents": [
+            {"name": "x", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "x", "ph": "E", "ts": 1, "pid": 1, "tid": 1},
+        ]}
+        assert validate_chrome_trace(doc) == []
+
+
+class TestSummaries:
+    def test_per_trace_rows(self, spans):
+        summary = summarize_traces(spans)
+        assert summary["trace_count"] == 2
+        assert summary["span_count"] == len(spans)
+        for row in summary["traces"]:
+            assert row["root"] == "request"
+            assert row["spans"] == 3
+            assert row["duration_ms"] == pytest.approx(5.0, abs=0.01)
+            assert set(row["stage_ms"]) == {"request", "queue", "forward"}
+
+    def test_slowest_first(self):
+        tracer = Tracer(TraceConfig(enabled=True))
+        tracer.record_span("request", 0.0, 0.010, trace_id="fast")
+        tracer.record_span("request", 0.0, 0.050, trace_id="slow")
+        rows = summarize_traces(tracer.spans())["traces"]
+        assert [r["trace_id"] for r in rows] == ["slow", "fast"]
+
+    def test_stage_aggregates(self, spans):
+        stages = summarize_traces(spans)["stages"]
+        assert stages["queue"]["count"] == 2
+        assert stages["queue"]["total_ms"] == pytest.approx(2.0, abs=0.01)
+        assert stages["queue"]["mean_ms"] == pytest.approx(1.0, abs=0.01)
+        assert stages["forward"]["max_ms"] == pytest.approx(2.0, abs=0.01)
+
+    def test_slow_filter(self, spans):
+        summary = summarize_traces(spans, slow_ms=4.0)
+        assert len(summary["slow_traces"]) == 2
+        assert summarize_traces(spans, slow_ms=1000.0)["slow_traces"] == []

@@ -1,0 +1,239 @@
+"""Unit tests for the span tracer (:mod:`repro.obs.tracing`).
+
+Covers the three design constraints the module docstring commits to:
+zero recording when off, head-based whole-or-absent sampling, and
+explicit-id assembly across threads (children recorded retroactively
+from collected timestamps).
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Span,
+    TraceConfig,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+)
+
+
+def make_tracer(**overrides):
+    config = dict(enabled=True)
+    config.update(overrides)
+    return Tracer(TraceConfig(**config))
+
+
+class TestIds:
+    def test_shapes(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)
+        int(new_span_id(), 16)
+
+    def test_unique(self):
+        ids = {new_span_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+
+class TestConfig:
+    def test_defaults_off(self):
+        assert TraceConfig().enabled is False
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_sample_rate_validated(self, bad):
+        with pytest.raises(ValueError):
+            TraceConfig(sample_rate=bad)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceConfig(capacity=0)
+
+    def test_dict_round_trip(self):
+        config = TraceConfig(enabled=True, sample_rate=0.25, capacity=128,
+                             slow_ms=10.0, slow_keep=4, profile_codec=False)
+        assert TraceConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_ignores_unknown_keys(self):
+        config = TraceConfig.from_dict({"enabled": True, "future_field": 1})
+        assert config.enabled is True
+
+
+class TestSpanLifecycle:
+    def test_begin_finish_records(self):
+        tracer = make_tracer()
+        root = tracer.begin("request")
+        root.finish()
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["request"]
+        assert spans[0].parent_id is None
+        assert spans[0].end_s >= spans[0].start_s
+
+    def test_finish_is_idempotent(self):
+        tracer = make_tracer()
+        root = tracer.begin("request")
+        assert root.finish() is not None
+        assert root.finish() is None
+        assert len(tracer.spans()) == 1
+
+    def test_child_nesting(self):
+        tracer = make_tracer()
+        root = tracer.begin("request")
+        child = root.child("stage")
+        child.finish()
+        root.finish()
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["stage"].parent_id == root.span_id
+        assert by_name["stage"].trace_id == root.trace_id
+
+    def test_record_child_retroactive(self):
+        tracer = make_tracer()
+        root = tracer.begin("request", start_s=10.0)
+        span = root.record_child("queue", 10.5, 11.0, depth=3)
+        assert span.parent_id == root.span_id
+        assert span.annotations == {"depth": 3}
+        assert span.duration_ms == pytest.approx(500.0)
+
+    def test_context_manager_records_errors(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.begin("request"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert "boom" in span.annotations["error"]
+
+    def test_span_dict_round_trip(self):
+        tracer = make_tracer()
+        root = tracer.begin("request", annotations={"k": "v"})
+        span = root.finish()
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_cross_thread_finish(self):
+        # The engine's real shape: submit thread begins, batcher finishes.
+        tracer = make_tracer()
+        root = tracer.begin("request")
+        worker = threading.Thread(target=root.finish)
+        worker.start()
+        worker.join()
+        assert len(tracer.spans()) == 1
+
+
+class TestSampling:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(TraceConfig(enabled=False))
+        assert tracer.begin("request") is None
+        assert tracer.spans() == []
+        assert tracer.summary()["spans_total"] == 0
+
+    def test_rate_zero_records_nothing(self):
+        tracer = make_tracer(sample_rate=0.0)
+        for _ in range(50):
+            assert tracer.begin("request") is None
+        assert tracer.spans() == []
+        assert tracer.summary()["dropped_unsampled"] == 50
+
+    def test_rate_one_records_everything(self):
+        tracer = make_tracer(sample_rate=1.0)
+        for _ in range(10):
+            tracer.begin("request").finish()
+        assert tracer.summary()["traces_total"] == 10
+
+    def test_sampler_injection(self):
+        rolls = iter([0.1, 0.9, 0.1])
+        tracer = Tracer(TraceConfig(enabled=True, sample_rate=0.5),
+                        sampler=lambda: next(rolls))
+        outcomes = [tracer.begin("r") is not None for _ in range(3)]
+        assert outcomes == [True, False, True]
+
+    def test_forced_sampled_skips_the_roll(self):
+        tracer = Tracer(TraceConfig(enabled=True, sample_rate=0.0),
+                        sampler=lambda: pytest.fail("must not roll"))
+        assert tracer.begin("r", sampled=True) is not None
+
+
+class TestPropagation:
+    def test_adopt_continues_the_trace(self):
+        upstream = make_tracer()
+        downstream = make_tracer()
+        root = upstream.begin("request")
+        adopted = downstream.adopt(root.context(), "engine")
+        assert adopted.trace_id == root.trace_id
+        assert adopted.parent_id == root.span_id
+
+    def test_adopt_honours_unsampled_upstream(self):
+        downstream = make_tracer(sample_rate=1.0)
+        assert downstream.adopt({"sampled": False}, "engine") is None
+
+    def test_adopted_overrides_local_rate(self):
+        # Upstream said yes; a 0-rate downstream must still record, so a
+        # trace is always whole or absent.
+        downstream = make_tracer(sample_rate=0.0)
+        ctx = {"trace_id": new_trace_id(), "parent_id": new_span_id(),
+               "sampled": True}
+        adopted = downstream.adopt(ctx, "engine")
+        assert adopted is not None
+        assert adopted.trace_id == ctx["trace_id"]
+
+    def test_adopt_none_context(self):
+        assert make_tracer().adopt(None, "engine") is None
+
+    def test_ingest_merges_serialized_spans(self):
+        worker = make_tracer()
+        worker.begin("engine").finish()
+        supervisor = make_tracer()
+        count = supervisor.ingest([s.to_dict() for s in worker.spans()])
+        assert count == 1
+        assert supervisor.spans()[0].name == "engine"
+
+
+class TestRecorder:
+    def test_ring_is_bounded(self):
+        tracer = make_tracer(capacity=8)
+        for index in range(20):
+            tracer.begin("r", annotations={"i": index}).finish()
+        spans = tracer.spans()
+        assert len(spans) == 8
+        assert [s.annotations["i"] for s in spans] == list(range(12, 20))
+        assert tracer.summary()["spans_total"] == 20
+
+    def test_spans_filter_by_trace_id(self):
+        tracer = make_tracer()
+        first = tracer.begin("a")
+        first.finish()
+        tracer.begin("b").finish()
+        assert [s.name for s in tracer.spans(first.trace_id)] == ["a"]
+
+    def test_traces_grouped_and_sorted(self):
+        tracer = make_tracer()
+        root = tracer.begin("request", start_s=1.0)
+        root.record_child("late", 3.0, 4.0)
+        root.record_child("early", 1.5, 2.0)
+        root.finish(end_s=5.0)
+        (members,) = tracer.traces().values()
+        assert [s.name for s in members] == ["request", "early", "late"]
+
+    def test_slow_exemplars_top_k(self):
+        tracer = make_tracer(slow_ms=100.0, slow_keep=2)
+        for index, dur in enumerate([0.05, 0.2, 0.15, 0.3]):
+            tracer.record_span("request", 0.0, dur,
+                               trace_id=f"t{index}")
+        slow = tracer.slow_traces()
+        assert [e["trace_id"] for e in slow] == ["t3", "t1"]
+        assert slow[0]["duration_ms"] == pytest.approx(300.0)
+
+    def test_only_roots_count_as_traces(self):
+        tracer = make_tracer()
+        root = tracer.begin("request")
+        root.child("stage").finish()
+        root.finish()
+        summary = tracer.summary()
+        assert summary["spans_total"] == 2
+        assert summary["traces_total"] == 1
+
+    def test_clear(self):
+        tracer = make_tracer()
+        tracer.begin("r").finish()
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.summary()["spans_total"] == 0

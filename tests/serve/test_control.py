@@ -389,3 +389,132 @@ class TestMetricsCollector:
         assert "repro_serve_queue_depth 2" in text
         assert "repro_serve_workers 3" in text
         assert text.endswith("\n")
+
+
+# --------------------------------------------------------------------- #
+# Decision log (controller observability)
+# --------------------------------------------------------------------- #
+class TestDecisionLog:
+    def controller(self, plant, **overrides):
+        settings = dict(slo_p99_ms=50.0, wait_additive_ms=0.5,
+                        wait_backoff=0.5, wait_max_ms=20.0,
+                        hysteresis_ticks=1)
+        settings.update(overrides)
+        return Controller(plant, ControlConfig(**settings),
+                          clock=FakeClock(), cpu_count=4)
+
+    def test_wait_changes_logged_with_reason(self):
+        plant = FakePlant(max_wait_ms=8.0)
+        controller = self.controller(plant, autoscale=False)
+        controller.tick(observation(p99_ms=80.0))
+        (entry,) = controller.decision_log
+        assert entry["action"] == "wait_backoff"
+        assert entry["reason"] == "p99-over-slo"
+        assert entry["from"] == pytest.approx(8.0)
+        assert entry["to"] == pytest.approx(4.0)
+        assert controller.decision_counts == {"wait_backoff": 1}
+
+    def test_scale_moves_logged(self):
+        plant = FakePlant(workers=1)
+        controller = self.controller(plant, min_workers=1, max_workers=4,
+                                     tune_wait=False)
+        controller.tick(observation(workers=1, queue_depth=95))
+        actions = [e["action"] for e in controller.decision_log]
+        assert actions == ["scale_up"]
+        entry = controller.decision_log[0]
+        assert (entry["from"], entry["to"]) == (1, 2)
+        assert entry["reason"] == "sustained-queue-depth"
+
+    def test_quiet_ticks_log_nothing(self):
+        plant = FakePlant(max_wait_ms=8.0)
+        controller = self.controller(plant, autoscale=False)
+        # p99 inside the [headroom, slo] band: no actuation, no entry.
+        controller.tick(observation(p99_ms=45.0))
+        assert len(controller.decision_log) == 0
+        assert controller.decision_counts == {}
+
+    def test_log_is_bounded(self):
+        plant = FakePlant(max_wait_ms=1.0)
+        controller = self.controller(plant, autoscale=False,
+                                     wait_max_ms=1e9, wait_additive_ms=0.5)
+        for _ in range(300):
+            controller.tick(observation(p99_ms=1.0))
+        assert len(controller.decision_log) == 256
+        assert controller.decision_counts["wait_increase"] == 300
+
+    def test_describe_exposes_decisions(self):
+        plant = FakePlant(max_wait_ms=8.0)
+        controller = self.controller(plant, autoscale=False)
+        controller.tick(observation(p99_ms=80.0))
+        described = controller.describe()
+        assert described["decision_counts"] == {"wait_backoff": 1}
+        assert described["decisions"][-1]["action"] == "wait_backoff"
+
+
+# --------------------------------------------------------------------- #
+# Prometheus exposition conformance
+# --------------------------------------------------------------------- #
+class TestPrometheusConformance:
+    def render(self, **kwargs):
+        clock = FakeClock()
+        metrics = MetricsCollector(window_s=10.0, clock=clock)
+        metrics.count("arrivals", 4)
+        metrics.count("rejected", 1)
+        metrics.observe("total", 0.005)
+        metrics.gauge("queue_depth", 2.0)
+        return render_prometheus(metrics.snapshot(), **kwargs)
+
+    @staticmethod
+    def families_of(text):
+        helps, types, samples = set(), {}, set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                helps.add(line.split()[2])
+            elif line.startswith("# TYPE "):
+                _, _, family, kind = line.split()
+                types[family] = kind
+            elif line:
+                name = line.split("{")[0].split(" ")[0]
+                samples.add(name)
+        return helps, types, samples
+
+    def test_every_series_has_help_and_type(self):
+        helps, types, samples = self.families_of(self.render())
+        assert samples, "exposition must carry samples"
+        for family in samples:
+            assert family in helps, f"missing # HELP for {family}"
+            assert family in types, f"missing # TYPE for {family}"
+
+    def test_counter_vs_gauge_typing(self):
+        _, types, _ = self.families_of(self.render(extra={"workers": 3}))
+        assert types["repro_serve_arrivals_total"] == "counter"
+        assert types["repro_serve_rejected_total"] == "counter"
+        assert types["repro_serve_queue_depth"] == "gauge"
+        assert types["repro_serve_latency_ms"] == "gauge"
+        assert types["repro_serve_workers"] == "gauge"
+
+    def test_help_and_type_precede_samples(self):
+        text = self.render()
+        seen_meta = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                seen_meta.add(line.split()[2])
+            elif line:
+                family = line.split("{")[0].split(" ")[0]
+                assert family in seen_meta, (
+                    f"sample for {family} before its # HELP/# TYPE")
+
+    def test_extra_families_appended(self):
+        text = self.render(families=[{
+            "name": "repro_controller_decisions_total",
+            "type": "counter",
+            "help": "controller actuations by action",
+            "samples": [({"action": "scale_up"}, 2.0),
+                        ({"action": "wait_backoff"}, 5.0)],
+        }])
+        assert ("# TYPE repro_controller_decisions_total counter"
+                in text)
+        assert ('repro_controller_decisions_total{action="scale_up"} 2'
+                in text)
+        assert ('repro_controller_decisions_total{action="wait_backoff"} 5'
+                in text)

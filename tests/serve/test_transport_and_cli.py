@@ -317,3 +317,84 @@ def test_export_preserves_attached_training_policy(tmp_path):
     # Training can continue, still quantized, after an export.
     history = experiment.run(epochs=1)
     assert len(history) >= 1
+
+
+# --------------------------------------------------------------------- #
+# /metrics exposition + controller decisions over HTTP
+# --------------------------------------------------------------------- #
+class _StubController:
+    """Just enough controller surface for the transport's /stats and
+    /metrics integration: recorded decisions with counts by action."""
+
+    def __init__(self):
+        self.decision_counts = {"scale_up": 2, "wait_backoff": 5}
+
+    def describe(self):
+        return {"decision_counts": dict(self.decision_counts),
+                "decisions": [{"tick": 1, "action": "scale_up",
+                               "reason": "sustained-queue-depth",
+                               "from": 1, "to": 2}]}
+
+
+def test_metrics_content_type_and_families(server, samples):
+    client = HTTPClient(server.url)
+    client.predict([samples[0]])
+    with urllib.request.urlopen(server.url + "/metrics",
+                                timeout=30) as reply:
+        assert reply.headers["Content-Type"] == "text/plain; version=0.0.4"
+        exposition = reply.read().decode("utf-8")
+    # Exposition-format conformance: every sampled family is announced
+    # with # HELP and # TYPE before its first sample.
+    announced = set()
+    for line in exposition.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            announced.add(line.split()[2])
+        elif line:
+            family = line.split("{")[0].split(" ")[0]
+            assert family in announced, f"{family} sampled before # HELP/# TYPE"
+    assert "# TYPE repro_serve_arrivals_total counter" in exposition
+
+
+def test_attached_controller_exposed(server, samples):
+    server.attach_controller(_StubController())
+    client = HTTPClient(server.url)
+    client.predict([samples[0]])
+    stats = client.stats()
+    assert stats["controller"]["decision_counts"] == {
+        "scale_up": 2, "wait_backoff": 5}
+    assert stats["controller"]["decisions"][0]["action"] == "scale_up"
+    exposition = client.metrics()
+    assert "# TYPE repro_controller_decisions_total counter" in exposition
+    assert 'repro_controller_decisions_total{action="scale_up"} 2' in exposition
+    assert ('repro_controller_decisions_total{action="wait_backoff"} 5'
+            in exposition)
+
+
+# --------------------------------------------------------------------- #
+# Load generator slow-request reporting
+# --------------------------------------------------------------------- #
+def test_run_load_slow_ms_reporting(artifact, samples):
+    from repro.obs import TraceConfig
+
+    with InferenceEngine(artifact, BatchingConfig(max_batch=16,
+                                                  max_wait_ms=2.0),
+                         tracing=TraceConfig(enabled=True)) as engine:
+        client = LocalClient(engine)
+        report = run_load(client, samples, concurrency=4,
+                          requests_per_client=4, slow_ms=0.0)
+    # Every request is "slow" at a 0 ms threshold, and each one carries
+    # the trace id the traced serving path echoed back.
+    assert report["slow_ms"] == 0.0
+    assert report["slow"] == report["completed"] == 16
+    assert 1 <= len(report["slow_trace_ids"]) <= 16
+    for trace_id in report["slow_trace_ids"]:
+        assert len(trace_id) == 32
+
+
+def test_run_load_without_slow_ms_omits_fields(artifact, samples):
+    with InferenceEngine(artifact, BatchingConfig(max_batch=16,
+                                                  max_wait_ms=2.0)) as engine:
+        report = run_load(LocalClient(engine), samples, concurrency=2,
+                          requests_per_client=2)
+    assert "slow" not in report
+    assert "slow_trace_ids" not in report
