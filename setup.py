@@ -3,7 +3,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-posit-training",
-    version="0.8.0",
+    version="0.9.0",
     description=(
         "Reproduction of 'Training Deep Neural Networks Using Posit Number "
         "System' (Lu et al., SOCC 2019): posit/float/fixed-point quantized "

@@ -19,10 +19,27 @@ uniform surface:
 * the **cached quantizer factory** — :func:`get_quantizer` memoizes
   quantizer instances per ``(format, rounding)`` key so the training hot
   path stops re-instantiating them for every layer.
+* the **codec kernels** — :mod:`repro.formats.kernels` precomputes decode
+  LUTs and grid-snap encode tables for every registry format with
+  ``bits <= 16`` and serves ``quantize``/``to_bits``/``from_bits`` as
+  whole-array numpy gathers, bit-identical to the scalar oracle.  On by
+  default; disable with ``REPRO_CODEC_KERNELS=0`` or
+  :func:`set_kernels_enabled`.
 """
 
 from .base import NumberFormat
 from .factory import clear_quantizer_cache, get_quantizer, quantizer_cache_info
+from .kernels import (
+    KERNEL_MAX_BITS,
+    KernelQuantizer,
+    active_kernel,
+    clear_kernel_cache,
+    get_kernel,
+    kernel_info,
+    kernels_enabled,
+    reference_ops,
+    set_kernels_enabled,
+)
 from .fixedpoint import (
     FixedPointFormat,
     FixedPointQuantizer,
@@ -62,4 +79,13 @@ __all__ = [
     "get_quantizer",
     "clear_quantizer_cache",
     "quantizer_cache_info",
+    "KERNEL_MAX_BITS",
+    "KernelQuantizer",
+    "active_kernel",
+    "clear_kernel_cache",
+    "get_kernel",
+    "kernel_info",
+    "kernels_enabled",
+    "reference_ops",
+    "set_kernels_enabled",
 ]

@@ -23,7 +23,10 @@ from .registry import parse_format
 
 __all__ = ["get_quantizer", "clear_quantizer_cache", "quantizer_cache_info"]
 
-#: (format, rounding) -> quantizer instance.
+#: (format, rounding, kernels_enabled) -> quantizer instance.  The kernel
+#: flag participates in the key so toggling ``REPRO_CODEC_KERNELS`` (or
+#: :func:`repro.formats.kernels.set_kernels_enabled`) never serves a stale
+#: quantizer built for the other path.
 _QUANTIZER_CACHE: dict[tuple, Callable] = {}
 
 
@@ -40,6 +43,14 @@ def _build(fmt: NumberFormat, rounding: str,
     # while profiling is off it costs one flag check per call.
     from repro.obs.profiler import wrap_quantizer
 
+    from .kernels import KernelQuantizer, active_kernel
+
+    # LUT-kernel fast path for narrow formats.  A mode the kernel cannot
+    # serve (e.g. an invalid posit rounding string) falls through to the
+    # family's own maker, which keeps its exact error behaviour.
+    kernel = active_kernel(fmt, rounding)
+    if kernel is not None:
+        return wrap_quantizer(KernelQuantizer(kernel, rounding, rng), fmt)
     return wrap_quantizer(maker(rounding=rounding, rng=rng), fmt)
 
 
@@ -59,7 +70,9 @@ def get_quantizer(fmt: Union[NumberFormat, str, None], rounding: str = "zero",
         fmt = parse_format(fmt)
     if rng is not None:
         return _build(fmt, rounding, rng)
-    key = (fmt, rounding)
+    from .kernels import kernels_enabled
+
+    key = (fmt, rounding, kernels_enabled())
     quantizer = _QUANTIZER_CACHE.get(key)
     if quantizer is None:
         quantizer = _build(fmt, rounding, None)
@@ -76,5 +89,5 @@ def quantizer_cache_info() -> dict:
     """Introspection: cache size and the currently cached keys."""
     return {
         "size": len(_QUANTIZER_CACHE),
-        "keys": [(fmt.spec(), rounding) for fmt, rounding in _QUANTIZER_CACHE],
+        "keys": [(fmt.spec(), rounding) for fmt, rounding, _ in _QUANTIZER_CACHE],
     }

@@ -108,7 +108,17 @@ class FixedPointFormat(NumberFormat):
         return fixed_point_to_bits(x, self, rounding=rounding, rng=rng)
 
     def from_bits(self, bits) -> np.ndarray:
-        """Decode two's-complement codes back to real values."""
+        """Decode two's-complement codes back to real values.
+
+        Dispatches to the decode LUT (:mod:`repro.formats.kernels`) when
+        enabled; the encode side is already pure numpy arithmetic at the
+        floor the kernels are measured against, so it stays as-is.
+        """
+        from .kernels import active_kernel
+
+        kernel = active_kernel(self)
+        if kernel is not None:
+            return kernel.from_bits(bits)
         return fixed_point_from_bits(bits, self)
 
     def make_quantizer(self, rounding: str = "nearest",

@@ -1,0 +1,604 @@
+"""Vectorized LUT codec kernels for every registry format with ``bits <= 16``.
+
+The PR-7 profiler baseline (``benchmarks/results/codec_profile_baseline.json``)
+measured posit ``to_bits`` at ~150-400 ns/element — roughly 50x off the
+~5-16 ns/element numpy floor the fixed-point family hits — and the ROADMAP
+names the codec the hot loop under every workload: training steps, artifact
+save/load, and every serving request.  This module closes that gap with
+precomputed tables:
+
+* **decode LUT** — all ``2**bits`` codes decoded once (posit formats use the
+  scalar reference :func:`repro.posit.scalar.decode`, the ground truth the
+  vectorized path is validated against), so ``from_bits`` becomes a single
+  masked gather.
+* **encode tables** — the strictly positive representable values form one
+  monotone "code line" shared by posit and float formats (line index 0 is
+  zero).  Encoding is arithmetic, not a binary search: ``np.frexp`` picks a
+  per-binade row, and each row stores ``1/step`` (a power of two, so the
+  multiply is exact) and an index offset such that
+  ``floor(mag / step) + offset`` *is* the round-toward-zero line index.
+  ``np.searchsorted`` is used only at build time — at ~55-136 ns/element in
+  this container it would alone blow the per-element budget.
+* **rounding tables** — round-to-nearest folds the tie-to-even rule into a
+  per-interval threshold (probed from the scalar oracle, so ties behave
+  bit-for-bit identically), and stochastic rounding reuses the oracle's own
+  ``(mag - lo) / (hi - lo)`` probability expression via a gap table.
+* **sign/storage LUTs** — the final code/value is one gather from a
+  ``2 * L``-entry table indexed by ``line_index + L * signbit``, built by
+  running the *oracle* ``to_bits`` over ``±line_vals`` — two's-complement
+  posit negatives, IEEE sign bits, and canonical-zero encoding all come out
+  of the probe rather than being re-implemented (and re-diverged) here.
+
+Special values (NaN, ±inf, exact ±0) are likewise probed from the oracle per
+family and patched via masks; the all-finite fast path pays one
+``isfinite().all()`` check.
+
+The kernels are wired in two places: the format classes' protocol methods
+(``quantize`` / ``to_bits`` / ``from_bits`` dispatch here when enabled, which
+covers the artifact weight codec and the serving decoded-weight cache without
+touching that code) and the quantizer factory (:func:`repro.formats.
+get_quantizer` hands out :class:`KernelQuantizer` instances).  The
+``REPRO_CODEC_KERNELS`` environment variable (on by default; ``0``/``false``/
+``off``/``no`` disable) selects the path, and the scalar/vectorized module
+functions remain untouched as the conformance oracle —
+``tests/formats/test_kernel_differential.py`` proves bit-identity against
+them for every supported format and rounding mode.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..posit.config import PositConfig
+from ..posit.floatformats import FloatFormat
+from .fixedpoint import FixedPointFormat
+
+__all__ = [
+    "KERNEL_MAX_BITS",
+    "KernelQuantizer",
+    "active_kernel",
+    "clear_kernel_cache",
+    "get_kernel",
+    "kernel_info",
+    "kernels_enabled",
+    "reference_ops",
+    "set_kernels_enabled",
+]
+
+#: Kernels are built for formats up to this storage width: a full decode LUT
+#: is at most 2**16 float64 entries (512 KiB) and the encode-side tables are
+#: of the same order, so the whole registry costs a few MiB.
+KERNEL_MAX_BITS = 16
+
+#: Environment switch; anything except these (case-insensitive) enables.
+_FALSY = frozenset({"0", "false", "off", "no"})
+
+#: Runtime override for tests/benchmarks: None defers to the environment.
+_ENABLED_OVERRIDE: Optional[bool] = None
+
+#: format -> kernel instance (or None for unsupported formats).
+_KERNEL_CACHE: dict = {}
+_CACHE_LOCK = threading.Lock()
+
+#: The per-binade row tables span every exponent ``np.frexp`` can produce
+#: for a finite float64 (denormals bottom out at -1073, the top binade is
+#: 1024), so row selection needs no clip on the hot path.
+_E_MIN = -1100
+_E_MAX = 1100
+
+
+class _KernelUnsupported(Exception):
+    """Raised at build time when a format violates the table assumptions."""
+
+
+def kernels_enabled() -> bool:
+    """Whether codec kernels are active (override, else ``REPRO_CODEC_KERNELS``)."""
+    if _ENABLED_OVERRIDE is not None:
+        return _ENABLED_OVERRIDE
+    return os.environ.get("REPRO_CODEC_KERNELS", "1").strip().lower() not in _FALSY
+
+
+def set_kernels_enabled(value: Optional[bool]) -> Optional[bool]:
+    """Override the environment switch (``None`` restores it); returns the old override."""
+    global _ENABLED_OVERRIDE
+    previous = _ENABLED_OVERRIDE
+    _ENABLED_OVERRIDE = value
+    return previous
+
+
+def clear_kernel_cache() -> None:
+    """Drop all built kernels (mainly for tests measuring build cost)."""
+    with _CACHE_LOCK:
+        _KERNEL_CACHE.clear()
+
+
+class _ReferenceOps:
+    """The scalar-path oracle for one format: module-level functions only.
+
+    These callables never go through the format methods (which may dispatch
+    back into the kernels), so they are safe to use from kernel builds and
+    from the differential conformance harness as the ground truth.
+    """
+
+    __slots__ = ("fmt", "quantize", "to_bits", "from_bits", "map_mode")
+
+    def __init__(self, fmt, quantize: Callable, to_bits: Callable,
+                 from_bits: Callable, map_mode: Callable[[str], Optional[str]]):
+        self.fmt = fmt
+        self.quantize = quantize
+        self.to_bits = to_bits
+        self.from_bits = from_bits
+        self.map_mode = map_mode
+
+
+def reference_ops(fmt) -> Optional[_ReferenceOps]:
+    """Oracle ``quantize``/``to_bits``/``from_bits`` for ``fmt`` (or ``None``).
+
+    ``map_mode`` mirrors each family's historical mode handling: posit
+    supports ``zero``/``nearest``/``stochastic`` natively (anything else
+    returns ``None`` — the caller falls back to the scalar path, which
+    raises the canonical error); float and fixed point map every
+    non-stochastic mode to ``nearest``, exactly as their format methods
+    always did.
+    """
+    if isinstance(fmt, PositConfig):
+        # The package re-exports the quantize *function*, so import the
+        # module explicitly to reach its siblings.
+        from ..posit.quantize import (
+            ROUNDING_MODES, bits_to_float, quantize, quantize_to_bits)
+
+        def _map(mode: str) -> Optional[str]:
+            return mode if mode in ROUNDING_MODES else None
+
+        return _ReferenceOps(
+            fmt,
+            lambda x, mode="zero", rng=None: quantize(x, fmt, rounding=mode, rng=rng),
+            lambda x, mode="zero", rng=None: quantize_to_bits(x, fmt, rounding=mode, rng=rng),
+            lambda bits: bits_to_float(bits, fmt),
+            _map,
+        )
+    if isinstance(fmt, FloatFormat):
+        from ..posit import floatformats as _ff
+
+        def _map(mode: str) -> Optional[str]:
+            return "stochastic" if mode == "stochastic" else "nearest"
+
+        return _ReferenceOps(
+            fmt,
+            lambda x, mode="nearest", rng=None: _ff.float_quantize(
+                x, fmt, rng=rng, rounding=_map(mode)),
+            lambda x, mode="nearest", rng=None: _ff.float_to_bits(
+                x, fmt, rounding=_map(mode), rng=rng),
+            lambda bits: _ff.float_from_bits(bits, fmt),
+            _map,
+        )
+    if isinstance(fmt, FixedPointFormat):
+        from . import fixedpoint as _fx
+
+        def _map(mode: str) -> Optional[str]:
+            return "stochastic" if mode == "stochastic" else "nearest"
+
+        return _ReferenceOps(
+            fmt,
+            lambda x, mode="nearest", rng=None: _fx.fixed_point_quantize(
+                x, fmt, rounding=_map(mode), rng=rng),
+            lambda x, mode="nearest", rng=None: _fx.fixed_point_to_bits(
+                x, fmt, rounding=_map(mode), rng=rng),
+            lambda bits: _fx.fixed_point_from_bits(bits, fmt),
+            _map,
+        )
+    return None
+
+
+def _posit_decode_lut(fmt: PositConfig) -> np.ndarray:
+    """All ``2**n`` codes decoded via the scalar reference implementation.
+
+    Only the positive bodies are walked scalar-by-scalar; negative patterns
+    are their exact two's-complement mirrors (``decode((-c) & mask) ==
+    -decode(c)``), which halves the one-time build cost for 16-bit formats.
+    """
+    from ..posit import scalar as _scalar
+
+    half = 1 << (fmt.n - 1)
+    lut = np.zeros(1 << fmt.n, dtype=np.float64)
+    positive = np.array([_scalar.decode(code, fmt) for code in range(1, half)],
+                        dtype=np.float64)
+    lut[1:half] = positive
+    lut[half] = np.nan  # NaR
+    lut[half + 1:] = -positive[::-1]
+    return lut
+
+
+def _build_decode_lut(fmt, ref: _ReferenceOps) -> np.ndarray:
+    if isinstance(fmt, PositConfig):
+        return _posit_decode_lut(fmt)
+    codes = np.arange(1 << fmt.bits, dtype=np.int64)
+    return np.asarray(ref.from_bits(codes), dtype=np.float64)
+
+
+class _LineKernel:
+    """LUT codec for sign-magnitude code lines (posit and float families).
+
+    The strictly positive representable values, sorted ascending with a
+    leading zero, form the "line" ``line_vals[0..L-1]``.  Every operation is
+    line-index arithmetic followed by gathers; see the module docstring for
+    the table layout.
+    """
+
+    def __init__(self, fmt, ref: _ReferenceOps):
+        self.fmt = fmt
+        self._ref = ref
+        self._mask = (np.int64(1) << fmt.bits) - 1
+        self._decode_lut = _build_decode_lut(fmt, ref)
+
+        finite = np.isfinite(self._decode_lut)
+        positive = np.sort(self._decode_lut[finite & (self._decode_lut > 0)])
+        if positive.size == 0 or np.any(np.diff(positive) <= 0):
+            raise _KernelUnsupported("positive values are not strictly increasing")
+        line_vals = np.concatenate(([0.0], positive))
+        self._line_vals = line_vals
+        self._L = line_vals.size
+
+        self._build_rows(line_vals)
+        self._build_rounding_tables(line_vals, ref)
+        self._build_output_luts(line_vals, ref)
+        self._self_check(line_vals)
+
+    # -- build ------------------------------------------------------------
+
+    def _build_rows(self, line_vals: np.ndarray) -> None:
+        m0, e0 = math.frexp(line_vals[1])
+        if m0 != 0.5:
+            raise _KernelUnsupported("smallest positive value must be a power of two")
+        s_min = e0 - 1
+        s_max = math.frexp(line_vals[-1])[1] - 1
+
+        n_rows = _E_MAX - _E_MIN + 1
+        step_inv = np.zeros(n_rows, dtype=np.float64)
+        offset = np.zeros(n_rows, dtype=np.int64)
+        # Binades above the top saturate to the last line index; binades
+        # below the bottom fall to index 0 (zero).  Both via step_inv == 0.
+        offset[(s_max + 1) - _E_MIN + 1:] = self._L - 1
+
+        for s in range(s_min, s_max + 1):
+            row = (s + 1) - _E_MIN  # frexp exponent of binade s is s + 1
+            lo_i = int(np.searchsorted(line_vals, 2.0 ** s, side="left"))
+            hi_i = int(np.searchsorted(line_vals, 2.0 ** (s + 1), side="left"))
+            if hi_i == lo_i:
+                # Empty binade: everything in it truncates to the largest
+                # value below.  (Never hit by the registry families — every
+                # posit/float binade in range is populated — kept so an
+                # exotic registered format degrades correctly, not wrongly.)
+                offset[row] = lo_i - 1
+                continue
+            members = line_vals[lo_i:hi_i]
+            if members[0] != 2.0 ** s:
+                raise _KernelUnsupported(f"binade 2^{s} does not start on its boundary")
+            if members.size > 1:
+                step = float(members[1] - members[0])
+                if (math.frexp(step)[0] != 0.5
+                        or np.any(np.diff(members) != step)
+                        or members[-1] + step != 2.0 ** (s + 1)):
+                    raise _KernelUnsupported(f"binade 2^{s} is not a uniform grid")
+            else:
+                step = 2.0 ** s
+            inv = 1.0 / step
+            if not math.isfinite(inv):
+                raise _KernelUnsupported(f"step 2^{s} too small for an exact inverse")
+            step_inv[row] = inv
+            offset[row] = lo_i - int(round(2.0 ** s * inv))
+
+        self._row_step_inv = step_inv
+        self._row_offset = offset
+
+    def _build_rounding_tables(self, line_vals: np.ndarray, ref: _ReferenceOps) -> None:
+        # Nearest: one threshold per interval [v_l, v_{l+1}).  The midpoint
+        # uses the same float64 expression as the oracle, and the tie
+        # direction (to the even code) is probed rather than re-derived:
+        # quantizing the midpoint itself tells us which side wins.
+        mids = 0.5 * (line_vals[:-1] + line_vals[1:])
+        tie_hi = np.asarray(ref.quantize(mids, "nearest")) == line_vals[1:]
+        thr = np.where(tie_hi, np.nextafter(mids, -np.inf), mids)
+        self._thr = np.append(thr, np.inf)
+        # Stochastic: P(hi) = (mag - lo) / gap, the oracle's own expression.
+        self._gap = np.append(np.diff(line_vals), np.inf)
+
+    def _build_output_luts(self, line_vals: np.ndarray, ref: _ReferenceOps) -> None:
+        pos_codes = np.asarray(ref.to_bits(line_vals, "nearest"), dtype=np.int64)
+        neg_codes = np.asarray(ref.to_bits(-line_vals, "nearest"), dtype=np.int64)
+        if pos_codes[0] != neg_codes[0]:
+            raise _KernelUnsupported("zero is not canonically encoded")
+        self._code_out = np.concatenate((pos_codes, neg_codes))
+
+        val_out = np.concatenate((line_vals, -line_vals))
+        # The two zero slots hold what the oracle returns for magnitudes that
+        # round to zero (posit: +0.0 for both signs; float: the sign is kept,
+        # so a negative underflow yields -0.0).  Probed with a magnitude
+        # deterministically below every mode's round-up region.
+        tiny = 0.25 * line_vals[1]
+        probe = np.asarray(ref.quantize(np.array([tiny, -tiny]), "nearest"))
+        val_out[0], val_out[self._L] = probe[0], probe[1]
+        self._val_out = val_out
+
+        specials = np.array([np.nan, np.inf, -np.inf])
+        codes = np.asarray(ref.to_bits(specials, "nearest"), dtype=np.int64)
+        self._code_nan, self._code_pinf, self._code_ninf = (
+            codes[0], codes[1], codes[2])
+        vals = np.asarray(ref.quantize(specials, "nearest"))
+        self._val_nan, self._val_pinf, self._val_ninf = vals[0], vals[1], vals[2]
+        zeros = np.asarray(ref.quantize(np.array([0.0, -0.0]), "nearest"))
+        self._val_pzero, self._val_nzero = zeros[0], zeros[1]
+
+    def _self_check(self, line_vals: np.ndarray) -> None:
+        # Round-toward-zero is exact on the tables iff every grid value maps
+        # to itself and every value one ulp below maps to its lower
+        # neighbour.  Checking both exhaustively at build time turns any
+        # broken assumption into a clean fallback instead of silent drift.
+        idx = self._line_index(line_vals, True)
+        below = self._line_index(np.nextafter(line_vals[1:], 0.0), True)
+        if (not np.array_equal(idx, np.arange(self._L))
+                or not np.array_equal(below, np.arange(self._L - 1))):
+            raise _KernelUnsupported("encode tables fail the grid self-map check")
+
+    # -- hot path ---------------------------------------------------------
+
+    def _line_index(self, mag: np.ndarray, clean: bool) -> np.ndarray:
+        """Round-toward-zero line index of non-negative magnitudes.
+
+        NaN/inf lanes (``clean`` is False) cast to garbage indices; every
+        downstream gather clamps via ``take(mode="clip")`` and the caller
+        patches those lanes from the probed specials, so no separate bounds
+        pass is spent on the all-finite fast path.
+        """
+        _, e = np.frexp(mag)
+        row = e - _E_MIN
+        t = mag * self._row_step_inv.take(row)
+        if clean:
+            lo = t.astype(np.int64) + self._row_offset.take(row)
+        else:
+            with np.errstate(invalid="ignore"):
+                lo = t.astype(np.int64) + self._row_offset.take(row)
+        zero = mag == 0.0
+        if zero.any():
+            lo[zero] = 0
+        return lo
+
+    def _pick(self, mag: np.ndarray, mode: str, clean: bool,
+              rng: Optional[np.random.Generator]) -> np.ndarray:
+        eff = self._ref.map_mode(mode)
+        lo = self._line_index(mag, clean)
+        if eff == "zero":
+            return lo
+        if eff == "nearest":
+            return lo + (mag > self._thr.take(lo, mode="clip"))
+        if eff == "stochastic":
+            if rng is None:
+                rng = np.random.default_rng()
+            prob = ((mag - self._line_vals.take(lo, mode="clip"))
+                    / self._gap.take(lo, mode="clip"))
+            return lo + (rng.random(mag.shape) < prob)
+        raise ValueError(f"unknown rounding mode {mode!r}")
+
+    def supports(self, mode: str) -> bool:
+        return self._ref.map_mode(mode) is not None
+
+    def quantize(self, x, mode: str, rng: Optional[np.random.Generator] = None):
+        arr = np.asarray(x, dtype=np.float64)
+        flat = arr.ravel()
+        mag = np.abs(flat)
+        neg = np.signbit(flat)
+        clean = bool(np.isfinite(flat).all())
+        pick = self._pick(mag, mode, clean, rng)
+        out = self._val_out.take(pick + neg * self._L, mode="clip")
+        zero = mag == 0.0
+        if zero.any():
+            # Exact ±0 inputs bypass the underflow slots: the oracle returns
+            # its canonical zero for them (e.g. float_quantize(-0.0) is +0.0
+            # even though float_quantize(-tiny) is -0.0).
+            out[zero] = np.where(neg[zero], self._val_nzero, self._val_pzero)
+        if not clean:
+            out[np.isnan(flat)] = self._val_nan
+            out[flat == np.inf] = self._val_pinf
+            out[flat == -np.inf] = self._val_ninf
+        return out[0] if arr.ndim == 0 else out.reshape(arr.shape)
+
+    def to_bits(self, x, mode: str, rng: Optional[np.random.Generator] = None):
+        arr = np.asarray(x, dtype=np.float64)
+        flat = arr.ravel()
+        mag = np.abs(flat)
+        neg = np.signbit(flat)
+        clean = bool(np.isfinite(flat).all())
+        pick = self._pick(mag, mode, clean, rng)
+        out = self._code_out.take(pick + neg * self._L, mode="clip")
+        if not clean:
+            out[np.isnan(flat)] = self._code_nan
+            out[flat == np.inf] = self._code_pinf
+            out[flat == -np.inf] = self._code_ninf
+        return out[0] if arr.ndim == 0 else out.reshape(arr.shape)
+
+    def from_bits(self, bits):
+        arr = np.asarray(bits, dtype=np.int64)
+        out = self._decode_lut[(arr.ravel() & self._mask)]
+        return out[0] if arr.ndim == 0 else out.reshape(arr.shape)
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def table_nbytes(self) -> int:
+        return sum(a.nbytes for a in (
+            self._decode_lut, self._line_vals, self._thr, self._gap,
+            self._code_out, self._val_out, self._row_step_inv, self._row_offset))
+
+    def info(self) -> dict:
+        return {
+            "spec": self.fmt.spec(),
+            "bits": self.fmt.bits,
+            "kind": "line",
+            "decode_entries": int(self._decode_lut.size),
+            "line_entries": int(self._L),
+            "table_bytes": int(self.table_nbytes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_LineKernel({self.fmt.spec()}, L={self._L})"
+
+
+class _FixedKernel:
+    """Decode-LUT kernel for fixed point.
+
+    The fixed-point encode side is already pure numpy arithmetic at the
+    floor the benchmark gate measures against, and its two's-complement code
+    space is asymmetric (``-2**I`` has no positive twin), so only
+    ``from_bits`` gains a table; ``quantize``/``to_bits`` delegate to the
+    module oracle unchanged.
+    """
+
+    def __init__(self, fmt: FixedPointFormat, ref: _ReferenceOps):
+        self.fmt = fmt
+        self._ref = ref
+        self._mask = (np.int64(1) << fmt.bits) - 1
+        self._decode_lut = _build_decode_lut(fmt, ref)
+
+    def supports(self, mode: str) -> bool:
+        return self._ref.map_mode(mode) is not None
+
+    def quantize(self, x, mode: str, rng: Optional[np.random.Generator] = None):
+        return self._ref.quantize(x, mode, rng)
+
+    def to_bits(self, x, mode: str, rng: Optional[np.random.Generator] = None):
+        return self._ref.to_bits(x, mode, rng)
+
+    def from_bits(self, bits):
+        arr = np.asarray(bits, dtype=np.int64)
+        out = self._decode_lut[(arr.ravel() & self._mask)]
+        return out[0] if arr.ndim == 0 else out.reshape(arr.shape)
+
+    @property
+    def table_nbytes(self) -> int:
+        return int(self._decode_lut.nbytes)
+
+    def info(self) -> dict:
+        return {
+            "spec": self.fmt.spec(),
+            "bits": self.fmt.bits,
+            "kind": "fixed",
+            "decode_entries": int(self._decode_lut.size),
+            "line_entries": 0,
+            "table_bytes": int(self.table_nbytes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_FixedKernel({self.fmt.spec()})"
+
+
+def _build_kernel(fmt):
+    ref = reference_ops(fmt)
+    if ref is None or fmt.bits > KERNEL_MAX_BITS:
+        return None
+    try:
+        if isinstance(fmt, FixedPointFormat):
+            return _FixedKernel(fmt, ref)
+        return _LineKernel(fmt, ref)
+    except _KernelUnsupported:
+        return None
+
+
+def get_kernel(fmt):
+    """The (cached, lazily built) kernel for ``fmt``, or ``None``.
+
+    Unsupported formats — ``bits > 16``, unknown families, or formats whose
+    value grid violates the table assumptions — cache ``None`` and keep the
+    scalar path.  This does *not* consult :func:`kernels_enabled`: the
+    differential harness compares kernels against the oracle regardless of
+    how dispatch is switched.
+    """
+    kernel = _KERNEL_CACHE.get(fmt, False)
+    if kernel is not False:
+        return kernel
+    with _CACHE_LOCK:
+        kernel = _KERNEL_CACHE.get(fmt, False)
+        if kernel is False:
+            kernel = _build_kernel(fmt)
+            _KERNEL_CACHE[fmt] = kernel
+    return kernel
+
+
+def active_kernel(fmt, mode: Optional[str] = None):
+    """Kernel to dispatch to right now, or ``None`` for the scalar path."""
+    if not kernels_enabled():
+        return None
+    kernel = get_kernel(fmt)
+    if kernel is None or (mode is not None and not kernel.supports(mode)):
+        return None
+    return kernel
+
+
+def kernel_info(formats=None) -> list:
+    """Build (if needed) and describe kernels — the README memory-cost table.
+
+    ``formats`` defaults to every distinct registry format; unsupported
+    formats report ``kind="none"`` with zero table bytes.
+    """
+    if formats is None:
+        from .registry import available_formats
+
+        seen, formats = set(), []
+        for fmt in available_formats().values():
+            if fmt not in seen:
+                seen.add(fmt)
+                formats.append(fmt)
+    rows = []
+    for fmt in sorted(formats, key=lambda f: f.spec()):
+        kernel = get_kernel(fmt)
+        if kernel is None:
+            rows.append({"spec": fmt.spec(), "bits": fmt.bits, "kind": "none",
+                         "decode_entries": 0, "line_entries": 0, "table_bytes": 0})
+        else:
+            rows.append(kernel.info())
+    return rows
+
+
+class KernelQuantizer:
+    """Factory-facing callable bound to a kernel and rounding mode.
+
+    Mirrors the attribute surface of the per-family quantizers
+    (``format``/``rounding``/``rng``/``to_bits``/``from_bits``) so the
+    policy layer, the analysis tooling, and the profiler proxy treat it
+    interchangeably.  ``rounding`` keeps the *requested* mode verbatim; the
+    kernel applies the family's historical mapping at call time.
+    """
+
+    __slots__ = ("kernel", "rounding", "rng")
+
+    def __init__(self, kernel, rounding: str,
+                 rng: Optional[np.random.Generator] = None):
+        self.kernel = kernel
+        self.rounding = rounding
+        self.rng = rng
+
+    @property
+    def format(self):
+        """The bound format (uniform accessor across quantizer families)."""
+        return self.kernel.fmt
+
+    @property
+    def config(self):
+        """Alias kept for parity with ``PositQuantizer.config`` consumers."""
+        return self.kernel.fmt
+
+    def __call__(self, x) -> np.ndarray:
+        return self.kernel.quantize(x, self.rounding, self.rng)
+
+    def to_bits(self, x) -> np.ndarray:
+        return self.kernel.to_bits(x, self.rounding, self.rng)
+
+    def from_bits(self, bits) -> np.ndarray:
+        return self.kernel.from_bits(bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KernelQuantizer({self.kernel.fmt.spec()}, rounding={self.rounding!r})"

@@ -136,7 +136,17 @@ class PositConfig:
 
     def quantize(self, x, mode: str = "zero",
                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
-        """Snap ``x`` onto this posit grid (Algorithm 1 when ``mode="zero"``)."""
+        """Snap ``x`` onto this posit grid (Algorithm 1 when ``mode="zero"``).
+
+        Dispatches to the LUT kernel (:mod:`repro.formats.kernels`) when
+        enabled; the vectorized scalar path below remains the conformance
+        oracle and handles formats/modes the kernels don't cover.
+        """
+        from repro.formats.kernels import active_kernel
+
+        kernel = active_kernel(self, mode)
+        if kernel is not None:
+            return kernel.quantize(x, mode, rng)
         from .quantize import quantize as _quantize
 
         return _quantize(x, self, rounding=mode, rng=rng)
@@ -144,12 +154,22 @@ class PositConfig:
     def to_bits(self, x, mode: str = "zero",
                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Quantize ``x`` and return posit bit patterns (``int64``)."""
+        from repro.formats.kernels import active_kernel
+
+        kernel = active_kernel(self, mode)
+        if kernel is not None:
+            return kernel.to_bits(x, mode, rng)
         from .quantize import quantize_to_bits as _quantize_to_bits
 
         return _quantize_to_bits(x, self, rounding=mode, rng=rng)
 
     def from_bits(self, bits) -> np.ndarray:
         """Decode posit bit patterns back to real values."""
+        from repro.formats.kernels import active_kernel
+
+        kernel = active_kernel(self)
+        if kernel is not None:
+            return kernel.from_bits(bits)
         from .quantize import bits_to_float as _bits_to_float
 
         return _bits_to_float(bits, self)

@@ -136,19 +136,36 @@ class FloatFormat:
 
         ``mode`` is ``"nearest"`` or ``"stochastic"``; posit's ``"zero"``
         mode is accepted and mapped to ``"nearest"`` (the convention the
-        policy layer has always used for float baselines).
+        policy layer has always used for float baselines).  Narrow formats
+        dispatch to the LUT kernel (:mod:`repro.formats.kernels`) when
+        enabled; the module functions remain the conformance oracle.
         """
+        from repro.formats.kernels import active_kernel
+
+        kernel = active_kernel(self, mode)
+        if kernel is not None:
+            return kernel.quantize(x, mode, rng)
         rounding = "stochastic" if mode == "stochastic" else "nearest"
         return float_quantize(x, self, rng=rng, rounding=rounding)
 
     def to_bits(self, x, mode: str = "nearest",
                 rng: np.random.Generator | None = None) -> np.ndarray:
         """Quantize ``x`` and return sign/exponent/mantissa bit patterns."""
+        from repro.formats.kernels import active_kernel
+
+        kernel = active_kernel(self, mode)
+        if kernel is not None:
+            return kernel.to_bits(x, mode, rng)
         rounding = "stochastic" if mode == "stochastic" else "nearest"
         return float_to_bits(x, self, rounding=rounding, rng=rng)
 
     def from_bits(self, bits) -> np.ndarray:
         """Decode sign/exponent/mantissa bit patterns to real values."""
+        from repro.formats.kernels import active_kernel
+
+        kernel = active_kernel(self)
+        if kernel is not None:
+            return kernel.from_bits(bits)
         return float_from_bits(bits, self)
 
     def make_quantizer(self, rounding: str = "nearest",
